@@ -1,0 +1,72 @@
+// T1 — the paper's §4 evaluation: three synthetic concurrency bugs.
+// "In all the cases RES was able to identify the correct root cause in less
+// than 1 minute. RES only produced execution suffixes that reproduced the
+// correct root cause, therefore it had no false positives."
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/replay/replay.h"
+#include "src/res/res_api.h"
+#include "src/support/string_util.h"
+#include "src/workloads/harness.h"
+#include "src/workloads/workloads.h"
+
+using namespace res;  // NOLINT
+
+int main() {
+  PrintHeader("T1: synthetic concurrency bugs (paper §4)");
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"bug", "trap", "root cause identified", "correct", "replay",
+                  "time(ms)", "hypotheses"});
+
+  const char* bugs[] = {"racy_counter", "atomicity_violation", "order_violation"};
+  int correct_count = 0;
+  int false_positives = 0;
+  for (const char* name : bugs) {
+    const WorkloadSpec& spec = WorkloadByName(name);
+    Module module = spec.build();
+    FailureRunOptions options;
+    options.require_live_peers = spec.requires_live_peers;
+    auto run = RunToFailure(module, spec, options);
+    if (!run.ok()) {
+      rows.push_back({name, "-", "failure not reproduced", "-", "-", "-", "-"});
+      continue;
+    }
+    WallTimer timer;
+    ResEngine engine(module, run.value().dump);
+    ResResult result = engine.Run();
+    double ms = timer.ElapsedMs();
+
+    std::string cause = result.causes.empty()
+                            ? "(none)"
+                            : std::string(RootCauseKindName(result.causes.front().kind));
+    bool acceptable = false;
+    if (!result.causes.empty()) {
+      acceptable = result.causes.front().kind == spec.expected_cause;
+      for (RootCauseKind alt : spec.also_acceptable) {
+        acceptable |= result.causes.front().kind == alt;
+      }
+    }
+    correct_count += acceptable ? 1 : 0;
+    false_positives += (!result.causes.empty() && !acceptable) ? 1 : 0;
+
+    std::string replay_state = "-";
+    if (result.suffix.has_value() && result.suffix->verified) {
+      auto replay = ReplaySuffix(module, run.value().dump, *result.suffix,
+                                 engine.pool());
+      replay_state = replay.ok() && replay.value().trap_matches &&
+                             replay.value().state_matches
+                         ? "deterministic"
+                         : "diverged";
+    }
+    rows.push_back({name, std::string(TrapKindName(run.value().dump.trap.kind)),
+                    cause, acceptable ? "yes" : "NO", replay_state,
+                    StrFormat("%.1f", ms),
+                    std::to_string(result.stats.hypotheses_explored)});
+  }
+  PrintTable(rows);
+  std::printf("\ncorrect root causes: %d/3, false positives: %d "
+              "(paper: 3/3 in <1 min, 0 false positives)\n",
+              correct_count, false_positives);
+  return 0;
+}

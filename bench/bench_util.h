@@ -1,0 +1,51 @@
+// Shared helpers for the experiment harnesses: wall-clock timing and
+// aligned table printing. Each bench binary regenerates one table or figure
+// of EXPERIMENTS.md and prints it to stdout.
+#ifndef RES_BENCH_BENCH_UTIL_H_
+#define RES_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace res {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double ElapsedMs() const {
+    auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(now - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+// Prints rows of columns, padding each column to its widest cell.
+inline void PrintTable(const std::vector<std::vector<std::string>>& rows) {
+  std::vector<size_t> widths;
+  for (const auto& row : rows) {
+    if (widths.size() < row.size()) {
+      widths.resize(row.size(), 0);
+    }
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      std::printf("%-*s  ", static_cast<int>(widths[i]), row[i].c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace res
+
+#endif  // RES_BENCH_BENCH_UTIL_H_

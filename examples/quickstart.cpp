@@ -1,0 +1,94 @@
+// Quickstart: the full RES pipeline on a small input-driven crash.
+//
+// 1. Build a program with the IR builder.
+// 2. Run it in the VM until it fails; capture the coredump ("production").
+// 3. Hand <coredump, program> to RES; get back an execution suffix.
+// 4. Replay the suffix deterministically and verify it reproduces the dump.
+#include <cstdio>
+
+#include "src/replay/replay.h"
+#include "src/res/res_api.h"
+
+using namespace res;  // NOLINT: example brevity
+
+namespace {
+
+// A tiny "server": reads a request size from the network, computes a
+// per-item budget, and stores it. Requests of size zero crash it.
+Module BuildServer() {
+  ModuleBuilder mb;
+  mb.AddGlobal("request_size", 1);
+  mb.AddGlobal("budget", 1);
+  FunctionBuilder fb = mb.DefineFunction("main", 0);
+  BlockId compute = fb.NewBlock("compute");
+  fb.SetInsertPoint(0);
+  RegId req = fb.Input(0);               // network read: unrecorded input
+  fb.StoreGlobal("request_size", req);
+  fb.Br(compute);
+  fb.SetInsertPoint(compute);
+  RegId n = fb.LoadGlobal("request_size");
+  RegId total = fb.Const(1000);
+  RegId per_item = fb.DivS(total, n);    // div-by-zero when req == 0
+  fb.StoreGlobal("budget", per_item);
+  fb.Halt();
+  fb.Finish();
+  mb.SetEntry("main");
+  return std::move(mb).Build();
+}
+
+}  // namespace
+
+int main() {
+  Module module = BuildServer();
+  Status verify = VerifyModule(module);
+  if (!verify.ok()) {
+    std::fprintf(stderr, "verification failed: %s\n", verify.ToString().c_str());
+    return 1;
+  }
+
+  // --- "Production": the program crashes on a zero-size request. ---
+  Vm vm(&module);
+  QueueInputProvider inputs;
+  inputs.Push(/*channel=*/0, /*value=*/0);
+  vm.set_input_provider(&inputs);
+  if (Status s = vm.Reset(); !s.ok()) {
+    std::fprintf(stderr, "reset failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  RunResult run = vm.Run();
+  if (run.outcome != RunOutcome::kTrapped) {
+    std::fprintf(stderr, "expected the server to crash\n");
+    return 1;
+  }
+  Coredump dump = CaptureCoredump(vm);
+  std::printf("crash: %s\n", dump.trap.ToString(module).c_str());
+
+  // --- RES: synthesize the execution suffix from <coredump, program>. ---
+  ResEngine engine(module, dump);
+  ResResult result = engine.Run();
+  std::printf("RES stop reason: %s, hypotheses explored: %llu\n",
+              std::string(StopReasonName(result.stop)).c_str(),
+              static_cast<unsigned long long>(result.stats.hypotheses_explored));
+  if (!result.suffix.has_value()) {
+    std::fprintf(stderr, "no suffix synthesized\n");
+    return 1;
+  }
+  std::printf("suffix (%zu units):\n%s", result.suffix->units.size(),
+              SuffixToString(module, *result.suffix).c_str());
+  for (const RootCause& cause : result.causes) {
+    std::printf("root cause: %s\n", cause.description.c_str());
+  }
+
+  // --- Replay: the suffix deterministically reproduces the coredump. ---
+  auto replay = ReplaySuffix(module, dump, *result.suffix, engine.pool());
+  if (!replay.ok()) {
+    std::fprintf(stderr, "replay failed: %s\n", replay.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("replay: trap %s, state %s%s%s\n",
+              replay.value().trap_matches ? "matches" : "DIFFERS",
+              replay.value().state_matches ? "matches" : "DIFFERS",
+              replay.value().state_matches ? "" : " — ",
+              replay.value().mismatch.c_str());
+  return replay.value().trap_matches && replay.value().state_matches ? 0 : 1;
+}

@@ -1,0 +1,122 @@
+#include "src/cfg/cfg.h"
+
+#include <cassert>
+
+namespace res {
+
+ModuleCfg ModuleCfg::Build(const Module& module) {
+  ModuleCfg cfg;
+  cfg.module_ = &module;
+
+  size_t total_blocks = 0;
+  cfg.block_offset_.resize(module.functions().size());
+  for (const Function& fn : module.functions()) {
+    cfg.block_offset_[fn.id] = total_blocks;
+    total_blocks += fn.blocks.size();
+  }
+  cfg.preds_.resize(total_blocks);
+  cfg.succs_.resize(total_blocks);
+  cfg.return_blocks_.resize(module.functions().size());
+  cfg.call_sites_.resize(module.functions().size());
+  cfg.spawn_sites_.resize(module.functions().size());
+
+  // Intra-function branch edges + call/return/spawn site collection.
+  for (const Function& fn : module.functions()) {
+    for (BlockId b = 0; b < fn.blocks.size(); ++b) {
+      const BasicBlock& bb = fn.blocks[b];
+      BlockRef here{fn.id, b};
+      // Spawn sites can appear anywhere in a block.
+      for (uint32_t i = 0; i < bb.instructions.size(); ++i) {
+        const Instruction& inst = bb.instructions[i];
+        if (inst.op == Opcode::kSpawn) {
+          cfg.spawn_sites_[inst.callee].push_back(Pc{fn.id, b, i});
+        }
+      }
+      const Instruction& term = bb.terminator();
+      switch (term.op) {
+        case Opcode::kBr: {
+          BlockRef to{fn.id, term.target0};
+          cfg.succs_[cfg.Index(here)].push_back(SuccEdge{to, -1});
+          cfg.preds_[cfg.Index(to)].push_back(
+              PredEdge{PredKind::kLocalBranch, here, -1, {}, {}});
+          break;
+        }
+        case Opcode::kCondBr: {
+          BlockRef t{fn.id, term.target0};
+          BlockRef f{fn.id, term.target1};
+          cfg.succs_[cfg.Index(here)].push_back(SuccEdge{t, 0});
+          cfg.succs_[cfg.Index(here)].push_back(SuccEdge{f, 1});
+          cfg.preds_[cfg.Index(t)].push_back(
+              PredEdge{PredKind::kLocalBranch, here, 0, {}, {}});
+          cfg.preds_[cfg.Index(f)].push_back(
+              PredEdge{PredKind::kLocalBranch, here, 1, {}, {}});
+          break;
+        }
+        case Opcode::kCall: {
+          cfg.call_sites_[term.callee].push_back(here);
+          break;
+        }
+        case Opcode::kRet: {
+          cfg.return_blocks_[fn.id].push_back(b);
+          break;
+        }
+        case Opcode::kHalt:
+          break;
+        default:
+          assert(false && "non-terminator at block end; module not verified");
+      }
+    }
+  }
+
+  // Interprocedural edges.
+  for (const Function& callee : module.functions()) {
+    BlockRef entry{callee.id, 0};
+    for (const BlockRef& site : cfg.call_sites_[callee.id]) {
+      // call site -> callee entry (forward), callee entry <- call site (backward)
+      cfg.succs_[cfg.Index(site)].push_back(SuccEdge{entry, -1});
+      cfg.preds_[cfg.Index(entry)].push_back(
+          PredEdge{PredKind::kCallEntry, site, -1, {}, {}});
+
+      // callee return blocks -> call continuation
+      const Function& caller = module.function(site.func);
+      const Instruction& call = caller.blocks[site.block].terminator();
+      BlockRef cont{site.func, call.target0};
+      for (BlockId rb : cfg.return_blocks_[callee.id]) {
+        BlockRef ret_block{callee.id, rb};
+        cfg.succs_[cfg.Index(ret_block)].push_back(SuccEdge{cont, -1});
+        cfg.preds_[cfg.Index(cont)].push_back(
+            PredEdge{PredKind::kReturn, ret_block, -1, site, {}});
+      }
+    }
+    for (const Pc& spawn : cfg.spawn_sites_[callee.id]) {
+      cfg.preds_[cfg.Index(entry)].push_back(
+          PredEdge{PredKind::kSpawnEntry, BlockRef{spawn.func, spawn.block}, -1, {},
+                   spawn});
+    }
+  }
+  return cfg;
+}
+
+const std::vector<PredEdge>& ModuleCfg::Predecessors(BlockRef b) const {
+  return preds_[Index(b)];
+}
+
+const std::vector<SuccEdge>& ModuleCfg::Successors(BlockRef b) const {
+  return succs_[Index(b)];
+}
+
+const std::vector<BlockId>& ModuleCfg::ReturnBlocks(FuncId func) const {
+  return return_blocks_[func];
+}
+
+const std::vector<BlockRef>& ModuleCfg::CallSites(FuncId func) const {
+  return call_sites_[func];
+}
+
+const std::vector<Pc>& ModuleCfg::SpawnSites(FuncId func) const {
+  return spawn_sites_[func];
+}
+
+size_t ModuleCfg::BlockCount() const { return preds_.size(); }
+
+}  // namespace res

@@ -1,0 +1,30 @@
+#include "src/cfg/defuse.h"
+
+namespace res {
+
+FunctionDefUse FunctionDefUse::Compute(const Function& fn) {
+  FunctionDefUse out;
+  out.blocks_.resize(fn.blocks.size());
+  for (BlockId b = 0; b < fn.blocks.size(); ++b) {
+    BlockDefUse& du = out.blocks_[b];
+    du.defs.assign(fn.num_regs, false);
+    du.upward_uses.assign(fn.num_regs, false);
+    for (const Instruction& inst : fn.blocks[b].instructions) {
+      for (RegId r : InstructionReadRegs(inst)) {
+        if (!du.defs[r]) {
+          du.upward_uses[r] = true;
+        }
+      }
+      if (auto w = InstructionWrittenReg(inst)) {
+        du.defs[*w] = true;
+      }
+      du.reads_memory |= InstructionReadsMemory(inst);
+      du.writes_memory |= InstructionWritesMemory(inst);
+      du.has_input |= inst.op == Opcode::kInput;
+      du.has_call |= inst.op == Opcode::kCall || inst.op == Opcode::kSpawn;
+    }
+  }
+  return out;
+}
+
+}  // namespace res

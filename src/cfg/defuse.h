@@ -1,0 +1,40 @@
+// Per-block register def/use summaries.
+//
+// RES uses block write-sets to decide which registers become unconstrained
+// symbolic values in a symbolic snapshot (paper §2.4); the slicer uses
+// upward-exposed reads for its backward dataflow.
+#ifndef RES_CFG_DEFUSE_H_
+#define RES_CFG_DEFUSE_H_
+
+#include <vector>
+
+#include "src/ir/module.h"
+
+namespace res {
+
+struct BlockDefUse {
+  // Registers written anywhere in the block (the block's register write set).
+  std::vector<bool> defs;
+  // Registers read before any write in the block (upward-exposed uses).
+  std::vector<bool> upward_uses;
+  // Whether the block contains loads / stores / input / call / spawn.
+  bool reads_memory = false;
+  bool writes_memory = false;
+  bool has_input = false;
+  bool has_call = false;
+};
+
+class FunctionDefUse {
+ public:
+  static FunctionDefUse Compute(const Function& fn);
+
+  const BlockDefUse& block(BlockId b) const { return blocks_[b]; }
+  size_t block_count() const { return blocks_.size(); }
+
+ private:
+  std::vector<BlockDefUse> blocks_;
+};
+
+}  // namespace res
+
+#endif  // RES_CFG_DEFUSE_H_

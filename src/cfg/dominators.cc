@@ -1,0 +1,125 @@
+#include "src/cfg/dominators.h"
+
+#include <algorithm>
+
+namespace res {
+
+namespace {
+
+// Local successors of a block (branch targets only; call/ret/halt have none
+// inside the function for this purpose except the call's continuation).
+std::vector<BlockId> LocalSuccessors(const Function& fn, BlockId b) {
+  const Instruction& term = fn.blocks[b].terminator();
+  switch (term.op) {
+    case Opcode::kBr:
+      return {term.target0};
+    case Opcode::kCondBr:
+      return {term.target0, term.target1};
+    case Opcode::kCall:
+      // Within the function, control resumes at the continuation.
+      return {term.target0};
+    default:
+      return {};
+  }
+}
+
+}  // namespace
+
+Dominators Dominators::Compute(const Function& fn, bool post) {
+  const size_t n = fn.blocks.size();
+  Dominators result;
+  result.dom_.assign(n, std::vector<bool>(n, true));
+  result.idom_.assign(n, kNoBlock);
+
+  std::vector<std::vector<BlockId>> edges(n);   // direction of analysis
+  std::vector<bool> is_root(n, false);
+  if (!post) {
+    // edges[b] = predecessors of b
+    for (BlockId b = 0; b < n; ++b) {
+      for (BlockId s : LocalSuccessors(fn, b)) {
+        edges[s].push_back(b);
+      }
+    }
+    is_root[0] = true;
+  } else {
+    // edges[b] = successors of b; roots are exit blocks.
+    for (BlockId b = 0; b < n; ++b) {
+      edges[b] = LocalSuccessors(fn, b);
+      if (edges[b].empty()) {
+        is_root[b] = true;
+      }
+    }
+  }
+
+  for (BlockId b = 0; b < n; ++b) {
+    if (is_root[b]) {
+      std::fill(result.dom_[b].begin(), result.dom_[b].end(), false);
+      result.dom_[b][b] = true;
+    }
+  }
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (BlockId b = 0; b < n; ++b) {
+      if (is_root[b]) {
+        continue;
+      }
+      std::vector<bool> next(n, true);
+      bool any_edge = false;
+      for (BlockId p : edges[b]) {
+        any_edge = true;
+        for (size_t i = 0; i < n; ++i) {
+          next[i] = next[i] && result.dom_[p][i];
+        }
+      }
+      if (!any_edge) {
+        // Unreachable in the analysis direction: keep "dominated by all".
+        continue;
+      }
+      next[b] = true;
+      if (next != result.dom_[b]) {
+        result.dom_[b] = std::move(next);
+        changed = true;
+      }
+    }
+  }
+
+  // Immediate dominators: the unique strict dominator that is dominated by
+  // all other strict dominators.
+  for (BlockId b = 0; b < n; ++b) {
+    if (is_root[b]) {
+      continue;
+    }
+    for (BlockId cand = 0; cand < n; ++cand) {
+      if (cand == b || !result.dom_[b][cand]) {
+        continue;
+      }
+      bool is_idom = true;
+      for (BlockId other = 0; other < n; ++other) {
+        if (other == b || other == cand || !result.dom_[b][other]) {
+          continue;
+        }
+        // cand must be dominated by every other strict dominator of b.
+        if (!result.dom_[cand][other]) {
+          is_idom = false;
+          break;
+        }
+      }
+      if (is_idom) {
+        result.idom_[b] = cand;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+bool Dominators::Dominates(BlockId a, BlockId b) const {
+  if (b >= dom_.size() || a >= dom_.size()) {
+    return false;
+  }
+  return dom_[b][a];
+}
+
+}  // namespace res

@@ -1,0 +1,35 @@
+// Intra-function dominator / post-dominator analysis (iterative bitset
+// algorithm). Used by tests, the slicer, and RES search-order heuristics.
+#ifndef RES_CFG_DOMINATORS_H_
+#define RES_CFG_DOMINATORS_H_
+
+#include <vector>
+
+#include "src/ir/module.h"
+
+namespace res {
+
+class Dominators {
+ public:
+  // Computes dominators of every block of `fn` (entry = block 0).
+  // If `post` is true computes post-dominators instead, treating every
+  // exit block (kRet/kHalt/kCall terminators with no local successor) as
+  // a virtual sink.
+  static Dominators Compute(const Function& fn, bool post = false);
+
+  // True if a dominates b (reflexive).
+  bool Dominates(BlockId a, BlockId b) const;
+
+  // Immediate dominator of b; kNoBlock for the entry (or unreachable blocks).
+  BlockId ImmediateDominator(BlockId b) const { return idom_[b]; }
+
+  size_t block_count() const { return idom_.size(); }
+
+ private:
+  std::vector<std::vector<bool>> dom_;  // dom_[b][a] == a dominates b
+  std::vector<BlockId> idom_;
+};
+
+}  // namespace res
+
+#endif  // RES_CFG_DOMINATORS_H_

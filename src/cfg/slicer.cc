@@ -1,0 +1,157 @@
+#include "src/cfg/slicer.h"
+
+#include <deque>
+#include <map>
+
+namespace res {
+
+namespace {
+
+// Dataflow fact at a block boundary: live registers + memory-interest flag.
+struct Fact {
+  std::vector<bool> live;
+  bool memory = false;
+
+  bool MergeFrom(const Fact& other) {
+    bool changed = false;
+    for (size_t i = 0; i < live.size(); ++i) {
+      if (other.live[i] && !live[i]) {
+        live[i] = true;
+        changed = true;
+      }
+    }
+    if (other.memory && !memory) {
+      memory = true;
+      changed = true;
+    }
+    return changed;
+  }
+};
+
+}  // namespace
+
+SliceResult ComputeBackwardSlice(const Module& module, const ModuleCfg& cfg,
+                                 const SliceCriterion& criterion) {
+  SliceResult result;
+  const Function& fn = module.function(criterion.location.func);
+
+  // fact_out[b]: liveness at the *end* of block b (i.e. entering it backward).
+  std::map<BlockId, Fact> fact_at_end;
+
+  auto make_fact = [&fn]() {
+    Fact f;
+    f.live.assign(fn.num_regs, false);
+    return f;
+  };
+
+  // Walks instructions [0, limit) of block b backward, starting from `fact`,
+  // adding slice members. Returns the fact at block entry.
+  auto transfer = [&](BlockId b, uint32_t limit, Fact fact) {
+    const BasicBlock& bb = fn.blocks[b];
+    for (uint32_t i = limit; i-- > 0;) {
+      const Instruction& inst = bb.instructions[i];
+      bool relevant = false;
+      if (auto w = InstructionWrittenReg(inst)) {
+        if (fact.live[*w]) {
+          relevant = true;
+          fact.live[*w] = false;
+        }
+      }
+      // Coarse memory: any store may define the memory of interest.
+      if (fact.memory && InstructionWritesMemory(inst)) {
+        relevant = true;
+        // Memory stays of interest: other stores may also matter (no
+        // must-alias information without the coredump).
+      }
+      // Control dependence approximation: terminators of visited blocks are
+      // included when they decide reachability (kCondBr below via preds).
+      if (relevant) {
+        result.instructions.insert(Pc{fn.id, b, i});
+        for (RegId r : InstructionReadRegs(inst)) {
+          fact.live[r] = true;
+        }
+        if (InstructionReadsMemory(inst)) {
+          fact.memory = true;
+        }
+        if (inst.op == Opcode::kInput) {
+          result.hit_input = true;
+        }
+        if (inst.op == Opcode::kCall || inst.op == Opcode::kSpawn) {
+          result.interprocedural = true;
+        }
+      }
+    }
+    return fact;
+  };
+
+  // Seed: the criterion's own facts just before `location`.
+  Fact seed = make_fact();
+  for (RegId r : criterion.regs) {
+    if (r < fn.num_regs) {
+      seed.live[r] = true;
+    }
+  }
+  seed.memory = criterion.memory;
+
+  std::deque<BlockId> worklist;
+  // First, walk the partial block containing the criterion.
+  Fact entry_fact =
+      transfer(criterion.location.block, criterion.location.index, seed);
+  ++result.blocks_visited;
+
+  // Propagate to predecessors of the criterion block.
+  auto propagate = [&](BlockId b, const Fact& fact) {
+    BlockRef ref{fn.id, b};
+    for (const PredEdge& e : cfg.Predecessors(ref)) {
+      if (e.kind != PredKind::kLocalBranch && e.kind != PredKind::kReturn) {
+        if (e.kind == PredKind::kCallEntry || e.kind == PredKind::kSpawnEntry) {
+          result.interprocedural = true;
+        }
+        continue;  // intra-procedural analysis
+      }
+      if (e.kind == PredKind::kReturn) {
+        result.interprocedural = true;
+        continue;
+      }
+      BlockId p = e.pred.block;
+      auto [it, inserted] = fact_at_end.emplace(p, fact);
+      bool changed = inserted;
+      if (!inserted) {
+        changed = it->second.MergeFrom(fact);
+      }
+      // Conditional branches controlling reachability join the slice.
+      const Instruction& term = fn.blocks[p].terminator();
+      if (term.op == Opcode::kCondBr) {
+        Pc term_pc{fn.id, p,
+                   static_cast<uint32_t>(fn.blocks[p].instructions.size() - 1)};
+        if (result.instructions.insert(term_pc).second) {
+          changed = true;
+        }
+        if (term.rc < fn.num_regs && !it->second.live[term.rc]) {
+          it->second.live[term.rc] = true;
+          changed = true;
+        }
+      }
+      if (changed) {
+        worklist.push_back(p);
+      }
+    }
+  };
+  propagate(criterion.location.block, entry_fact);
+
+  while (!worklist.empty()) {
+    BlockId b = worklist.front();
+    worklist.pop_front();
+    ++result.blocks_visited;
+    if (result.blocks_visited > 100000) {
+      break;  // safety valve; slices this large are already "everything"
+    }
+    Fact fact = fact_at_end[b];
+    const BasicBlock& bb = fn.blocks[b];
+    Fact at_entry = transfer(b, static_cast<uint32_t>(bb.instructions.size()), fact);
+    propagate(b, at_entry);
+  }
+  return result;
+}
+
+}  // namespace res

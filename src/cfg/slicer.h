@@ -1,0 +1,42 @@
+// PSE-style backward static slicing (baseline).
+//
+// The paper (§2.2, §5) contrasts RES with post-mortem *static* analyses such
+// as PSE [Manevich et al. 2004]: those compute a backward slice / weakest
+// precondition without the coredump's concrete memory, and are therefore
+// imprecise — the slice over-approximates what could have affected the
+// failure. We implement that baseline here so the evaluation can measure the
+// imprecision gap (slice size vs. RES's exact suffix).
+#ifndef RES_CFG_SLICER_H_
+#define RES_CFG_SLICER_H_
+
+#include <set>
+#include <vector>
+
+#include "src/cfg/cfg.h"
+#include "src/ir/module.h"
+
+namespace res {
+
+struct SliceCriterion {
+  Pc location;                 // slice from just before this instruction
+  std::vector<RegId> regs;     // registers of interest at `location`
+  bool memory = false;         // also track "some memory word of interest"
+};
+
+struct SliceResult {
+  std::set<Pc> instructions;   // instructions in the slice
+  size_t blocks_visited = 0;   // work performed
+  bool hit_input = false;      // slice reaches an external input
+  bool interprocedural = false;  // slice escaped the starting function
+};
+
+// Computes an intra-procedural backward slice with coarse memory handling:
+// if memory is (or becomes) part of the criterion, every store/atomic in
+// scope joins the slice — exactly the imprecision the paper attributes to
+// static approaches that ignore coredump contents.
+SliceResult ComputeBackwardSlice(const Module& module, const ModuleCfg& cfg,
+                                 const SliceCriterion& criterion);
+
+}  // namespace res
+
+#endif  // RES_CFG_SLICER_H_

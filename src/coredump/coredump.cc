@@ -1,0 +1,57 @@
+#include "src/coredump/coredump.h"
+
+namespace res {
+
+Coredump CaptureCoredump(const Vm& vm) {
+  Coredump dump;
+  dump.trap = vm.trap();
+  dump.memory = vm.memory().Clone();
+  dump.has_memory = true;
+  for (const Thread& t : vm.threads()) {
+    ThreadDump td;
+    td.id = t.id;
+    td.state = t.state;
+    td.blocked_on = t.blocked_on;
+    td.frames = t.frames;
+    td.lbr = vm.lbr(t.id).Harvest();
+    dump.threads.push_back(std::move(td));
+  }
+  for (const auto& [base, alloc] : vm.heap().allocations()) {
+    dump.heap_allocations.push_back(alloc);
+  }
+  dump.heap_next_free = vm.heap().next_free();
+  dump.heap_next_seq = vm.heap().next_seq();
+  dump.error_log = vm.error_log().entries();
+  return dump;
+}
+
+Coredump MakeMinidump(const Coredump& full) {
+  Coredump mini = full;
+  mini.memory = AddressSpace();
+  mini.has_memory = false;
+  mini.heap_allocations.clear();
+  mini.error_log.clear();
+  for (ThreadDump& td : mini.threads) {
+    td.lbr.clear();
+  }
+  return mini;
+}
+
+std::string FaultingStackSignature(const Module& module, const Coredump& dump) {
+  std::string sig;
+  const ThreadDump& t = dump.FaultingThread();
+  for (size_t i = t.frames.size(); i-- > 0;) {
+    if (!sig.empty()) {
+      sig += '<';
+    }
+    sig += module.function(t.frames[i].func).name;
+    if (i == t.frames.size() - 1) {
+      // Innermost frame: include the faulting block for WER-like precision.
+      sig += '.';
+      sig += module.function(t.frames[i].func).blocks[t.frames[i].block].name;
+    }
+  }
+  return sig;
+}
+
+}  // namespace res

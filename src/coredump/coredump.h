@@ -1,0 +1,65 @@
+// Coredump capture: the <C> half of RES's <C, P_S> input (paper §2.1).
+//
+// A Coredump is a faithful snapshot of a failed VM: the trap, the FULL
+// memory image (the paper stresses RES "interprets the entire coredump, not
+// just a minidump"), every thread's call stack with register contents, heap
+// allocator metadata, plus the free post-crash breadcrumbs: per-thread LBR
+// rings and the application error-log tail.
+//
+// Nothing in a Coredump required runtime recording — every field is either
+// program state at the instant of the trap or hardware/log state that exists
+// anyway (LBR, rotated logs).
+#ifndef RES_COREDUMP_COREDUMP_H_
+#define RES_COREDUMP_COREDUMP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/vm/breadcrumbs.h"
+#include "src/vm/heap.h"
+#include "src/vm/thread.h"
+#include "src/vm/trap.h"
+#include "src/vm/vm.h"
+
+namespace res {
+
+struct ThreadDump {
+  uint32_t id = 0;
+  ThreadState state = ThreadState::kRunnable;
+  uint64_t blocked_on = 0;
+  std::vector<Frame> frames;           // full stack, registers included
+  std::vector<BranchRecord> lbr;       // last-16 branches, oldest first
+
+  bool operator==(const ThreadDump&) const = default;
+};
+
+struct Coredump {
+  TrapInfo trap;
+  AddressSpace memory;                  // full image (empty in minidump mode)
+  bool has_memory = true;               // false => minidump (ablation)
+  std::vector<ThreadDump> threads;
+  std::vector<Allocation> heap_allocations;
+  uint64_t heap_next_free = 0;
+  uint64_t heap_next_seq = 1;
+  std::vector<ErrorLogEntry> error_log;
+
+  // The faulting thread's dump.
+  const ThreadDump& FaultingThread() const { return threads[trap.thread]; }
+};
+
+// Snapshots a stopped VM (after a failure trap or deadlock).
+Coredump CaptureCoredump(const Vm& vm);
+
+// Strips the memory image, keeping only stacks/registers/trap — the
+// "minidump" that WER-style pipelines collect; used for the full-coredump
+// vs minidump ablation.
+Coredump MakeMinidump(const Coredump& full);
+
+// Call-stack signature of the faulting thread ("func1<func2<func3"),
+// the key WER-style bucketing groups by.
+std::string FaultingStackSignature(const Module& module, const Coredump& dump);
+
+}  // namespace res
+
+#endif  // RES_COREDUMP_COREDUMP_H_

@@ -1,0 +1,86 @@
+#include "src/coredump/corruptor.h"
+
+#include <vector>
+
+#include "src/support/string_util.h"
+
+namespace res {
+
+std::string InjectedFault::ToString() const {
+  switch (kind) {
+    case InjectedFaultKind::kNone:
+      return "none";
+    case InjectedFaultKind::kMemoryBitFlip:
+      return StrFormat("memory bit flip at 0x%llx bit %d (%lld -> %lld)",
+                       static_cast<unsigned long long>(address), bit,
+                       static_cast<long long>(old_value),
+                       static_cast<long long>(new_value));
+    case InjectedFaultKind::kRegisterCorruption:
+      return StrFormat("register corruption thread %u frame %zu r%u bit %d",
+                       thread, frame, reg, bit);
+  }
+  return "unknown";
+}
+
+std::optional<InjectedFault> InjectMemoryBitFlip(Coredump* dump, Rng* rng) {
+  if (!dump->has_memory) {
+    return std::nullopt;
+  }
+  std::vector<std::pair<uint64_t, int64_t>> words;
+  dump->memory.ForEachWord(
+      [&words](uint64_t addr, int64_t value) { words.emplace_back(addr, value); });
+  if (words.empty()) {
+    return std::nullopt;
+  }
+  const auto& [addr, old_value] = words[rng->NextBelow(words.size())];
+  int bit = static_cast<int>(rng->NextBelow(64));
+  int64_t new_value =
+      static_cast<int64_t>(static_cast<uint64_t>(old_value) ^ (1ULL << bit));
+  dump->memory.WriteWordUnchecked(addr, new_value);
+
+  InjectedFault fault;
+  fault.kind = InjectedFaultKind::kMemoryBitFlip;
+  fault.address = addr;
+  fault.bit = bit;
+  fault.old_value = old_value;
+  fault.new_value = new_value;
+  return fault;
+}
+
+std::optional<InjectedFault> InjectRegisterCorruption(Coredump* dump, Rng* rng) {
+  struct Slot {
+    uint32_t thread;
+    size_t frame;
+    RegId reg;
+  };
+  std::vector<Slot> slots;
+  for (const ThreadDump& t : dump->threads) {
+    for (size_t f = 0; f < t.frames.size(); ++f) {
+      for (RegId r = 0; r < t.frames[f].regs.size(); ++r) {
+        slots.push_back(Slot{t.id, f, r});
+      }
+    }
+  }
+  if (slots.empty()) {
+    return std::nullopt;
+  }
+  const Slot& slot = slots[rng->NextBelow(slots.size())];
+  int bit = static_cast<int>(rng->NextBelow(64));
+  Frame& frame = dump->threads[slot.thread].frames[slot.frame];
+  int64_t old_value = frame.regs[slot.reg];
+  int64_t new_value =
+      static_cast<int64_t>(static_cast<uint64_t>(old_value) ^ (1ULL << bit));
+  frame.regs[slot.reg] = new_value;
+
+  InjectedFault fault;
+  fault.kind = InjectedFaultKind::kRegisterCorruption;
+  fault.thread = slot.thread;
+  fault.frame = slot.frame;
+  fault.reg = slot.reg;
+  fault.bit = bit;
+  fault.old_value = old_value;
+  fault.new_value = new_value;
+  return fault;
+}
+
+}  // namespace res

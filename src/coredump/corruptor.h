@@ -1,0 +1,53 @@
+// Hardware-fault injection into coredumps (evaluation harness for §3.2).
+//
+// The paper's hardware-error use case: a coredump that NO feasible execution
+// can produce indicates a hardware fault (bit-flipped DRAM, a CPU that
+// miscomputed). We regenerate that experiment by taking dumps from healthy
+// runs and injecting the two fault classes the paper names:
+//   - memory errors: flip a bit in a mapped memory word,
+//   - CPU errors: corrupt a register value in a stack frame (the destination
+//     of a miscomputed ALU result).
+// The injector reports ground truth so the benchmark can score RES verdicts.
+#ifndef RES_COREDUMP_CORRUPTOR_H_
+#define RES_COREDUMP_CORRUPTOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/coredump/coredump.h"
+#include "src/support/rng.h"
+
+namespace res {
+
+enum class InjectedFaultKind : uint8_t {
+  kNone = 0,
+  kMemoryBitFlip,
+  kRegisterCorruption,
+};
+
+struct InjectedFault {
+  InjectedFaultKind kind = InjectedFaultKind::kNone;
+  uint64_t address = 0;   // memory word (kMemoryBitFlip)
+  uint32_t thread = 0;    // frame owner (kRegisterCorruption)
+  size_t frame = 0;
+  RegId reg = kNoReg;
+  int bit = 0;
+  int64_t old_value = 0;
+  int64_t new_value = 0;
+
+  std::string ToString() const;
+};
+
+// Flips one random bit of one random mapped word. Returns nullopt if the
+// dump has no memory image. `avoid_code_invariants`: skip words whose
+// corruption would be trivially detected (none in our model; kept for API
+// parity with the paper's kernel-image discussion).
+std::optional<InjectedFault> InjectMemoryBitFlip(Coredump* dump, Rng* rng);
+
+// Flips one random bit of one random live register in some frame.
+std::optional<InjectedFault> InjectRegisterCorruption(Coredump* dump, Rng* rng);
+
+}  // namespace res
+
+#endif  // RES_COREDUMP_CORRUPTOR_H_

@@ -1,0 +1,282 @@
+#include "src/coredump/serialize.h"
+
+#include <cstring>
+
+namespace res {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x524553434f524531ULL;  // "RESCORE1"
+constexpr uint32_t kVersion = 2;
+
+class Writer {
+ public:
+  void U8(uint8_t v) { buf_.push_back(v); }
+  void U32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void Str(const std::string& s) {
+    U64(s.size());
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+  void PcVal(const Pc& pc) {
+    U32(pc.func);
+    U32(pc.block);
+    U32(pc.index);
+  }
+  std::vector<uint8_t> Take() { return std::move(buf_); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<uint8_t>& buf) : buf_(buf) {}
+
+  bool U8(uint8_t* v) {
+    if (pos_ + 1 > buf_.size()) {
+      return false;
+    }
+    *v = buf_[pos_++];
+    return true;
+  }
+  bool U32(uint32_t* v) {
+    if (pos_ + 4 > buf_.size()) {
+      return false;
+    }
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<uint32_t>(buf_[pos_++]) << (8 * i);
+    }
+    return true;
+  }
+  bool U64(uint64_t* v) {
+    if (pos_ + 8 > buf_.size()) {
+      return false;
+    }
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<uint64_t>(buf_[pos_++]) << (8 * i);
+    }
+    return true;
+  }
+  bool I64(int64_t* v) {
+    uint64_t u;
+    if (!U64(&u)) {
+      return false;
+    }
+    *v = static_cast<int64_t>(u);
+    return true;
+  }
+  bool Str(std::string* s) {
+    uint64_t n;
+    if (!U64(&n) || pos_ + n > buf_.size()) {
+      return false;
+    }
+    s->assign(reinterpret_cast<const char*>(buf_.data()) + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  bool PcVal(Pc* pc) {
+    return U32(&pc->func) && U32(&pc->block) && U32(&pc->index);
+  }
+  bool AtEnd() const { return pos_ == buf_.size(); }
+
+ private:
+  const std::vector<uint8_t>& buf_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<uint8_t> SerializeCoredump(const Coredump& dump) {
+  Writer w;
+  w.U64(kMagic);
+  w.U32(kVersion);
+
+  // Trap.
+  w.U8(static_cast<uint8_t>(dump.trap.kind));
+  w.U32(dump.trap.thread);
+  w.PcVal(dump.trap.pc);
+  w.U64(dump.trap.address);
+  w.Str(dump.trap.message);
+
+  // Memory image.
+  w.U8(dump.has_memory ? 1 : 0);
+  w.U64(dump.memory.MappedWordCount());
+  dump.memory.ForEachWord([&w](uint64_t addr, int64_t value) {
+    w.U64(addr);
+    w.I64(value);
+  });
+
+  // Threads.
+  w.U64(dump.threads.size());
+  for (const ThreadDump& t : dump.threads) {
+    w.U32(t.id);
+    w.U8(static_cast<uint8_t>(t.state));
+    w.U64(t.blocked_on);
+    w.U64(t.frames.size());
+    for (const Frame& f : t.frames) {
+      w.U32(f.func);
+      w.U32(f.block);
+      w.U32(f.index);
+      w.U32(f.caller_result_reg);
+      w.U64(f.regs.size());
+      for (int64_t r : f.regs) {
+        w.I64(r);
+      }
+    }
+    w.U64(t.lbr.size());
+    for (const BranchRecord& b : t.lbr) {
+      w.PcVal(b.source);
+      w.PcVal(b.dest);
+    }
+  }
+
+  // Heap metadata.
+  w.U64(dump.heap_allocations.size());
+  for (const Allocation& a : dump.heap_allocations) {
+    w.U64(a.base);
+    w.U64(a.size_words);
+    w.U8(static_cast<uint8_t>(a.state));
+    w.U64(a.alloc_seq);
+  }
+  w.U64(dump.heap_next_free);
+  w.U64(dump.heap_next_seq);
+
+  // Error log.
+  w.U64(dump.error_log.size());
+  for (const ErrorLogEntry& e : dump.error_log) {
+    w.U32(e.thread);
+    w.PcVal(e.pc);
+    w.I64(e.channel);
+    w.I64(e.value);
+    w.U32(e.message);
+  }
+  return w.Take();
+}
+
+Result<Coredump> DeserializeCoredump(const std::vector<uint8_t>& bytes) {
+  Reader r(bytes);
+  uint64_t magic;
+  uint32_t version;
+  if (!r.U64(&magic) || magic != kMagic) {
+    return DataLoss("bad coredump magic");
+  }
+  if (!r.U32(&version) || version != kVersion) {
+    return DataLoss("unsupported coredump version");
+  }
+  Coredump dump;
+
+  uint8_t kind;
+  if (!r.U8(&kind) || !r.U32(&dump.trap.thread) || !r.PcVal(&dump.trap.pc) ||
+      !r.U64(&dump.trap.address) || !r.Str(&dump.trap.message)) {
+    return DataLoss("truncated trap record");
+  }
+  dump.trap.kind = static_cast<TrapKind>(kind);
+
+  uint8_t has_memory;
+  uint64_t word_count;
+  if (!r.U8(&has_memory) || !r.U64(&word_count)) {
+    return DataLoss("truncated memory header");
+  }
+  dump.has_memory = has_memory != 0;
+  for (uint64_t i = 0; i < word_count; ++i) {
+    uint64_t addr;
+    int64_t value;
+    if (!r.U64(&addr) || !r.I64(&value)) {
+      return DataLoss("truncated memory image");
+    }
+    dump.memory.WriteWordUnchecked(addr, value);
+  }
+
+  uint64_t thread_count;
+  if (!r.U64(&thread_count)) {
+    return DataLoss("truncated thread table");
+  }
+  for (uint64_t i = 0; i < thread_count; ++i) {
+    ThreadDump t;
+    uint8_t state;
+    uint64_t frame_count;
+    if (!r.U32(&t.id) || !r.U8(&state) || !r.U64(&t.blocked_on) ||
+        !r.U64(&frame_count)) {
+      return DataLoss("truncated thread record");
+    }
+    t.state = static_cast<ThreadState>(state);
+    for (uint64_t j = 0; j < frame_count; ++j) {
+      Frame f;
+      uint32_t result_reg;
+      uint64_t reg_count;
+      if (!r.U32(&f.func) || !r.U32(&f.block) || !r.U32(&f.index) ||
+          !r.U32(&result_reg) || !r.U64(&reg_count)) {
+        return DataLoss("truncated frame record");
+      }
+      f.caller_result_reg = static_cast<RegId>(result_reg);
+      f.regs.resize(reg_count);
+      for (uint64_t k = 0; k < reg_count; ++k) {
+        if (!r.I64(&f.regs[k])) {
+          return DataLoss("truncated register file");
+        }
+      }
+      t.frames.push_back(std::move(f));
+    }
+    uint64_t lbr_count;
+    if (!r.U64(&lbr_count)) {
+      return DataLoss("truncated LBR record");
+    }
+    for (uint64_t j = 0; j < lbr_count; ++j) {
+      BranchRecord b;
+      if (!r.PcVal(&b.source) || !r.PcVal(&b.dest)) {
+        return DataLoss("truncated LBR entry");
+      }
+      t.lbr.push_back(b);
+    }
+    dump.threads.push_back(std::move(t));
+  }
+
+  uint64_t alloc_count;
+  if (!r.U64(&alloc_count)) {
+    return DataLoss("truncated heap table");
+  }
+  for (uint64_t i = 0; i < alloc_count; ++i) {
+    Allocation a;
+    uint8_t state;
+    if (!r.U64(&a.base) || !r.U64(&a.size_words) || !r.U8(&state) ||
+        !r.U64(&a.alloc_seq)) {
+      return DataLoss("truncated allocation record");
+    }
+    a.state = static_cast<AllocState>(state);
+    dump.heap_allocations.push_back(a);
+  }
+  if (!r.U64(&dump.heap_next_free) || !r.U64(&dump.heap_next_seq)) {
+    return DataLoss("truncated heap cursor");
+  }
+
+  uint64_t log_count;
+  if (!r.U64(&log_count)) {
+    return DataLoss("truncated error log");
+  }
+  for (uint64_t i = 0; i < log_count; ++i) {
+    ErrorLogEntry e;
+    if (!r.U32(&e.thread) || !r.PcVal(&e.pc) || !r.I64(&e.channel) ||
+        !r.I64(&e.value) || !r.U32(&e.message)) {
+      return DataLoss("truncated error log entry");
+    }
+    dump.error_log.push_back(e);
+  }
+  if (!r.AtEnd()) {
+    return DataLoss("trailing bytes after coredump");
+  }
+  return dump;
+}
+
+}  // namespace res

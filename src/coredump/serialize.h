@@ -1,0 +1,20 @@
+// Binary (de)serialization of coredumps — the wire format a production
+// crash handler would ship to the triage service.
+#ifndef RES_COREDUMP_SERIALIZE_H_
+#define RES_COREDUMP_SERIALIZE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/coredump/coredump.h"
+#include "src/support/status.h"
+
+namespace res {
+
+// Little-endian, versioned container. Round-trips exactly.
+std::vector<uint8_t> SerializeCoredump(const Coredump& dump);
+Result<Coredump> DeserializeCoredump(const std::vector<uint8_t>& bytes);
+
+}  // namespace res
+
+#endif  // RES_COREDUMP_SERIALIZE_H_

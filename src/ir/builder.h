@@ -1,0 +1,147 @@
+// Programmatic construction of IR modules.
+//
+// ModuleBuilder owns the module being built and hands out FunctionBuilders.
+// Functions can be declared up front (for forward references from kCall /
+// kSpawn) and defined later. Typical usage:
+//
+//   ModuleBuilder mb;
+//   FuncId worker = mb.DeclareFunction("worker", /*num_params=*/1);
+//   uint64_t counter = mb.AddGlobal("counter", 1);
+//   {
+//     FunctionBuilder fb = mb.DefineFunction("main", 0);
+//     RegId addr = fb.Const(static_cast<int64_t>(counter));
+//     ...
+//     fb.Halt();
+//     fb.Finish();
+//   }
+//   mb.SetEntry("main");
+//   Module module = std::move(mb).Build();
+#ifndef RES_IR_BUILDER_H_
+#define RES_IR_BUILDER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ir/module.h"
+#include "src/support/status.h"
+
+namespace res {
+
+class ModuleBuilder;
+
+class FunctionBuilder {
+ public:
+  // Creates (or continues) a new basic block and returns its id.
+  BlockId NewBlock(const std::string& name);
+  void SetInsertPoint(BlockId block);
+  BlockId insert_point() const { return insert_point_; }
+
+  // Allocates a fresh virtual register.
+  RegId NewReg();
+
+  // --- Straight-line instructions (each returns the destination register
+  //     where applicable; *Into variants write a caller-chosen register). ---
+  RegId Const(int64_t value);
+  void ConstInto(RegId rd, int64_t value);
+  RegId Mov(RegId ra);
+  void MovInto(RegId rd, RegId ra);
+  RegId Binary(Opcode op, RegId ra, RegId rb);
+  void BinaryInto(Opcode op, RegId rd, RegId ra, RegId rb);
+  RegId Add(RegId ra, RegId rb) { return Binary(Opcode::kAdd, ra, rb); }
+  RegId Sub(RegId ra, RegId rb) { return Binary(Opcode::kSub, ra, rb); }
+  RegId Mul(RegId ra, RegId rb) { return Binary(Opcode::kMul, ra, rb); }
+  RegId DivS(RegId ra, RegId rb) { return Binary(Opcode::kDivS, ra, rb); }
+  RegId RemS(RegId ra, RegId rb) { return Binary(Opcode::kRemS, ra, rb); }
+  RegId CmpEq(RegId ra, RegId rb) { return Binary(Opcode::kCmpEq, ra, rb); }
+  RegId CmpNe(RegId ra, RegId rb) { return Binary(Opcode::kCmpNe, ra, rb); }
+  RegId CmpLtS(RegId ra, RegId rb) { return Binary(Opcode::kCmpLtS, ra, rb); }
+  RegId CmpLeS(RegId ra, RegId rb) { return Binary(Opcode::kCmpLeS, ra, rb); }
+  // Adds a constant to a register (emits kConst + kAdd).
+  RegId AddImm(RegId ra, int64_t imm);
+  RegId Select(RegId rc, RegId ra, RegId rb);
+  RegId Load(RegId base, int64_t offset = 0);
+  void LoadInto(RegId rd, RegId base, int64_t offset = 0);
+  void Store(RegId base, int64_t offset, RegId value);
+  RegId Alloc(RegId size_bytes);
+  void Free(RegId ptr);
+  RegId Input(int64_t channel);
+  void Output(RegId value, int64_t channel, const std::string& message = "");
+  void Lock(RegId mutex_addr);
+  void Unlock(RegId mutex_addr);
+  RegId AtomicRmwAdd(RegId addr, RegId delta);
+  RegId Spawn(FuncId callee, RegId arg);
+  void Join(RegId thread_id);
+  void Assert(RegId cond, const std::string& message);
+  void Yield();
+  void Nop();
+
+  // --- Convenience for named globals. ---
+  RegId GlobalAddr(const std::string& name);
+  RegId LoadGlobal(const std::string& name, int64_t word_index = 0);
+  void StoreGlobal(const std::string& name, RegId value, int64_t word_index = 0);
+
+  // --- Terminators. ---
+  void Br(BlockId target);
+  void CondBr(RegId cond, BlockId if_true, BlockId if_false);
+  // Calls `callee(args...)`; execution resumes at `continuation` with the
+  // return value in the returned register (kNoReg to discard).
+  RegId Call(FuncId callee, const std::vector<RegId>& args, BlockId continuation);
+  void CallVoid(FuncId callee, const std::vector<RegId>& args, BlockId continuation);
+  void Ret(RegId value = kNoReg);
+  void Halt();
+
+  // Commits the function body into the module slot reserved at declaration.
+  // The builder must not be used afterwards.
+  void Finish();
+
+  FuncId func_id() const { return func_id_; }
+
+ private:
+  friend class ModuleBuilder;
+  FunctionBuilder(ModuleBuilder* parent, FuncId id, Function fn);
+
+  void Emit(Instruction inst);
+  Instruction* EmitRef(Instruction inst);
+
+  ModuleBuilder* parent_;
+  FuncId func_id_;
+  Function fn_;
+  BlockId insert_point_ = kNoBlock;
+  bool finished_ = false;
+};
+
+class ModuleBuilder {
+ public:
+  ModuleBuilder() = default;
+
+  // Reserves a module slot for a function; body may be defined later.
+  FuncId DeclareFunction(const std::string& name, uint16_t num_params);
+
+  // Declares (if needed) and opens a builder for a function body. The entry
+  // block "entry" is created and set as the insert point; parameters occupy
+  // registers 0..num_params-1.
+  FunctionBuilder DefineFunction(const std::string& name, uint16_t num_params);
+  FunctionBuilder DefineDeclared(FuncId id);
+
+  // Adds a global of `size_words` words with optional initial values;
+  // returns its assigned address.
+  uint64_t AddGlobal(const std::string& name, uint64_t size_words,
+                     std::vector<int64_t> init = {});
+
+  void SetEntry(const std::string& name);
+
+  Module& module() { return module_; }
+  const Module& module() const { return module_; }
+
+  // Finalizes and returns the module. The builder is consumed.
+  Module Build() &&;
+
+ private:
+  friend class FunctionBuilder;
+  Module module_;
+};
+
+}  // namespace res
+
+#endif  // RES_IR_BUILDER_H_

@@ -1,0 +1,47 @@
+// Address-space layout constants shared by the IR (global address assignment),
+// the VM (segment mapping) and RES (classifying addresses in snapshots).
+//
+// The VM models a 64-bit byte-addressed address space with 8-byte words and
+// word-aligned accesses. Segments are fixed so coredumps are self-describing.
+#ifndef RES_IR_LAYOUT_H_
+#define RES_IR_LAYOUT_H_
+
+#include <cstdint>
+
+namespace res {
+
+inline constexpr uint64_t kWordSize = 8;
+
+// Globals segment: module globals are laid out from here by the builder.
+inline constexpr uint64_t kGlobalBase = 0x0000000000010000ULL;
+inline constexpr uint64_t kGlobalLimit = 0x0000000001000000ULL;
+
+// Heap segment: kAlloc carves allocations from here.
+inline constexpr uint64_t kHeapBase = 0x0000000010000000ULL;
+inline constexpr uint64_t kHeapLimit = 0x0000000040000000ULL;
+
+// Stack segment: thread t's stack occupies
+// [kStackBase + t*kStackSize, kStackBase + (t+1)*kStackSize), growing down.
+inline constexpr uint64_t kStackBase = 0x0000000080000000ULL;
+inline constexpr uint64_t kStackSize = 0x0000000000100000ULL;  // 1 MiB per thread
+inline constexpr uint64_t kMaxThreads = 64;
+
+inline constexpr bool IsGlobalAddress(uint64_t addr) {
+  return addr >= kGlobalBase && addr < kGlobalLimit;
+}
+inline constexpr bool IsHeapAddress(uint64_t addr) {
+  return addr >= kHeapBase && addr < kHeapLimit;
+}
+inline constexpr bool IsStackAddress(uint64_t addr) {
+  return addr >= kStackBase && addr < kStackBase + kMaxThreads * kStackSize;
+}
+inline constexpr bool IsWordAligned(uint64_t addr) { return (addr % kWordSize) == 0; }
+
+// Thread id owning a stack address (only meaningful if IsStackAddress).
+inline constexpr uint64_t StackOwner(uint64_t addr) {
+  return (addr - kStackBase) / kStackSize;
+}
+
+}  // namespace res
+
+#endif  // RES_IR_LAYOUT_H_

@@ -1,0 +1,195 @@
+#include "src/ir/module.h"
+
+#include "src/ir/layout.h"
+#include "src/support/string_util.h"
+
+namespace res {
+
+std::vector<RegId> InstructionReadRegs(const Instruction& inst) {
+  std::vector<RegId> regs;
+  auto push = [&regs](RegId r) {
+    if (r != kNoReg) {
+      regs.push_back(r);
+    }
+  };
+  switch (inst.op) {
+    case Opcode::kConst:
+    case Opcode::kNop:
+    case Opcode::kYield:
+    case Opcode::kBr:
+    case Opcode::kHalt:
+      break;
+    case Opcode::kMov:
+      push(inst.ra);
+      break;
+    case Opcode::kSelect:
+      push(inst.rc);
+      push(inst.ra);
+      push(inst.rb);
+      break;
+    case Opcode::kLoad:
+      push(inst.ra);
+      break;
+    case Opcode::kStore:
+      push(inst.ra);
+      push(inst.rb);
+      break;
+    case Opcode::kAlloc:
+    case Opcode::kFree:
+    case Opcode::kOutput:
+    case Opcode::kLock:
+    case Opcode::kUnlock:
+    case Opcode::kJoin:
+    case Opcode::kSpawn:
+    case Opcode::kRet:
+      push(inst.ra);
+      break;
+    case Opcode::kAtomicRmwAdd:
+      push(inst.ra);
+      push(inst.rb);
+      break;
+    case Opcode::kInput:
+      break;
+    case Opcode::kAssert:
+    case Opcode::kCondBr:
+      push(inst.rc);
+      break;
+    case Opcode::kCall:
+      for (RegId arg : inst.args) {
+        push(arg);
+      }
+      break;
+    default:
+      if (IsBinaryAlu(inst.op)) {
+        push(inst.ra);
+        push(inst.rb);
+      }
+      break;
+  }
+  return regs;
+}
+
+std::optional<RegId> InstructionWrittenReg(const Instruction& inst) {
+  switch (inst.op) {
+    case Opcode::kConst:
+    case Opcode::kMov:
+    case Opcode::kSelect:
+    case Opcode::kLoad:
+    case Opcode::kAlloc:
+    case Opcode::kInput:
+    case Opcode::kAtomicRmwAdd:
+    case Opcode::kSpawn:
+    case Opcode::kCall:
+      if (inst.rd != kNoReg) {
+        return inst.rd;
+      }
+      return std::nullopt;
+    default:
+      if (IsBinaryAlu(inst.op)) {
+        return inst.rd;
+      }
+      return std::nullopt;
+  }
+}
+
+bool InstructionWritesMemory(const Instruction& inst) {
+  switch (inst.op) {
+    case Opcode::kStore:
+    case Opcode::kLock:
+    case Opcode::kUnlock:
+    case Opcode::kAtomicRmwAdd:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool InstructionReadsMemory(const Instruction& inst) {
+  switch (inst.op) {
+    case Opcode::kLoad:
+    case Opcode::kLock:      // observes the mutex word
+    case Opcode::kUnlock:    // checks ownership
+    case Opcode::kAtomicRmwAdd:
+      return true;
+    default:
+      return false;
+  }
+}
+
+FuncId Module::AddFunction(Function fn) {
+  FuncId id = static_cast<FuncId>(functions_.size());
+  fn.id = id;
+  functions_.push_back(std::move(fn));
+  return id;
+}
+
+StrId Module::InternString(const std::string& s) {
+  for (size_t i = 0; i < strings_.size(); ++i) {
+    if (strings_[i] == s) {
+      return static_cast<StrId>(i);
+    }
+  }
+  strings_.push_back(s);
+  return static_cast<StrId>(strings_.size() - 1);
+}
+
+std::optional<FuncId> Module::FindFunction(const std::string& name) const {
+  for (const Function& fn : functions_) {
+    if (fn.name == name) {
+      return fn.id;
+    }
+  }
+  return std::nullopt;
+}
+
+const GlobalVar* Module::FindGlobal(const std::string& name) const {
+  for (const GlobalVar& g : globals_) {
+    if (g.name == name) {
+      return &g;
+    }
+  }
+  return nullptr;
+}
+
+const std::string& Module::str(StrId id) const {
+  static const std::string kEmpty;
+  if (id == kNoStr || id >= strings_.size()) {
+    return kEmpty;
+  }
+  return strings_[id];
+}
+
+uint64_t Module::NextGlobalAddress() const {
+  uint64_t next = kGlobalBase;
+  for (const GlobalVar& g : globals_) {
+    uint64_t end = g.address + g.size_words * kWordSize;
+    if (end > next) {
+      next = end;
+    }
+  }
+  return next;
+}
+
+std::string Module::PcToString(const Pc& pc) const {
+  if (pc.func == kNoFunc || pc.func >= functions_.size()) {
+    return "<invalid-pc>";
+  }
+  const Function& fn = functions_[pc.func];
+  if (pc.block >= fn.blocks.size()) {
+    return StrFormat("%s.<bad-block-%u>", fn.name.c_str(), pc.block);
+  }
+  return StrFormat("%s.%s[%u]", fn.name.c_str(), fn.blocks[pc.block].name.c_str(),
+                   pc.index);
+}
+
+size_t Module::TotalInstructionCount() const {
+  size_t n = 0;
+  for (const Function& fn : functions_) {
+    for (const BasicBlock& bb : fn.blocks) {
+      n += bb.instructions.size();
+    }
+  }
+  return n;
+}
+
+}  // namespace res

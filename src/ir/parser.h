@@ -1,0 +1,29 @@
+// Parser for the textual IR format produced by PrintModule.
+//
+// Grammar (line oriented; ';' starts a comment):
+//   global <name> <size_words> [= v0 v1 ...]
+//   entry <func-name>
+//   func <name> params <n> regs <n> {
+//   block <label>:
+//     <opcode> <operands...>
+//   }
+//
+// Operands: rN registers ('_' = none), integer immediates, block labels,
+// @func references, "quoted" strings.
+#ifndef RES_IR_PARSER_H_
+#define RES_IR_PARSER_H_
+
+#include <string_view>
+
+#include "src/ir/module.h"
+#include "src/support/status.h"
+
+namespace res {
+
+// Parses a whole module; returns a descriptive error with a line number on
+// malformed input. The result passes VerifyModule for any input this accepts.
+Result<Module> ParseModule(std::string_view text);
+
+}  // namespace res
+
+#endif  // RES_IR_PARSER_H_

@@ -1,0 +1,20 @@
+// Textual serialization of IR modules (round-trips through the parser).
+#ifndef RES_IR_PRINTER_H_
+#define RES_IR_PRINTER_H_
+
+#include <string>
+
+#include "src/ir/module.h"
+
+namespace res {
+
+// Renders one instruction in assembly syntax ("add r2, r0, r1").
+std::string PrintInstruction(const Module& module, const Function& fn,
+                             const Instruction& inst);
+
+// Renders the whole module in the text format accepted by ParseModule.
+std::string PrintModule(const Module& module);
+
+}  // namespace res
+
+#endif  // RES_IR_PRINTER_H_

@@ -1,0 +1,159 @@
+#include "src/ir/verifier.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/ir/layout.h"
+#include "src/support/string_util.h"
+
+namespace res {
+
+namespace {
+
+Status VerifyInstruction(const Module& module, const Function& fn, const Pc& pc,
+                         const Instruction& inst) {
+  auto where = [&]() { return module.PcToString(pc); };
+
+  auto check_reg = [&](RegId r, bool allow_none) -> Status {
+    if (r == kNoReg) {
+      if (allow_none) {
+        return OkStatus();
+      }
+      return InvalidArgument(StrFormat("%s: missing required register operand",
+                                       where().c_str()));
+    }
+    if (r >= fn.num_regs) {
+      return InvalidArgument(StrFormat("%s: register r%u out of range (num_regs=%u)",
+                                       where().c_str(), r, fn.num_regs));
+    }
+    return OkStatus();
+  };
+  auto check_block = [&](BlockId b) -> Status {
+    if (b == kNoBlock || b >= fn.blocks.size()) {
+      return InvalidArgument(StrFormat("%s: branch target out of range", where().c_str()));
+    }
+    return OkStatus();
+  };
+  auto check_str = [&](StrId s) -> Status {
+    if (s == kNoStr || s >= module.strings().size()) {
+      return InvalidArgument(StrFormat("%s: string id out of range", where().c_str()));
+    }
+    return OkStatus();
+  };
+  auto check_callee = [&](FuncId f) -> Status {
+    if (f == kNoFunc || f >= module.functions().size()) {
+      return InvalidArgument(StrFormat("%s: callee out of range", where().c_str()));
+    }
+    return OkStatus();
+  };
+
+  // Register operands used by this opcode.
+  for (RegId r : InstructionReadRegs(inst)) {
+    RES_RETURN_IF_ERROR(check_reg(r, /*allow_none=*/false));
+  }
+  if (auto w = InstructionWrittenReg(inst)) {
+    RES_RETURN_IF_ERROR(check_reg(*w, /*allow_none=*/false));
+  }
+
+  switch (inst.op) {
+    case Opcode::kBr:
+      return check_block(inst.target0);
+    case Opcode::kCondBr:
+      RES_RETURN_IF_ERROR(check_block(inst.target0));
+      return check_block(inst.target1);
+    case Opcode::kCall: {
+      RES_RETURN_IF_ERROR(check_callee(inst.callee));
+      RES_RETURN_IF_ERROR(check_block(inst.target0));
+      const Function& callee = module.function(inst.callee);
+      if (inst.args.size() != callee.num_params) {
+        return InvalidArgument(StrFormat(
+            "%s: call to %s passes %zu args, expected %u", where().c_str(),
+            callee.name.c_str(), inst.args.size(), callee.num_params));
+      }
+      return OkStatus();
+    }
+    case Opcode::kSpawn: {
+      RES_RETURN_IF_ERROR(check_callee(inst.callee));
+      const Function& callee = module.function(inst.callee);
+      if (callee.num_params != 1) {
+        return InvalidArgument(StrFormat(
+            "%s: spawned function %s must take exactly one parameter",
+            where().c_str(), callee.name.c_str()));
+      }
+      return OkStatus();
+    }
+    case Opcode::kAssert:
+      return check_str(inst.str_id);
+    default:
+      return OkStatus();
+  }
+}
+
+}  // namespace
+
+Status VerifyModule(const Module& module) {
+  if (module.entry() == kNoFunc || module.entry() >= module.functions().size()) {
+    return InvalidArgument("module has no entry function");
+  }
+  if (module.function(module.entry()).num_params != 0) {
+    return InvalidArgument("entry function must take no parameters");
+  }
+
+  for (const Function& fn : module.functions()) {
+    if (fn.blocks.empty()) {
+      return InvalidArgument(StrFormat("function %s has no blocks", fn.name.c_str()));
+    }
+    if (fn.num_params > fn.num_regs) {
+      return InvalidArgument(StrFormat("function %s: num_params > num_regs",
+                                       fn.name.c_str()));
+    }
+    for (BlockId b = 0; b < fn.blocks.size(); ++b) {
+      const BasicBlock& bb = fn.blocks[b];
+      if (bb.instructions.empty()) {
+        return InvalidArgument(StrFormat("%s.%s: empty block", fn.name.c_str(),
+                                         bb.name.c_str()));
+      }
+      for (uint32_t i = 0; i < bb.instructions.size(); ++i) {
+        const Instruction& inst = bb.instructions[i];
+        bool is_last = (i + 1 == bb.instructions.size());
+        if (IsTerminator(inst.op) != is_last) {
+          return InvalidArgument(StrFormat(
+              "%s.%s[%u]: %s terminator position", fn.name.c_str(), bb.name.c_str(),
+              i, is_last ? "missing" : "misplaced"));
+        }
+        Pc pc{fn.id, b, i};
+        RES_RETURN_IF_ERROR(VerifyInstruction(module, fn, pc, inst));
+      }
+    }
+  }
+
+  // Globals: sorted, in-segment, non-overlapping.
+  std::vector<const GlobalVar*> globals;
+  globals.reserve(module.globals().size());
+  for (const GlobalVar& g : module.globals()) {
+    globals.push_back(&g);
+  }
+  std::sort(globals.begin(), globals.end(),
+            [](const GlobalVar* a, const GlobalVar* b) { return a->address < b->address; });
+  uint64_t prev_end = kGlobalBase;
+  for (const GlobalVar* g : globals) {
+    if (!IsWordAligned(g->address) || g->address < kGlobalBase) {
+      return InvalidArgument(StrFormat("global %s misplaced", g->name.c_str()));
+    }
+    uint64_t end = g->address + g->size_words * kWordSize;
+    if (end > kGlobalLimit) {
+      return InvalidArgument(StrFormat("global %s exceeds segment", g->name.c_str()));
+    }
+    if (g->address < prev_end) {
+      return InvalidArgument(StrFormat("global %s overlaps its predecessor",
+                                       g->name.c_str()));
+    }
+    if (g->init.size() != g->size_words) {
+      return InvalidArgument(StrFormat("global %s: init size mismatch", g->name.c_str()));
+    }
+    prev_end = end;
+  }
+  return OkStatus();
+}
+
+}  // namespace res

@@ -1,0 +1,27 @@
+// Structural well-formedness checks for IR modules.
+//
+// Every module fed to the VM, the symbolic engine, or RES must pass
+// VerifyModule first; downstream components assume (and assert) the
+// invariants checked here instead of re-validating.
+#ifndef RES_IR_VERIFIER_H_
+#define RES_IR_VERIFIER_H_
+
+#include "src/ir/module.h"
+#include "src/support/status.h"
+
+namespace res {
+
+// Checks:
+//  - an entry function exists and takes no parameters
+//  - every block is non-empty and ends with exactly one terminator
+//  - no terminator appears mid-block
+//  - all register operands are < num_regs
+//  - all block targets are valid within their function
+//  - all callees exist; call argument counts match callee num_params
+//  - globals do not overlap and fit in the globals segment
+//  - string ids are in range
+Status VerifyModule(const Module& module);
+
+}  // namespace res
+
+#endif  // RES_IR_VERIFIER_H_

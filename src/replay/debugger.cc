@@ -1,0 +1,123 @@
+#include "src/replay/debugger.h"
+
+namespace res {
+
+SuffixDebugger::SuffixDebugger(const Module& module, const Coredump& dump,
+                               const SynthesizedSuffix& suffix, ExprPool* pool)
+    : module_(module), dump_(dump), suffix_(suffix), pool_(pool) {}
+
+Status SuffixDebugger::Reinitialize(uint64_t run_to_step) {
+  RES_ASSIGN_OR_RETURN(ReplayState state,
+                       BuildReplayState(module_, dump_, suffix_, pool_));
+  vm_ = std::make_unique<Vm>(&module_);
+  scheduler_ = std::make_unique<SliceScheduler>(state.schedule);
+  inputs_ = std::make_unique<ReplayInputProvider>();
+  for (const auto& [tid, value] : state.inputs) {
+    inputs_->Push(tid, value);
+  }
+  vm_->set_scheduler(scheduler_.get());
+  vm_->set_input_provider(inputs_.get());
+  vm_->RestoreForReplay(std::move(state.memory), std::move(state.heap),
+                        std::move(state.threads));
+  steps_ = 0;
+  started_ = true;
+  while (steps_ < run_to_step) {
+    RunResult r = vm_->RunBounded(1);
+    ++steps_;
+    if (r.outcome != RunOutcome::kStepLimit) {
+      break;
+    }
+  }
+  return OkStatus();
+}
+
+Status SuffixDebugger::Start() { return Reinitialize(0); }
+
+Result<RunResult> SuffixDebugger::StepInstruction() {
+  if (!started_) {
+    return FailedPrecondition("debugger not started");
+  }
+  RunResult r = vm_->RunBounded(1);
+  ++steps_;
+  return r;
+}
+
+Result<RunResult> SuffixDebugger::Continue() {
+  if (!started_) {
+    return FailedPrecondition("debugger not started");
+  }
+  while (true) {
+    RunResult r = vm_->RunBounded(1);
+    ++steps_;
+    if (r.outcome != RunOutcome::kStepLimit) {
+      return r;
+    }
+    if (AtBreakpoint()) {
+      return r;
+    }
+    if (steps_ > suffix_.TotalInstructions() + 1024) {
+      return r;  // safety: past the suffix without trapping
+    }
+  }
+}
+
+Status SuffixDebugger::ReverseStepInstruction() {
+  if (!started_) {
+    return FailedPrecondition("debugger not started");
+  }
+  if (steps_ == 0) {
+    return FailedPrecondition("already at the start of the suffix");
+  }
+  return Reinitialize(steps_ - 1);
+}
+
+bool SuffixDebugger::AtBreakpoint() const {
+  for (const Thread& t : vm_->threads()) {
+    if (t.state == ThreadState::kExited || t.state == ThreadState::kUnborn ||
+        t.frames.empty()) {
+      continue;
+    }
+    if (breakpoints_.count(t.top().pc()) != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<int64_t> SuffixDebugger::ReadMemory(uint64_t addr) const {
+  if (!started_) {
+    return FailedPrecondition("debugger not started");
+  }
+  return vm_->memory().ReadWord(addr);
+}
+
+Result<int64_t> SuffixDebugger::ReadRegister(uint32_t tid, RegId reg) const {
+  if (!started_) {
+    return FailedPrecondition("debugger not started");
+  }
+  if (tid >= vm_->threads().size()) {
+    return NotFound("no such thread");
+  }
+  const Thread& t = vm_->threads()[tid];
+  if (t.frames.empty()) {
+    return FailedPrecondition("thread has no frames");
+  }
+  if (reg >= t.top().regs.size()) {
+    return OutOfRange("register out of range");
+  }
+  return t.top().regs[reg];
+}
+
+Result<Pc> SuffixDebugger::CurrentPc(uint32_t tid) const {
+  if (!started_ || tid >= vm_->threads().size() ||
+      vm_->threads()[tid].frames.empty()) {
+    return FailedPrecondition("no current pc");
+  }
+  return vm_->threads()[tid].top().pc();
+}
+
+uint32_t SuffixDebugger::current_thread() const {
+  return dump_.trap.thread;
+}
+
+}  // namespace res

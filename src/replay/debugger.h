@@ -1,0 +1,69 @@
+// gdb-style debugging over a synthesized suffix (paper §3.3).
+//
+// The developer experience RES promises: the failure replays
+// deterministically, supports breakpoints and single-stepping, and — because
+// the whole suffix is re-derivable — *reverse* stepping without any
+// recording: stepping backward re-instantiates M_i and replays to step N-1.
+#ifndef RES_REPLAY_DEBUGGER_H_
+#define RES_REPLAY_DEBUGGER_H_
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/replay/replay.h"
+
+namespace res {
+
+class SuffixDebugger {
+ public:
+  // All referents must outlive the debugger.
+  SuffixDebugger(const Module& module, const Coredump& dump,
+                 const SynthesizedSuffix& suffix, ExprPool* pool);
+
+  // Instantiates M_i and positions execution at the start of the suffix.
+  Status Start();
+
+  // Executes one instruction. Returns the VM outcome (kStepLimit = still
+  // running normally).
+  Result<RunResult> StepInstruction();
+
+  // Runs until a breakpoint instruction is about to execute, the failure
+  // fires, or the schedule ends.
+  Result<RunResult> Continue();
+
+  // Re-instantiates the suffix and replays to the previous step — reverse
+  // execution without recording.
+  Status ReverseStepInstruction();
+
+  void AddBreakpoint(const Pc& pc) { breakpoints_.insert(pc); }
+  void ClearBreakpoints() { breakpoints_.clear(); }
+
+  // --- Inspection. ---
+  Result<int64_t> ReadMemory(uint64_t addr) const;
+  Result<int64_t> ReadRegister(uint32_t tid, RegId reg) const;
+  Result<Pc> CurrentPc(uint32_t tid) const;
+  uint32_t current_thread() const;
+  uint64_t steps_executed() const { return steps_; }
+  const Vm& vm() const { return *vm_; }
+
+ private:
+  Status Reinitialize(uint64_t run_to_step);
+  bool AtBreakpoint() const;
+
+  const Module& module_;
+  const Coredump& dump_;
+  const SynthesizedSuffix& suffix_;
+  ExprPool* pool_;
+
+  std::unique_ptr<Vm> vm_;
+  std::unique_ptr<SliceScheduler> scheduler_;
+  std::unique_ptr<ReplayInputProvider> inputs_;
+  std::set<Pc> breakpoints_;
+  uint64_t steps_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace res
+
+#endif  // RES_REPLAY_DEBUGGER_H_

@@ -1,0 +1,30 @@
+// Umbrella header: the public RES API.
+//
+// Typical use:
+//
+//   Module module = BuildMyProgram();            // src/ir/builder.h
+//   Vm vm(&module);                              // src/vm/vm.h
+//   vm.Reset(); RunResult run = vm.Run();        // ... program fails
+//   Coredump dump = CaptureCoredump(vm);         // src/coredump/coredump.h
+//
+//   ResEngine engine(module, dump);
+//   ResResult res = engine.Run();                // reverse execution synthesis
+//   if (res.suffix) {
+//     ReplayOutcome replay = ReplaySuffix(module, dump, *res.suffix, engine.pool());
+//   }
+#ifndef RES_RES_RES_API_H_
+#define RES_RES_RES_API_H_
+
+#include "src/coredump/coredump.h"
+#include "src/coredump/serialize.h"
+#include "src/ir/builder.h"
+#include "src/ir/parser.h"
+#include "src/ir/printer.h"
+#include "src/ir/verifier.h"
+#include "src/res/reverse_engine.h"
+#include "src/res/root_cause.h"
+#include "src/res/snapshot.h"
+#include "src/res/suffix.h"
+#include "src/vm/vm.h"
+
+#endif  // RES_RES_RES_API_H_

@@ -1,0 +1,1361 @@
+#include "src/res/reverse_engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <map>
+
+#include "src/support/logging.h"
+#include "src/support/string_util.h"
+
+namespace res {
+
+namespace {
+
+// Heap allocations round byte sizes up to whole words (see Heap::Allocate).
+uint64_t SizeWordsFromBytes(uint64_t bytes) {
+  uint64_t words = (bytes + kWordSize - 1) / kWordSize;
+  return words == 0 ? 1 : words;
+}
+
+// Extracts the constant term of an address expression in affine form
+// (c, c+e, e+c). Returns 0 when no constant base is syntactically evident.
+uint64_t AffineBase(const Expr* e) {
+  if (e->is_const()) {
+    return static_cast<uint64_t>(e->value);
+  }
+  if (e->kind == ExprKind::kBinary && e->bin_op == BinOp::kAdd) {
+    if (e->b->is_const()) {
+      return static_cast<uint64_t>(e->b->value);
+    }
+    if (e->a->is_const()) {
+      return static_cast<uint64_t>(e->a->value);
+    }
+  }
+  return 0;
+}
+
+// Specificity ranking for root-cause refinement. Shallow suffixes yield
+// generic explanations (a lone writer feeding an assert, an untainted
+// overflow); slightly deeper ones often reveal the interleaving or the
+// external input behind them. The engine keeps searching briefly while the
+// best cause is below kTerminalStrength and upgrades on strictly stronger
+// findings.
+constexpr int kTerminalStrength = 3;
+constexpr uint64_t kRefineBudget = 500;  // extra hypotheses after a candidate
+
+int CauseStrength(const RootCause& cause) {
+  switch (cause.kind) {
+    case RootCauseKind::kAtomicityViolation:
+    case RootCauseKind::kUseAfterFree:
+    case RootCauseKind::kDoubleFree:
+    case RootCauseKind::kDeadlock:
+      return kTerminalStrength;
+    case RootCauseKind::kDataRace:
+    case RootCauseKind::kOrderViolation:
+      return 2;
+    case RootCauseKind::kBufferOverflow:
+      return cause.input_tainted ? kTerminalStrength : 2;
+    case RootCauseKind::kDivByZero:
+    case RootCauseKind::kWildPointer:
+    case RootCauseKind::kSemanticBug:
+      return cause.input_tainted ? kTerminalStrength : 1;
+    case RootCauseKind::kUnknown:
+      return 0;
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::string_view StopReasonName(StopReason r) {
+  switch (r) {
+    case StopReason::kRootCauseFound:
+      return "root_cause_found";
+    case StopReason::kMaxDepth:
+      return "max_depth";
+    case StopReason::kReachedStart:
+      return "reached_start";
+    case StopReason::kFrontierExhausted:
+      return "frontier_exhausted";
+    case StopReason::kBudget:
+      return "budget";
+    case StopReason::kInconsistentDump:
+      return "inconsistent_dump";
+  }
+  return "?";
+}
+
+// One node of the backward search tree.
+struct ResEngine::Hypothesis {
+  SymSnapshot state;                       // machine state at suffix start
+  std::vector<const Expr*> constraints;    // accumulated path/match condition
+  std::vector<SuffixUnit> units_backward;  // [0] = unit nearest the crash
+  std::vector<size_t> lbr_remaining;       // per thread, unconsumed LBR entries
+  std::vector<size_t> errlog_remaining;    // per thread, unconsumed log entries
+  Assignment model;                        // witness from the last SAT check
+  bool verified = true;                    // last solver verdict was SAT
+
+  size_t depth() const { return units_backward.size(); }
+};
+
+ResEngine::ResEngine(const Module& module, const Coredump& dump, ResOptions options)
+    : module_(module),
+      dump_(dump),
+      options_(options),
+      cfg_(ModuleCfg::Build(module)),
+      solver_(&pool_, options.solver_seed) {
+  if (!dump.has_memory) {
+    options_.treat_as_minidump = true;
+  }
+  thread_logs_.resize(dump.threads.size());
+  for (const ErrorLogEntry& e : dump.error_log) {
+    if (e.thread < thread_logs_.size()) {
+      thread_logs_[e.thread].push_back(e);
+    }
+  }
+  // A full ring means older entries may have rotated out.
+  log_was_full_ = dump.error_log.size() >= 64;
+}
+
+const Expr* ResEngine::FreshVar(const char* tag, VarOrigin origin) {
+  return pool_.Var(StrFormat("%s_%llu", tag,
+                             static_cast<unsigned long long>(var_counter_++)),
+                   origin);
+}
+
+ResEngine::Hypothesis ResEngine::MakeInitialHypothesis() {
+  Hypothesis h;
+  h.state = SymSnapshot::FromCoredump(module_, dump_, &pool_);
+  h.lbr_remaining.resize(dump_.threads.size(), 0);
+  h.errlog_remaining.resize(dump_.threads.size(), 0);
+  for (size_t t = 0; t < dump_.threads.size(); ++t) {
+    h.lbr_remaining[t] = dump_.threads[t].lbr.size();
+    h.errlog_remaining[t] = thread_logs_[t].size();
+  }
+  return h;
+}
+
+bool ResEngine::CheckTrapConsistency(std::string* why) const {
+  const TrapInfo& trap = dump_.trap;
+  auto fail = [why](std::string reason) {
+    if (why != nullptr) {
+      *why = std::move(reason);
+    }
+    return false;
+  };
+  if (trap.kind == TrapKind::kDeadlock) {
+    for (const ThreadDump& t : dump_.threads) {
+      if (t.state == ThreadState::kRunnable) {
+        return fail(StrFormat("deadlock dump has runnable thread %u", t.id));
+      }
+    }
+    return true;
+  }
+  if (trap.thread >= dump_.threads.size()) {
+    return fail("faulting thread missing from dump");
+  }
+  const ThreadDump& t = dump_.threads[trap.thread];
+  if (t.frames.empty()) {
+    return fail("faulting thread has no frames");
+  }
+  const Frame& f = t.frames.back();
+  if (f.pc() != trap.pc) {
+    return fail("faulting frame PC disagrees with trap PC");
+  }
+  if (trap.pc.func >= module_.functions().size()) {
+    return fail("trap PC outside the program");
+  }
+  const Function& fn = module_.function(trap.pc.func);
+  if (trap.pc.block >= fn.blocks.size() ||
+      trap.pc.index >= fn.blocks[trap.pc.block].instructions.size()) {
+    return fail("trap PC outside the program");
+  }
+  const Instruction& inst = fn.blocks[trap.pc.block].instructions[trap.pc.index];
+  auto reg = [&f](RegId r) { return f.regs[r]; };
+
+  switch (trap.kind) {
+    case TrapKind::kAssertFailure:
+      if (inst.op != Opcode::kAssert) {
+        return fail("assert trap at non-assert instruction");
+      }
+      if (reg(inst.rc) != 0) {
+        return fail("assert trap but condition register is non-zero");
+      }
+      return true;
+    case TrapKind::kDivByZero: {
+      if (inst.op != Opcode::kDivS && inst.op != Opcode::kRemS) {
+        return fail("div trap at non-division instruction");
+      }
+      int64_t b = reg(inst.rb);
+      if (b == 0 || (reg(inst.ra) == std::numeric_limits<int64_t>::min() && b == -1)) {
+        return true;
+      }
+      return fail("div trap but divisor does not trap");
+    }
+    case TrapKind::kUseAfterFree:
+    case TrapKind::kMemoryFault: {
+      if (options_.treat_as_minidump) {
+        return true;  // cannot validate without heap metadata
+      }
+      uint64_t addr = trap.address;
+      if (!IsWordAligned(addr)) {
+        return true;
+      }
+      if (trap.kind == TrapKind::kUseAfterFree) {
+        for (const Allocation& a : dump_.heap_allocations) {
+          if (addr >= a.base && addr < a.base + a.size_words * kWordSize) {
+            if (a.state == AllocState::kFreed) {
+              return true;
+            }
+            return fail("UAF trap but covering allocation is live");
+          }
+        }
+        return fail("UAF trap but no covering allocation");
+      }
+      if (!dump_.memory.IsMappedWord(addr)) {
+        return true;
+      }
+      if (IsHeapAddress(addr)) {
+        bool covered = false;
+        for (const Allocation& a : dump_.heap_allocations) {
+          if (addr >= a.base && addr < a.base + a.size_words * kWordSize &&
+              a.state == AllocState::kAllocated) {
+            covered = true;
+          }
+        }
+        if (!covered) {
+          return true;  // unallocated heap: genuine fault
+        }
+      }
+      // Mapped and allocated: only invalid-thread joins remain plausible.
+      if (inst.op == Opcode::kJoin) {
+        return true;
+      }
+      return fail("memory fault at mapped, allocated address");
+    }
+    case TrapKind::kDoubleFree: {
+      if (options_.treat_as_minidump) {
+        return true;  // no heap metadata to validate against
+      }
+      for (const Allocation& a : dump_.heap_allocations) {
+        if (a.base == trap.address) {
+          if (a.state == AllocState::kFreed) {
+            return true;
+          }
+          return fail("double-free trap but allocation is live");
+        }
+      }
+      return fail("double-free trap on unknown allocation");
+    }
+    case TrapKind::kInvalidFree:
+      return true;
+    case TrapKind::kUnlockNotOwned: {
+      if (options_.treat_as_minidump) {
+        return true;
+      }
+      auto owner = dump_.memory.ReadWord(trap.address);
+      if (owner.ok() && owner.value() == static_cast<int64_t>(trap.thread) + 1) {
+        return fail("unlock trap but thread does own the mutex");
+      }
+      return true;
+    }
+    default:
+      return true;
+  }
+}
+
+bool ResEngine::LbrAllowsEdge(const Hypothesis& h, uint32_t tid,
+                              const Pc& branch_source, const Pc& branch_dest) const {
+  if (!options_.use_lbr) {
+    return true;
+  }
+  size_t rem = h.lbr_remaining[tid];
+  if (rem == 0) {
+    return true;  // ring rotated past this point: no information
+  }
+  const BranchRecord& rec = dump_.threads[tid].lbr[rem - 1];
+  return rec.source == branch_source && rec.dest == branch_dest;
+}
+
+bool ResEngine::CheckAndCommit(Hypothesis* h, std::vector<const Expr*> fresh) {
+  for (const Expr* c : fresh) {
+    if (c->is_const()) {
+      if (c->value == 0) {
+        ++stats_.pruned_unsat;
+        return false;
+      }
+      continue;  // trivially true
+    }
+    h->constraints.push_back(c);
+  }
+  SolveOutcome outcome = solver_.Check(h->constraints);
+  switch (outcome.result) {
+    case SatResult::kUnsat:
+      ++stats_.pruned_unsat;
+      return false;
+    case SatResult::kSat:
+      h->model = std::move(outcome.model);
+      h->verified = true;
+      return true;
+    case SatResult::kUnknown:
+      h->verified = false;
+      ++stats_.unknown_kept;
+      return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Unit execution: the S_pre -> S' -> (S' ⊇ S_post) step of §2.4.
+// ---------------------------------------------------------------------------
+
+void ResEngine::ExecuteUnit(Hypothesis h, const UnitPlan& plan,
+                            const std::vector<int64_t>& forced_choices,
+                            std::vector<Hypothesis>* out) {
+  const Hypothesis pristine = h;  // fork base
+  SymThread& st = h.state.threads()[plan.tid];
+  assert(!st.frames.empty());
+  SymFrame& frame = st.frames.back();
+  assert(frame.func == plan.block.func);
+  const Function& fn = module_.function(plan.block.func);
+  const BasicBlock& bb = fn.blocks[plan.block.block];
+  const uint32_t end = plan.end_index;
+  assert(end <= bb.instructions.size());
+
+  // Static register write set of the unit (kCall's rd is written at return
+  // time, i.e. by a *later* unit, so it is excluded here).
+  std::vector<bool> wset(fn.num_regs, false);
+  for (uint32_t i = 0; i < end; ++i) {
+    const Instruction& inst = bb.instructions[i];
+    if (inst.op == Opcode::kCall) {
+      continue;
+    }
+    if (auto w = InstructionWrittenReg(inst)) {
+      wset[*w] = true;
+    }
+  }
+
+  // S_pre registers: havoc the write set (paper §2.4: "replacing every
+  // memory location overwritten by B with an unconstrained symbolic value").
+  std::vector<const Expr*> post_regs = frame.regs;
+  std::vector<const Expr*> pre_regs = post_regs;
+  if (plan.check_frame_post) {
+    for (RegId r = 0; r < fn.num_regs; ++r) {
+      if (wset[r]) {
+        pre_regs[r] = FreshVar("reg", VarOrigin::kHavocReg);
+      }
+    }
+  }
+  std::vector<const Expr*> env = pre_regs;
+
+  std::vector<const Expr*> cons = plan.extra_constraints;
+
+  // Unit-local memory cells.
+  struct MemCell {
+    const Expr* preread_var = nullptr;  // value before the unit (if read)
+    const Expr* written = nullptr;      // latest value written by the unit
+  };
+  std::map<uint64_t, MemCell> cells;
+
+  SuffixUnit unit;
+  unit.tid = plan.tid;
+  unit.block = plan.block;
+  unit.end_index = plan.end_index;
+  unit.includes_terminator = plan.includes_terminator;
+
+  struct HeapAccess {
+    uint32_t pos;
+    uint64_t addr;
+  };
+  std::vector<HeapAccess> heap_accesses;
+  struct HeapEvent {
+    uint32_t pos;
+    bool is_alloc;
+    uint64_t base;
+  };
+  std::vector<HeapEvent> heap_events;
+  std::vector<std::pair<Pc, const Expr*>> outputs;  // forward order
+  std::vector<uint64_t> claimed_allocs;             // kAlloc bases unwound here
+
+  size_t forced_cursor = 0;
+  bool forked = false;
+  bool infeasible = false;
+
+  // Resolves a multi-way choice. Single options resolve in place (and do not
+  // consume a forced slot, so parent and child runs stay aligned); genuine
+  // forks re-execute the unit once per option with the choice pinned.
+  auto choose_single_aware =
+      [&](const std::vector<int64_t>& options) -> std::optional<int64_t> {
+    if (options.size() == 1) {
+      return options[0];
+    }
+    if (forced_cursor < forced_choices.size()) {
+      return forced_choices[forced_cursor++];
+    }
+    if (options.empty()) {
+      infeasible = true;
+      return std::nullopt;
+    }
+    stats_.address_forks += options.size();
+    for (int64_t c : options) {
+      std::vector<int64_t> child = forced_choices;
+      child.push_back(c);
+      ExecuteUnit(pristine, plan, child, out);
+    }
+    forked = true;
+    return std::nullopt;
+  };
+
+  // Concretizes an address expression, forking when several values fit.
+  // The enumeration context is biased with *tentative* pre-read equalities
+  // (a word read so far and not yet overwritten usually keeps its post-state
+  // value); the bias only orders the search — feasibility is still decided
+  // by the end-of-unit matching constraints, so it cannot cause unsoundness.
+  auto concretize = [&](const Expr* e) -> std::optional<uint64_t> {
+    if (e->is_const()) {
+      return static_cast<uint64_t>(e->value);
+    }
+    std::vector<const Expr*> context = h.constraints;
+    for (const Expr* c : cons) {
+      context.push_back(c);
+    }
+    for (const auto& [caddr, cell] : cells) {
+      if (cell.preread_var != nullptr && cell.written == nullptr) {
+        const Expr* post = h.state.ReadMem(&pool_, caddr);
+        if (post != nullptr) {
+          context.push_back(pool_.Eq(cell.preread_var, post));
+        }
+      }
+    }
+    bool complete = false;
+    std::vector<int64_t> values =
+        solver_.EnumerateValues(e, context, options_.address_fork_limit, &complete);
+    if (values.empty()) {
+      // The bias may have over-constrained; retry with the sound context.
+      std::vector<const Expr*> plain = h.constraints;
+      for (const Expr* c : cons) {
+        plain.push_back(c);
+      }
+      values = solver_.EnumerateValues(e, plain, options_.address_fork_limit,
+                                       &complete);
+    }
+    if (values.empty()) {
+      if (!complete) {
+        ++stats_.address_unresolved;
+      }
+      infeasible = true;
+      return std::nullopt;
+    }
+    auto chosen = choose_single_aware(values);
+    if (!chosen) {
+      return std::nullopt;
+    }
+    cons.push_back(pool_.Eq(e, pool_.Const(*chosen)));
+    return static_cast<uint64_t>(*chosen);
+  };
+
+  auto mem_read = [&](uint64_t addr) -> const Expr* {
+    MemCell& cell = cells[addr];
+    if (cell.written != nullptr) {
+      return cell.written;
+    }
+    if (cell.preread_var == nullptr) {
+      cell.preread_var = FreshVar("mem", VarOrigin::kHavocMem);
+    }
+    return cell.preread_var;
+  };
+  auto mem_write = [&](uint64_t addr, const Expr* value) {
+    cells[addr].written = value;
+  };
+
+  auto record_access = [&](const Pc& pc, uint64_t addr, bool is_write, bool is_sync,
+                           const Expr* addr_expr, uint32_t pos) {
+    MemAccess a;
+    a.pc = pc;
+    a.tid = plan.tid;
+    a.addr = addr;
+    a.is_write = is_write;
+    a.is_sync = is_sync;
+    if (addr_expr != nullptr && !addr_expr->is_const()) {
+      a.address_was_symbolic = true;
+      a.symbolic_base = AffineBase(addr_expr);
+      std::unordered_set<VarId> vars;
+      CollectVars(addr_expr, &vars);
+      for (VarId v : vars) {
+        if (pool_.var_info(v).origin == VarOrigin::kInput) {
+          a.address_input_tainted = true;
+        }
+      }
+    }
+    unit.accesses.push_back(a);
+    if (IsHeapAddress(addr)) {
+      heap_accesses.push_back(HeapAccess{pos, addr});
+    }
+  };
+
+  // --- Forward symbolic execution of the unit. ---
+  for (uint32_t i = 0; i < end && !forked && !infeasible; ++i) {
+    const Instruction& inst = bb.instructions[i];
+    const Pc pc{plan.block.func, plan.block.block, i};
+    const bool is_terminator_pos = (i + 1 == bb.instructions.size());
+    (void)is_terminator_pos;
+
+    switch (inst.op) {
+      case Opcode::kConst:
+        env[inst.rd] = pool_.Const(inst.imm);
+        break;
+      case Opcode::kMov:
+        env[inst.rd] = env[inst.ra];
+        break;
+      case Opcode::kSelect:
+        env[inst.rd] = pool_.Select(env[inst.rc], env[inst.ra], env[inst.rb]);
+        break;
+      case Opcode::kDivS:
+      case Opcode::kRemS:
+        cons.push_back(pool_.Ne(env[inst.rb], pool_.Const(0)));
+        env[inst.rd] =
+            pool_.Binary(BinOpFromOpcode(inst.op), env[inst.ra], env[inst.rb]);
+        break;
+      case Opcode::kLoad: {
+        const Expr* addr_expr = pool_.Add(env[inst.ra], pool_.Const(inst.imm));
+        auto addr = concretize(addr_expr);
+        if (!addr) {
+          break;
+        }
+        if (!IsWordAligned(*addr)) {
+          infeasible = true;
+          break;
+        }
+        env[inst.rd] = mem_read(*addr);
+        record_access(pc, *addr, /*is_write=*/false, /*is_sync=*/false, addr_expr, i);
+        break;
+      }
+      case Opcode::kStore: {
+        const Expr* addr_expr = pool_.Add(env[inst.ra], pool_.Const(inst.imm));
+        auto addr = concretize(addr_expr);
+        if (!addr) {
+          break;
+        }
+        if (!IsWordAligned(*addr)) {
+          infeasible = true;
+          break;
+        }
+        mem_write(*addr, env[inst.rb]);
+        record_access(pc, *addr, /*is_write=*/true, /*is_sync=*/false, addr_expr, i);
+        break;
+      }
+      case Opcode::kAlloc: {
+        // The heap is a bump allocator: reversing unwinds allocations in
+        // strictly decreasing alloc_seq order, so this kAlloc must account
+        // for the newest still-live allocation not yet claimed by this unit.
+        SnapAlloc* target = nullptr;
+        for (auto& [base, a] : h.state.heap()) {
+          if (a.state == SnapAllocState::kUnallocated) {
+            continue;
+          }
+          if (std::find(claimed_allocs.begin(), claimed_allocs.end(), base) !=
+              claimed_allocs.end()) {
+            continue;
+          }
+          if (target == nullptr || a.alloc_seq > target->alloc_seq) {
+            target = &a;
+          }
+        }
+        if (target == nullptr) {
+          infeasible = true;
+          break;
+        }
+        const Expr* size_expr = env[inst.ra];
+        if (size_expr->is_const()) {
+          if (SizeWordsFromBytes(static_cast<uint64_t>(size_expr->value)) !=
+              target->size_words) {
+            infeasible = true;
+            break;
+          }
+        } else {
+          // Bound the symbolic size to the words the allocation occupies.
+          int64_t hi = static_cast<int64_t>(target->size_words * kWordSize);
+          int64_t lo = hi - static_cast<int64_t>(kWordSize) + 1;
+          cons.push_back(pool_.Binary(BinOp::kLeS, pool_.Const(lo), size_expr));
+          cons.push_back(pool_.Binary(BinOp::kLeS, size_expr, pool_.Const(hi)));
+        }
+        env[inst.rd] = pool_.Const(static_cast<int64_t>(target->base));
+        claimed_allocs.push_back(target->base);
+        heap_events.push_back(HeapEvent{i, /*is_alloc=*/true, target->base});
+        UnitEvent ev;
+        ev.kind = UnitEventKind::kAlloc;
+        ev.pc = pc;
+        ev.value = target->base;
+        unit.events.push_back(ev);
+        break;
+      }
+      case Opcode::kFree: {
+        auto base = concretize(env[inst.ra]);
+        if (!base) {
+          break;
+        }
+        auto it = h.state.heap().find(*base);
+        if (it == h.state.heap().end() ||
+            it->second.state != SnapAllocState::kFreed) {
+          // The free must be the event that produced the snapshot's freed
+          // state; anything else cannot be part of a feasible suffix.
+          infeasible = true;
+          break;
+        }
+        heap_events.push_back(HeapEvent{i, /*is_alloc=*/false, *base});
+        UnitEvent ev;
+        ev.kind = UnitEventKind::kFree;
+        ev.pc = pc;
+        ev.value = *base;
+        unit.events.push_back(ev);
+        break;
+      }
+      case Opcode::kInput: {
+        const Expr* v = FreshVar("in", VarOrigin::kInput);
+        env[inst.rd] = v;
+        UnitEvent ev;
+        ev.kind = UnitEventKind::kInput;
+        ev.pc = pc;
+        ev.expr = v;
+        unit.events.push_back(ev);
+        break;
+      }
+      case Opcode::kOutput: {
+        outputs.emplace_back(pc, env[inst.ra]);
+        UnitEvent ev;
+        ev.kind = UnitEventKind::kOutput;
+        ev.pc = pc;
+        ev.expr = env[inst.ra];
+        unit.events.push_back(ev);
+        break;
+      }
+      case Opcode::kLock: {
+        auto addr = concretize(env[inst.ra]);
+        if (!addr) {
+          break;
+        }
+        const Expr* owner = mem_read(*addr);
+        cons.push_back(pool_.Eq(owner, pool_.Const(0)));
+        mem_write(*addr, pool_.Const(static_cast<int64_t>(plan.tid) + 1));
+        record_access(pc, *addr, /*is_write=*/true, /*is_sync=*/true, nullptr, i);
+        unit.lock_ops.push_back(LockOp{*addr, true, i});
+        break;
+      }
+      case Opcode::kUnlock: {
+        auto addr = concretize(env[inst.ra]);
+        if (!addr) {
+          break;
+        }
+        const Expr* owner = mem_read(*addr);
+        cons.push_back(pool_.Eq(owner, pool_.Const(static_cast<int64_t>(plan.tid) + 1)));
+        mem_write(*addr, pool_.Const(0));
+        record_access(pc, *addr, /*is_write=*/true, /*is_sync=*/true, nullptr, i);
+        unit.lock_ops.push_back(LockOp{*addr, false, i});
+        break;
+      }
+      case Opcode::kAtomicRmwAdd: {
+        auto addr = concretize(env[inst.ra]);
+        if (!addr) {
+          break;
+        }
+        const Expr* old = mem_read(*addr);
+        mem_write(*addr, pool_.Add(old, env[inst.rb]));
+        env[inst.rd] = old;
+        record_access(pc, *addr, /*is_write=*/true, /*is_sync=*/true, nullptr, i);
+        break;
+      }
+      case Opcode::kSpawn: {
+        // Link the spawn to a thread whose snapshot still sits at birth.
+        const Function& callee = module_.function(inst.callee);
+        std::vector<int64_t> candidates;
+        for (const SymThread& u : h.state.threads()) {
+          if (u.id == plan.tid || u.spawn_linked || u.opaque ||
+              u.frames.size() != 1) {
+            continue;
+          }
+          const SymFrame& uf = u.frames.back();
+          if (uf.func == callee.id && uf.block == 0 && uf.index == 0) {
+            candidates.push_back(static_cast<int64_t>(u.id));
+          }
+        }
+        auto chosen = choose_single_aware(candidates);
+        if (!chosen) {
+          break;
+        }
+        SymThread& u = h.state.threads()[static_cast<size_t>(*chosen)];
+        SymFrame& uf = u.frames.back();
+        cons.push_back(pool_.Eq(uf.regs[0], env[inst.ra]));
+        for (size_t r = callee.num_params; r < uf.regs.size(); ++r) {
+          cons.push_back(pool_.Eq(uf.regs[r], pool_.Const(0)));
+        }
+        u.spawn_linked = true;
+        u.at_birth = true;
+        env[inst.rd] = pool_.Const(*chosen);
+        UnitEvent ev;
+        ev.kind = UnitEventKind::kSpawn;
+        ev.pc = pc;
+        ev.value = static_cast<uint64_t>(*chosen);
+        unit.events.push_back(ev);
+        break;
+      }
+      case Opcode::kJoin: {
+        auto target = concretize(env[inst.ra]);
+        if (!target) {
+          break;
+        }
+        if (*target >= h.state.threads().size() ||
+            h.state.threads()[*target].dump_state != ThreadState::kExited) {
+          // A completed join inside the suffix requires the joined thread
+          // to have exited before the suffix (exited threads are opaque).
+          infeasible = true;
+          break;
+        }
+        UnitEvent ev;
+        ev.kind = UnitEventKind::kJoin;
+        ev.pc = pc;
+        ev.value = *target;
+        unit.events.push_back(ev);
+        break;
+      }
+      case Opcode::kAssert:
+        cons.push_back(pool_.Ne(env[inst.rc], pool_.Const(0)));
+        break;
+      case Opcode::kYield:
+      case Opcode::kNop:
+        break;
+
+      case Opcode::kBr:
+        assert(is_terminator_pos);
+        break;
+      case Opcode::kCondBr: {
+        assert(is_terminator_pos);
+        const Expr* cond = env[inst.rc];
+        if (plan.branch_cond_edge == 0) {
+          cons.push_back(pool_.Ne(cond, pool_.Const(0)));
+        } else {
+          cons.push_back(pool_.Eq(cond, pool_.Const(0)));
+        }
+        break;
+      }
+      case Opcode::kCall: {
+        assert(is_terminator_pos);
+        for (size_t p = 0; p < inst.args.size(); ++p) {
+          cons.push_back(pool_.Eq(env[inst.args[p]], plan.callee_param_post[p]));
+        }
+        break;
+      }
+      case Opcode::kRet: {
+        assert(is_terminator_pos);
+        if (plan.ret_must_equal != nullptr) {
+          const Expr* ret =
+              inst.ra != kNoReg ? env[inst.ra] : pool_.Const(0);
+          cons.push_back(pool_.Eq(ret, plan.ret_must_equal));
+        }
+        break;
+      }
+      case Opcode::kHalt:
+        // Exited threads are opaque; a unit should never include kHalt.
+        infeasible = true;
+        break;
+      default:
+        if (IsBinaryAlu(inst.op)) {
+          env[inst.rd] =
+              pool_.Binary(BinOpFromOpcode(inst.op), env[inst.ra], env[inst.rb]);
+          break;
+        }
+        infeasible = true;
+        break;
+    }
+  }
+  if (forked || infeasible) {
+    if (infeasible) {
+      ++stats_.pruned_structural;
+    }
+    return;
+  }
+
+  // --- Heap access validation against the unit's alloc/free timeline. ---
+  for (const HeapAccess& acc : heap_accesses) {
+    const SnapAlloc* a = h.state.FindAlloc(acc.addr);
+    if (a == nullptr || a->state == SnapAllocState::kUnallocated) {
+      ++stats_.pruned_structural;
+      return;  // the word does not exist at this point in time
+    }
+    bool claimed_here = false;
+    uint32_t alloc_pos = 0;
+    bool freed_here = false;
+    uint32_t free_pos = 0;
+    for (const HeapEvent& ev : heap_events) {
+      if (ev.base != a->base) {
+        continue;
+      }
+      if (ev.is_alloc) {
+        claimed_here = true;
+        alloc_pos = ev.pos;
+      } else {
+        freed_here = true;
+        free_pos = ev.pos;
+      }
+    }
+    if (claimed_here && acc.pos < alloc_pos) {
+      ++stats_.pruned_structural;
+      return;  // access before the allocation existed
+    }
+    if (freed_here && acc.pos > free_pos) {
+      ++stats_.pruned_structural;
+      return;  // access to memory this very unit freed
+    }
+    if (!freed_here && a->state == SnapAllocState::kFreed) {
+      ++stats_.pruned_structural;
+      return;  // freed before the unit ran
+    }
+  }
+
+  // --- Memory matching: S' must agree with S_post on every touched word. ---
+  const bool minidump = options_.treat_as_minidump;
+  for (auto& [addr, cell] : cells) {
+    const Expr* post = h.state.ReadMem(&pool_, addr);
+    if (post == nullptr && !minidump) {
+      // Touching a word that never existed would have trapped before the
+      // recorded failure — infeasible.
+      ++stats_.pruned_structural;
+      return;
+    }
+    if (cell.written != nullptr) {
+      if (post != nullptr) {
+        cons.push_back(pool_.Eq(cell.written, post));
+      }
+      const Expr* pre = cell.preread_var != nullptr
+                            ? cell.preread_var
+                            : FreshVar("mem", VarOrigin::kHavocMem);
+      h.state.WriteMem(addr, pre);
+    } else if (cell.preread_var != nullptr) {
+      // Read but never written: the pre-value equals the post-value.
+      if (post != nullptr) {
+        cons.push_back(pool_.Eq(cell.preread_var, post));
+      }
+      h.state.WriteMem(addr, cell.preread_var);
+    }
+  }
+
+  // --- Register matching. ---
+  if (plan.check_frame_post) {
+    for (RegId r = 0; r < fn.num_regs; ++r) {
+      if (wset[r]) {
+        cons.push_back(pool_.Eq(env[r], post_regs[r]));
+      }
+    }
+    frame.regs = pre_regs;
+  }
+  frame.block = plan.block.block;
+  frame.index = 0;
+
+  // --- Heap metadata rewind. ---
+  for (const HeapEvent& ev : heap_events) {
+    SnapAlloc& a = h.state.heap()[ev.base];
+    a.state = ev.is_alloc ? SnapAllocState::kUnallocated : SnapAllocState::kAllocated;
+  }
+
+  // --- Error-log breadcrumbs (§2.4). ---
+  if (options_.use_error_log && !outputs.empty()) {
+    const std::vector<ErrorLogEntry>& tlog = thread_logs_[plan.tid];
+    size_t rem = h.errlog_remaining[plan.tid];
+    size_t k = outputs.size();
+    size_t matched = std::min(rem, k);
+    if (k > rem && !log_was_full_) {
+      // The complete log is missing outputs this unit would have produced.
+      ++stats_.pruned_errlog;
+      return;
+    }
+    for (size_t j = 0; j < matched; ++j) {
+      const ErrorLogEntry& entry = tlog[rem - matched + j];
+      const auto& [opc, oval] = outputs[k - matched + j];
+      if (entry.pc != opc) {
+        ++stats_.pruned_errlog;
+        return;
+      }
+      cons.push_back(pool_.Eq(oval, pool_.Const(entry.value)));
+    }
+    h.errlog_remaining[plan.tid] = rem - matched;
+  }
+
+  // --- LBR breadcrumb consumption. ---
+  if (plan.consumes_lbr && options_.use_lbr && h.lbr_remaining[plan.tid] > 0) {
+    --h.lbr_remaining[plan.tid];
+  }
+
+  h.units_backward.push_back(std::move(unit));
+
+  if (!CheckAndCommit(&h, std::move(cons))) {
+    return;
+  }
+  out->push_back(std::move(h));
+}
+
+// ---------------------------------------------------------------------------
+// Backward-step generators.
+// ---------------------------------------------------------------------------
+
+std::vector<ResEngine::Hypothesis> ResEngine::TryReversePartial(const Hypothesis& h,
+                                                                uint32_t tid) {
+  const SymThread& st = h.state.threads()[tid];
+  const SymFrame& top = st.frames.back();
+  std::vector<Hypothesis> out;
+  UnitPlan plan;
+  plan.tid = tid;
+  plan.block = BlockRef{top.func, top.block};
+  plan.end_index = top.index;
+  plan.includes_terminator = false;
+  plan.check_frame_post = true;
+  plan.consumes_lbr = false;
+  ExecuteUnit(h, plan, {}, &out);
+  for (Hypothesis& h2 : out) {
+    h2.state.threads()[tid].partial_done = true;
+  }
+  return out;
+}
+
+std::vector<ResEngine::Hypothesis> ResEngine::TryReverseLocal(const Hypothesis& h,
+                                                              uint32_t tid,
+                                                              const PredEdge& edge) {
+  const SymThread& st = h.state.threads()[tid];
+  const SymFrame& top = st.frames.back();
+  const Function& fn = module_.function(edge.pred.func);
+  const BasicBlock& pred_bb = fn.blocks[edge.pred.block];
+  const Pc source{edge.pred.func, edge.pred.block,
+                  static_cast<uint32_t>(pred_bb.instructions.size() - 1)};
+  const Pc dest{top.func, top.block, 0};
+  if (!LbrAllowsEdge(h, tid, source, dest)) {
+    ++stats_.pruned_lbr;
+    return {};
+  }
+  std::vector<Hypothesis> out;
+  UnitPlan plan;
+  plan.tid = tid;
+  plan.block = edge.pred;
+  plan.end_index = static_cast<uint32_t>(pred_bb.instructions.size());
+  plan.includes_terminator = true;
+  plan.check_frame_post = true;
+  plan.branch_cond_edge = edge.cond_edge;
+  plan.consumes_lbr = true;
+  ExecuteUnit(h, plan, {}, &out);
+  return out;
+}
+
+std::vector<ResEngine::Hypothesis> ResEngine::TryReverseCallEntry(
+    const Hypothesis& h, uint32_t tid, const PredEdge& edge) {
+  const SymThread& st = h.state.threads()[tid];
+  if (st.frames.size() < 2) {
+    return {};
+  }
+  const SymFrame& top = st.frames.back();
+  const SymFrame& below = st.frames[st.frames.size() - 2];
+  const Function& caller_fn = module_.function(edge.pred.func);
+  const BasicBlock& site_bb = caller_fn.blocks[edge.pred.block];
+  const Instruction& call = site_bb.terminator();
+  // The frame below must be suspended at this call's continuation.
+  if (below.func != edge.pred.func || below.block != call.target0 ||
+      below.index != 0 || top.caller_result_reg != call.rd) {
+    ++stats_.pruned_structural;
+    return {};
+  }
+  const Pc source{edge.pred.func, edge.pred.block,
+                  static_cast<uint32_t>(site_bb.instructions.size() - 1)};
+  const Pc dest{top.func, 0, 0};
+  if (!LbrAllowsEdge(h, tid, source, dest)) {
+    ++stats_.pruned_lbr;
+    return {};
+  }
+
+  Hypothesis h2 = h;
+  SymThread& st2 = h2.state.threads()[tid];
+  const Function& callee_fn = module_.function(top.func);
+
+  UnitPlan plan;
+  plan.tid = tid;
+  plan.block = edge.pred;
+  plan.end_index = static_cast<uint32_t>(site_bb.instructions.size());
+  plan.includes_terminator = true;
+  plan.check_frame_post = true;
+  plan.consumes_lbr = true;
+  // Callee registers at snapshot time must be the function's initial state:
+  // parameters (matched against the call's arguments) and zeroed locals.
+  const SymFrame& callee_frame = st2.frames.back();
+  for (uint16_t p = 0; p < callee_fn.num_params; ++p) {
+    plan.callee_param_post.push_back(callee_frame.regs[p]);
+  }
+  for (size_t r = callee_fn.num_params; r < callee_frame.regs.size(); ++r) {
+    plan.extra_constraints.push_back(
+        pool_.Eq(callee_frame.regs[r], pool_.Const(0)));
+  }
+  st2.frames.pop_back();
+
+  std::vector<Hypothesis> out;
+  ExecuteUnit(std::move(h2), plan, {}, &out);
+  return out;
+}
+
+std::vector<ResEngine::Hypothesis> ResEngine::TryReverseReturn(const Hypothesis& h,
+                                                               uint32_t tid,
+                                                               const PredEdge& edge) {
+  const SymThread& st = h.state.threads()[tid];
+  const SymFrame& top = st.frames.back();
+  const Function& callee_fn = module_.function(edge.pred.func);
+  const BasicBlock& ret_bb = callee_fn.blocks[edge.pred.block];
+  const Function& caller_fn = module_.function(edge.call_site.func);
+  const Instruction& call = caller_fn.blocks[edge.call_site.block].terminator();
+
+  const Pc source{edge.pred.func, edge.pred.block,
+                  static_cast<uint32_t>(ret_bb.instructions.size() - 1)};
+  const Pc dest{top.func, top.block, 0};
+  if (!LbrAllowsEdge(h, tid, source, dest)) {
+    ++stats_.pruned_lbr;
+    return {};
+  }
+
+  Hypothesis h2 = h;
+  SymThread& st2 = h2.state.threads()[tid];
+  SymFrame& caller = st2.frames.back();
+
+  UnitPlan plan;
+  plan.tid = tid;
+  plan.block = edge.pred;
+  plan.end_index = static_cast<uint32_t>(ret_bb.instructions.size());
+  plan.includes_terminator = true;
+  plan.check_frame_post = false;  // the popped frame has no post-state
+  plan.consumes_lbr = true;
+  if (call.rd != kNoReg) {
+    plan.ret_must_equal = caller.regs[call.rd];
+    // Before the return, the caller's result register held arbitrary data.
+    caller.regs[call.rd] = FreshVar("reg", VarOrigin::kHavocReg);
+  }
+
+  SymFrame callee;
+  callee.func = edge.pred.func;
+  callee.block = edge.pred.block;
+  callee.index = 0;
+  callee.caller_result_reg = call.rd;
+  callee.regs.reserve(callee_fn.num_regs);
+  for (uint16_t r = 0; r < callee_fn.num_regs; ++r) {
+    callee.regs.push_back(FreshVar("reg", VarOrigin::kHavocReg));
+  }
+  st2.frames.push_back(std::move(callee));
+
+  std::vector<Hypothesis> out;
+  ExecuteUnit(std::move(h2), plan, {}, &out);
+  return out;
+}
+
+std::vector<ResEngine::Hypothesis> ResEngine::TryMarkBirth(const Hypothesis& h,
+                                                           uint32_t tid,
+                                                           const PredEdge* spawn_edge) {
+  const SymThread& st = h.state.threads()[tid];
+  const SymFrame& top = st.frames.back();
+  const Function& fn = module_.function(top.func);
+
+  Hypothesis h2 = h;
+  h2.state.threads()[tid].at_birth = true;
+  std::vector<const Expr*> cons;
+  // At creation, parameters hold the (spawn) argument and everything else
+  // is zero. main() has no parameters, so all registers are zero.
+  for (size_t r = fn.num_params; r < top.regs.size(); ++r) {
+    cons.push_back(pool_.Eq(top.regs[r], pool_.Const(0)));
+  }
+  if (spawn_edge == nullptr) {
+    // main(): thread id must be 0 and LBR must be fully consumed if the ring
+    // never wrapped (the program's very first block has no incoming branch).
+    if (tid != 0) {
+      ++stats_.pruned_structural;
+      return {};
+    }
+  }
+  if (!CheckAndCommit(&h2, std::move(cons))) {
+    return {};
+  }
+  return {std::move(h2)};
+}
+
+std::vector<ResEngine::Hypothesis> ResEngine::TryCompleteStart(const Hypothesis& h) {
+  // All threads are at birth; the snapshot must now equal the program's
+  // initial state: globals at their initializers and an empty heap.
+  for (const auto& [base, a] : h.state.heap()) {
+    if (a.state != SnapAllocState::kUnallocated) {
+      return {};
+    }
+  }
+  Hypothesis h2 = h;
+  std::vector<const Expr*> cons;
+  for (const GlobalVar& g : module_.globals()) {
+    for (uint64_t w = 0; w < g.size_words; ++w) {
+      uint64_t addr = g.address + w * kWordSize;
+      const Expr* value = h2.state.ReadMem(&pool_, addr);
+      if (value == nullptr) {
+        if (options_.treat_as_minidump) {
+          continue;
+        }
+        return {};
+      }
+      cons.push_back(pool_.Eq(value, pool_.Const(g.init[w])));
+    }
+  }
+  if (!CheckAndCommit(&h2, std::move(cons))) {
+    return {};
+  }
+  return {std::move(h2)};
+}
+
+bool ResEngine::AllThreadsAtBirth(const Hypothesis& h) const {
+  for (const SymThread& t : h.state.threads()) {
+    if (!t.at_birth) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<ResEngine::Hypothesis> ResEngine::Expand(const Hypothesis& h) {
+  std::vector<Hypothesis> out;
+  // Thread order heuristic: the faulting thread's history first.
+  std::vector<uint32_t> order;
+  order.push_back(dump_.trap.thread);
+  for (uint32_t t = 0; t < h.state.threads().size(); ++t) {
+    if (t != dump_.trap.thread) {
+      order.push_back(t);
+    }
+  }
+  for (uint32_t tid : order) {
+    const SymThread& st = h.state.threads()[tid];
+    if (!st.Reversible()) {
+      continue;
+    }
+    if (!st.partial_done) {
+      for (Hypothesis& h2 : TryReversePartial(h, tid)) {
+        out.push_back(std::move(h2));
+      }
+      continue;
+    }
+    const SymFrame& top = st.frames.back();
+    assert(top.index == 0);
+    BlockRef here{top.func, top.block};
+    bool saw_spawn_edge = false;
+    for (const PredEdge& edge : cfg_.Predecessors(here)) {
+      switch (edge.kind) {
+        case PredKind::kLocalBranch:
+          for (Hypothesis& h2 : TryReverseLocal(h, tid, edge)) {
+            out.push_back(std::move(h2));
+          }
+          break;
+        case PredKind::kCallEntry:
+          for (Hypothesis& h2 : TryReverseCallEntry(h, tid, edge)) {
+            out.push_back(std::move(h2));
+          }
+          break;
+        case PredKind::kReturn:
+          for (Hypothesis& h2 : TryReverseReturn(h, tid, edge)) {
+            out.push_back(std::move(h2));
+          }
+          break;
+        case PredKind::kSpawnEntry:
+          saw_spawn_edge = true;
+          break;
+      }
+    }
+    // Birth options apply only at a base frame sitting at the entry head.
+    if (st.frames.size() == 1 && top.block == 0) {
+      if (top.func == module_.entry() && tid == 0) {
+        for (Hypothesis& h2 : TryMarkBirth(h, tid, nullptr)) {
+          out.push_back(std::move(h2));
+        }
+      } else if (saw_spawn_edge) {
+        const PredEdge* edge = nullptr;
+        for (const PredEdge& e : cfg_.Predecessors(here)) {
+          if (e.kind == PredKind::kSpawnEntry) {
+            edge = &e;
+            break;
+          }
+        }
+        for (Hypothesis& h2 : TryMarkBirth(h, tid, edge)) {
+          out.push_back(std::move(h2));
+        }
+      }
+    }
+  }
+  stats_.expansions += out.size();
+  return out;
+}
+
+SynthesizedSuffix ResEngine::Finalize(const Hypothesis& h) const {
+  SynthesizedSuffix s;
+  s.units.assign(h.units_backward.rbegin(), h.units_backward.rend());
+  s.initial_state = h.state;
+  s.model = h.model;
+  s.constraints = h.constraints;
+  s.verified = h.verified;
+  // Initial lock owners: evaluate every mutex word touched by suffix lock
+  // ops (plus blocked-thread targets) at suffix start.
+  std::set<uint64_t> mutexes;
+  for (const SuffixUnit& u : s.units) {
+    for (const LockOp& op : u.lock_ops) {
+      mutexes.insert(op.mutex);
+    }
+  }
+  for (const ThreadDump& t : dump_.threads) {
+    if (t.state == ThreadState::kBlockedOnLock) {
+      mutexes.insert(t.blocked_on);
+    }
+  }
+  ExprPool* pool = const_cast<ExprPool*>(&pool_);
+  for (uint64_t m : mutexes) {
+    const Expr* value = h.state.ReadMem(pool, m);
+    if (value == nullptr) {
+      continue;
+    }
+    int64_t owner = EvalExpr(value, h.model);
+    if (owner > 0 && static_cast<uint64_t>(owner) <= kMaxThreads) {
+      s.initial_lock_owners[m] = static_cast<uint32_t>(owner - 1);
+    }
+  }
+  return s;
+}
+
+ResResult ResEngine::Run() {
+  ResResult result;
+  std::string why;
+  if (!CheckTrapConsistency(&why)) {
+    RES_LOG(kInfo) << "dump inconsistent at trap: " << why;
+    result.stop = StopReason::kInconsistentDump;
+    result.dump_inconsistent_at_trap = true;
+    result.hardware_error_suspected = true;
+    result.stats = stats_;
+    return result;
+  }
+
+  std::vector<Hypothesis> stack;
+  stack.push_back(MakeInitialHypothesis());
+
+  // Root-cause candidate under refinement (see below).
+  std::optional<SynthesizedSuffix> candidate;
+  std::vector<RootCause> candidate_causes;
+  int candidate_strength = 0;
+  uint64_t refine_deadline = 0;
+
+  std::optional<Hypothesis> best;
+  auto consider_best = [&best](const Hypothesis& h) {
+    if (!best.has_value()) {
+      best = h;
+      return;
+    }
+    bool deeper = h.depth() > best->depth();
+    bool same_depth_better = h.depth() == best->depth() && h.verified && !best->verified;
+    if (deeper || same_depth_better) {
+      best = h;
+    }
+  };
+
+  bool budget_hit = false;
+  while (!stack.empty()) {
+    if (stats_.hypotheses_explored >= options_.max_hypotheses) {
+      budget_hit = true;
+      break;
+    }
+    Hypothesis h = std::move(stack.back());
+    stack.pop_back();
+    ++stats_.hypotheses_explored;
+    stats_.max_depth = std::max(stats_.max_depth, h.depth());
+    if (h.verified) {
+      stats_.max_sat_depth = std::max(stats_.max_sat_depth, h.depth());
+    }
+    consider_best(h);
+
+    if (h.verified && options_.stop_at_root_cause) {
+      SynthesizedSuffix suffix = Finalize(h);
+      std::vector<RootCause> causes =
+          DetectRootCauses(module_, dump_, suffix, &pool_);
+      if (!causes.empty()) {
+        int strength = CauseStrength(causes.front());
+        if (!candidate.has_value() || strength > candidate_strength) {
+          candidate = std::move(suffix);
+          candidate_causes = std::move(causes);
+          candidate_strength = strength;
+          refine_deadline = stats_.hypotheses_explored + kRefineBudget;
+        }
+        // A plain race may refine into an interrupted-RMW / stale-read
+        // explanation once more of the interleaving is in the suffix; keep
+        // searching briefly. Fully specific causes stop immediately.
+        if (candidate_strength >= kTerminalStrength) {
+          result.stop = StopReason::kRootCauseFound;
+          result.suffix = std::move(candidate);
+          result.causes = std::move(candidate_causes);
+          result.stats = stats_;
+          result.stats.solver = solver_.stats();
+          return result;
+        }
+      }
+    }
+    if (candidate.has_value() && stats_.hypotheses_explored >= refine_deadline) {
+      result.stop = StopReason::kRootCauseFound;
+      result.suffix = std::move(candidate);
+      result.causes = std::move(candidate_causes);
+      result.stats = stats_;
+      result.stats.solver = solver_.stats();
+      return result;
+    }
+
+    if (AllThreadsAtBirth(h)) {
+      std::vector<Hypothesis> done = TryCompleteStart(h);
+      if (!done.empty()) {
+        result.stop = StopReason::kReachedStart;
+        result.suffix = Finalize(done.front());
+        result.causes = DetectRootCauses(module_, dump_, *result.suffix, &pool_);
+        if (result.causes.empty() && candidate.has_value()) {
+          // A shallower suffix explained the failure better than the full
+          // path (e.g. the racing window); prefer that explanation.
+          result.stop = StopReason::kRootCauseFound;
+          result.suffix = std::move(candidate);
+          result.causes = std::move(candidate_causes);
+        }
+        result.stats = stats_;
+        result.stats.solver = solver_.stats();
+        return result;
+      }
+      continue;
+    }
+
+    if (h.depth() >= options_.max_units) {
+      continue;
+    }
+    std::vector<Hypothesis> expansions = Expand(h);
+    for (auto it = expansions.rbegin(); it != expansions.rend(); ++it) {
+      stack.push_back(std::move(*it));
+    }
+  }
+
+  if (candidate.has_value()) {
+    result.stop = StopReason::kRootCauseFound;
+    result.suffix = std::move(candidate);
+    result.causes = std::move(candidate_causes);
+    result.stats = stats_;
+    result.stats.solver = solver_.stats();
+    return result;
+  }
+  result.stop = budget_hit ? StopReason::kBudget : StopReason::kFrontierExhausted;
+  if (best.has_value() && best->depth() > 0) {
+    if (best->depth() >= options_.max_units) {
+      result.stop = StopReason::kMaxDepth;
+    }
+    result.suffix = Finalize(*best);
+    result.causes = DetectRootCauses(module_, dump_, *result.suffix, &pool_);
+  }
+  // Hardware verdict: the search space was exhausted and no feasible suffix
+  // of the required confidence depth exists — no execution of P can have
+  // produced this coredump (paper §3.2).
+  if (!budget_hit && stats_.max_sat_depth < options_.hw_confidence_depth) {
+    result.hardware_error_suspected = true;
+  }
+  result.stats = stats_;
+  result.stats.solver = solver_.stats();
+  return result;
+}
+
+}  // namespace res

@@ -1,0 +1,181 @@
+// Reverse Execution Synthesis — the paper's core contribution (§2).
+//
+// Given <coredump C, program P>, the engine navigates P's CFG backward from
+// the failure PC, one basic block at a time and one thread at a time. For
+// every candidate predecessor unit it builds the symbolic snapshot S_pre
+// (overwritten locations havocked to fresh symbolic values), forward-
+// symbolically executes the unit, and emits matching constraints requiring
+// the result to subsume the post-state (the paper's S' ⊇ S_post check,
+// realized as solver-checked equalities on every written location). UNSAT
+// hypotheses are discarded; surviving ones grow the suffix. Breadcrumbs
+// (LBR ring, error log) prune predecessor choices when enabled.
+//
+// Termination: a root-cause detector fires on the suffix (the normal case),
+// the suffix reaches the configured depth, the search reconstructs the full
+// execution back to program start, or the frontier empties — the latter,
+// with no feasible suffix found at all, is the paper's hardware-error
+// verdict ("no feasible execution can produce this coredump").
+#ifndef RES_RES_REVERSE_ENGINE_H_
+#define RES_RES_REVERSE_ENGINE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/cfg/cfg.h"
+#include "src/coredump/coredump.h"
+#include "src/ir/module.h"
+#include "src/res/root_cause.h"
+#include "src/res/snapshot.h"
+#include "src/res/suffix.h"
+#include "src/symbolic/expr.h"
+#include "src/symbolic/solver.h"
+
+namespace res {
+
+struct ResOptions {
+  size_t max_units = 64;             // suffix length bound (in blocks)
+  size_t max_hypotheses = 50000;     // exploration budget
+  size_t address_fork_limit = 8;     // symbolic-pointer concretization fan-out
+  bool use_lbr = true;               // consume LBR breadcrumbs
+  bool use_error_log = true;         // consume error-log breadcrumbs
+  bool stop_at_root_cause = true;    // stop once a detector fires
+  bool treat_as_minidump = false;    // ablation: ignore the memory image
+  uint64_t solver_seed = 7;
+  // A feasible suffix of at least this many units must exist for the dump to
+  // be considered software-explainable; otherwise Run reports a suspected
+  // hardware error when the frontier exhausts. Depth 1 is trivially
+  // satisfiable (it merely re-reads dump state), so the default requires one
+  // genuine backward step to survive matching.
+  size_t hw_confidence_depth = 2;
+};
+
+enum class StopReason : uint8_t {
+  kRootCauseFound = 0,   // detector fired; suffix returned
+  kMaxDepth = 1,         // suffix reached max_units; returned anyway
+  kReachedStart = 2,     // full execution reconstructed back to main()
+  kFrontierExhausted = 3,// no hypothesis could be extended further
+  kBudget = 4,           // max_hypotheses explored
+  kInconsistentDump = 5, // the dump state cannot even produce the trap
+};
+
+std::string_view StopReasonName(StopReason r);
+
+struct ResStats {
+  uint64_t hypotheses_explored = 0;
+  uint64_t expansions = 0;
+  uint64_t pruned_unsat = 0;
+  uint64_t pruned_structural = 0;
+  uint64_t pruned_lbr = 0;
+  uint64_t pruned_errlog = 0;
+  uint64_t address_forks = 0;
+  uint64_t address_unresolved = 0;
+  uint64_t unknown_kept = 0;
+  size_t max_depth = 0;
+  size_t max_sat_depth = 0;
+  SolverStats solver;
+};
+
+struct ResResult {
+  StopReason stop = StopReason::kFrontierExhausted;
+  std::optional<SynthesizedSuffix> suffix;  // deepest feasible suffix found
+  std::vector<RootCause> causes;            // detectors applied to `suffix`
+  bool hardware_error_suspected = false;
+  bool dump_inconsistent_at_trap = false;   // depth-0 contradiction
+  ResStats stats;
+};
+
+class ResEngine {
+ public:
+  // `module` and `dump` must outlive the engine AND any SynthesizedSuffix it
+  // returns (suffix snapshots reference the dump's memory image and the
+  // engine's expression pool).
+  ResEngine(const Module& module, const Coredump& dump, ResOptions options = {});
+
+  ResResult Run();
+
+  // Depth-0 consistency: does the dump state actually produce the recorded
+  // trap when the faulting instruction executes? (Public: used directly by
+  // the hardware-error pipeline.)
+  bool CheckTrapConsistency(std::string* why) const;
+
+  ExprPool* pool() { return &pool_; }
+  const ResStats& stats() const { return stats_; }
+
+ private:
+  struct Hypothesis;
+  struct ExecOutcome;
+
+  Hypothesis MakeInitialHypothesis();
+  // All single-unit extensions of `h` (one per thread × predecessor edge ×
+  // pointer concretization, minus everything pruned).
+  std::vector<Hypothesis> Expand(const Hypothesis& h);
+
+  std::vector<Hypothesis> TryReversePartial(const Hypothesis& h, uint32_t tid);
+  std::vector<Hypothesis> TryReverseLocal(const Hypothesis& h, uint32_t tid,
+                                          const PredEdge& edge);
+  std::vector<Hypothesis> TryReverseCallEntry(const Hypothesis& h, uint32_t tid,
+                                              const PredEdge& edge);
+  std::vector<Hypothesis> TryReverseReturn(const Hypothesis& h, uint32_t tid,
+                                           const PredEdge& edge);
+  std::vector<Hypothesis> TryMarkBirth(const Hypothesis& h, uint32_t tid,
+                                       const PredEdge* spawn_edge);
+
+  // Executes instructions [0, end_index) of `block` on thread `tid`'s top
+  // frame, havocking its write set, collecting matching constraints, and —
+  // when `check_frame_post` — requiring written registers to equal their
+  // post values. Forks on symbolic addresses / spawn linking. Appends
+  // resulting hypotheses (with the SuffixUnit attached and solver-checked)
+  // to `out`.
+  struct UnitPlan {
+    uint32_t tid = 0;
+    BlockRef block;
+    uint32_t end_index = 0;
+    bool includes_terminator = false;
+    bool check_frame_post = true;   // false for return-reversal pushed frames
+    int branch_cond_edge = -1;      // kCondBr: 0 taken / 1 not-taken
+    // kRet reversal: the caller-side register the return value must match
+    // (post expression captured by the caller before the frame push).
+    const Expr* ret_must_equal = nullptr;
+    // kCall reversal: argument post-expressions to match (callee params).
+    std::vector<const Expr*> callee_param_post;
+    // Constraints contributed by the structural step (e.g. callee locals
+    // zeroed at entry), checked together with the unit's own constraints.
+    std::vector<const Expr*> extra_constraints;
+    // True when this unit's entry edge consumes one LBR ring entry.
+    bool consumes_lbr = false;
+  };
+  void ExecuteUnit(Hypothesis h, const UnitPlan& plan,
+                   const std::vector<int64_t>& forced_choices,
+                   std::vector<Hypothesis>* out);
+
+  // Solver gate: appends `fresh` to h.constraints, checks, updates model /
+  // verified flag. Returns false (and counts the prune) on UNSAT.
+  bool CheckAndCommit(Hypothesis* h, std::vector<const Expr*> fresh);
+
+  bool LbrAllowsEdge(const Hypothesis& h, uint32_t tid, const Pc& branch_source,
+                     const Pc& branch_dest) const;
+
+  SynthesizedSuffix Finalize(const Hypothesis& h) const;
+  bool AllThreadsAtBirth(const Hypothesis& h) const;
+  std::vector<Hypothesis> TryCompleteStart(const Hypothesis& h);
+
+  const Expr* FreshVar(const char* tag, VarOrigin origin);
+
+  const Module& module_;
+  const Coredump& dump_;
+  ResOptions options_;
+  ModuleCfg cfg_;
+  ExprPool pool_;
+  Solver solver_;
+  ResStats stats_;
+  // Per-thread error-log entries (oldest first), split from the global log.
+  std::vector<std::vector<ErrorLogEntry>> thread_logs_;
+  bool log_was_full_ = false;
+  uint64_t var_counter_ = 0;
+};
+
+}  // namespace res
+
+#endif  // RES_RES_REVERSE_ENGINE_H_

@@ -1,0 +1,557 @@
+#include "src/res/root_cause.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "src/support/string_util.h"
+
+namespace res {
+
+namespace {
+
+// Symbolizes a memory address against the module's globals / segments.
+std::string SymbolizeAddress(const Module& module, uint64_t addr) {
+  for (const GlobalVar& g : module.globals()) {
+    if (addr >= g.address && addr < g.address + g.size_words * kWordSize) {
+      uint64_t off = addr - g.address;
+      if (off == 0) {
+        return g.name;
+      }
+      return StrFormat("%s+%llu", g.name.c_str(),
+                       static_cast<unsigned long long>(off));
+    }
+  }
+  if (IsHeapAddress(addr)) {
+    return StrFormat("heap:0x%llx", static_cast<unsigned long long>(addr));
+  }
+  return StrFormat("0x%llx", static_cast<unsigned long long>(addr));
+}
+
+// Per-access lockset computation: which mutexes each access's thread held.
+struct AccessWithLockset {
+  const MemAccess* access;
+  size_t unit_index;
+  std::set<uint64_t> lockset;
+};
+
+std::vector<AccessWithLockset> ComputeLocksets(const SynthesizedSuffix& suffix) {
+  std::map<uint32_t, std::set<uint64_t>> held;
+  for (const auto& [mutex, owner] : suffix.initial_lock_owners) {
+    held[owner].insert(mutex);
+  }
+  std::vector<AccessWithLockset> out;
+  for (size_t i = 0; i < suffix.units.size(); ++i) {
+    const SuffixUnit& u = suffix.units[i];
+    // Merge the unit's lock operations and accesses by instruction index so
+    // the lockset at each access reflects the true acquisition order.
+    size_t next_op = 0;
+    for (const MemAccess& a : u.accesses) {
+      while (next_op < u.lock_ops.size() &&
+             u.lock_ops[next_op].index <= a.pc.index) {
+        const LockOp& op = u.lock_ops[next_op];
+        if (op.is_lock) {
+          held[u.tid].insert(op.mutex);
+        } else {
+          held[u.tid].erase(op.mutex);
+        }
+        ++next_op;
+      }
+      out.push_back(AccessWithLockset{&a, i, held[u.tid]});
+    }
+    for (; next_op < u.lock_ops.size(); ++next_op) {
+      const LockOp& op = u.lock_ops[next_op];
+      if (op.is_lock) {
+        held[u.tid].insert(op.mutex);
+      } else {
+        held[u.tid].erase(op.mutex);
+      }
+    }
+  }
+  return out;
+}
+
+bool LocksetsDisjoint(const std::set<uint64_t>& a, const std::set<uint64_t>& b) {
+  for (uint64_t m : a) {
+    if (b.count(m) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// The concurrency-bug detectors (§4 evaluates RES on exactly these classes).
+void DetectConcurrencyBugs(const Module& module, const SynthesizedSuffix& suffix,
+                           std::vector<RootCause>* out) {
+  std::vector<AccessWithLockset> accesses = ComputeLocksets(suffix);
+
+  // Atomicity violation: thread T reads X, another thread writes X, T writes
+  // (or re-reads) X — the interleaved read-modify-write pattern.
+  for (size_t i = 0; i < accesses.size(); ++i) {
+    const auto& first = accesses[i];
+    if (first.access->is_write || first.access->is_sync) {
+      continue;
+    }
+    for (size_t j = i + 1; j < accesses.size(); ++j) {
+      const auto& middle = accesses[j];
+      if (middle.access->addr != first.access->addr || middle.access->is_sync ||
+          !middle.access->is_write || middle.access->tid == first.access->tid) {
+        continue;
+      }
+      if (!LocksetsDisjoint(first.lockset, middle.lockset)) {
+        continue;
+      }
+      for (size_t k = j + 1; k < accesses.size(); ++k) {
+        const auto& last = accesses[k];
+        if (last.access->addr != first.access->addr || last.access->is_sync ||
+            last.access->tid != first.access->tid) {
+          continue;
+        }
+        RootCause cause;
+        cause.kind = RootCauseKind::kAtomicityViolation;
+        cause.site_a = first.access->pc;
+        cause.site_b = middle.access->pc;
+        cause.thread_a = first.access->tid;
+        cause.thread_b = middle.access->tid;
+        cause.address = first.access->addr;
+        cause.description = StrFormat(
+            "atomicity violation on %s: t%u's read-modify-write at %s interleaved "
+            "by t%u's write at %s",
+            SymbolizeAddress(module, cause.address).c_str(), cause.thread_a,
+            module.PcToString(cause.site_a).c_str(), cause.thread_b,
+            module.PcToString(cause.site_b).c_str());
+        out->push_back(std::move(cause));
+        break;
+      }
+      if (!out->empty() && out->back().kind == RootCauseKind::kAtomicityViolation) {
+        break;
+      }
+    }
+    if (!out->empty() && out->back().kind == RootCauseKind::kAtomicityViolation) {
+      break;
+    }
+  }
+
+  // Plain data race: conflicting unsynchronized accesses.
+  for (size_t i = 0; i < accesses.size() && out->empty(); ++i) {
+    for (size_t j = i + 1; j < accesses.size(); ++j) {
+      const auto& a = accesses[i];
+      const auto& b = accesses[j];
+      if (a.access->addr != b.access->addr || a.access->tid == b.access->tid ||
+          a.access->is_sync || b.access->is_sync) {
+        continue;
+      }
+      if (!a.access->is_write && !b.access->is_write) {
+        continue;
+      }
+      if (!LocksetsDisjoint(a.lockset, b.lockset)) {
+        continue;
+      }
+      RootCause cause;
+      // Read that races with a later foreign write: the read observed
+      // pre-update state — an order violation flavour of race.
+      cause.kind = (!a.access->is_write && b.access->is_write)
+                       ? RootCauseKind::kOrderViolation
+                       : RootCauseKind::kDataRace;
+      cause.site_a = a.access->pc;
+      cause.site_b = b.access->pc;
+      cause.thread_a = a.access->tid;
+      cause.thread_b = b.access->tid;
+      cause.address = a.access->addr;
+      cause.description = StrFormat(
+          "%s on %s between t%u at %s and t%u at %s",
+          std::string(RootCauseKindName(cause.kind)).c_str(),
+          SymbolizeAddress(module, cause.address).c_str(), cause.thread_a,
+          module.PcToString(cause.site_a).c_str(), cause.thread_b,
+          module.PcToString(cause.site_b).c_str());
+      out->push_back(std::move(cause));
+      break;
+    }
+  }
+}
+
+const Instruction* InstructionAt(const Module& module, const Pc& pc) {
+  if (pc.func == kNoFunc || pc.func >= module.functions().size()) {
+    return nullptr;
+  }
+  const Function& fn = module.function(pc.func);
+  if (pc.block >= fn.blocks.size() ||
+      pc.index >= fn.blocks[pc.block].instructions.size()) {
+    return nullptr;
+  }
+  return &fn.blocks[pc.block].instructions[pc.index];
+}
+
+}  // namespace
+
+std::string_view RootCauseKindName(RootCauseKind kind) {
+  switch (kind) {
+    case RootCauseKind::kDataRace: return "data_race";
+    case RootCauseKind::kAtomicityViolation: return "atomicity_violation";
+    case RootCauseKind::kOrderViolation: return "order_violation";
+    case RootCauseKind::kBufferOverflow: return "buffer_overflow";
+    case RootCauseKind::kUseAfterFree: return "use_after_free";
+    case RootCauseKind::kDoubleFree: return "double_free";
+    case RootCauseKind::kDivByZero: return "div_by_zero";
+    case RootCauseKind::kSemanticBug: return "semantic_bug";
+    case RootCauseKind::kWildPointer: return "wild_pointer";
+    case RootCauseKind::kDeadlock: return "deadlock";
+    case RootCauseKind::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+std::string RootCause::BucketSignature(const Module& module) const {
+  // Order the two sites canonically so A-vs-B and B-vs-A bucket together.
+  std::string sa = module.PcToString(site_a);
+  std::string sb = module.PcToString(site_b);
+  if (sb < sa) {
+    std::swap(sa, sb);
+  }
+  switch (kind) {
+    case RootCauseKind::kDataRace:
+    case RootCauseKind::kAtomicityViolation:
+    case RootCauseKind::kOrderViolation:
+      // One unsynchronized-access bug produces different racing pairs and
+      // different labels across schedules; bucket by the contended datum.
+      return StrFormat("race:%s", SymbolizeAddress(module, address).c_str());
+    case RootCauseKind::kUseAfterFree:
+    case RootCauseKind::kDoubleFree:
+      // Bucket by the free site: many distinct crash stacks, one bug.
+      return StrFormat("%s:%s", std::string(RootCauseKindName(kind)).c_str(),
+                       module.PcToString(site_a).c_str());
+    case RootCauseKind::kBufferOverflow:
+    case RootCauseKind::kWildPointer:
+      return StrFormat("%s:%s", std::string(RootCauseKindName(kind)).c_str(),
+                       module.PcToString(site_a).c_str());
+    case RootCauseKind::kDivByZero:
+    case RootCauseKind::kSemanticBug:
+      return StrFormat("%s:%s", std::string(RootCauseKindName(kind)).c_str(),
+                       sa.c_str());
+    case RootCauseKind::kDeadlock:
+      return StrFormat("deadlock:%s", description.c_str());
+    case RootCauseKind::kUnknown:
+      return "unknown";
+  }
+  return "unknown";
+}
+
+ValueOrigin TrackRegisterOrigin(const Module& module, const SynthesizedSuffix& suffix,
+                                uint32_t tid, RegId reg, size_t from_unit,
+                                uint32_t before_index) {
+  ValueOrigin origin;
+  std::set<RegId> live_regs = {reg};
+  std::set<uint64_t> live_addrs;
+
+  // Walk the thread's units backward, skipping units of other threads;
+  // stop at frame-changing units (call/ret reversal) — register identity
+  // does not survive frame boundaries.
+  size_t start = std::min(from_unit, suffix.units.size() - 1);
+  if (suffix.units.empty()) {
+    origin.reaches_before_suffix = true;
+    return origin;
+  }
+  for (size_t ui = start + 1; ui-- > 0;) {
+    const SuffixUnit& u = suffix.units[ui];
+    if (u.tid != tid) {
+      // A foreign write to a live address feeds the value.
+      for (const MemAccess& a : u.accesses) {
+        if (a.is_write && live_addrs.count(a.addr) != 0) {
+          origin.writer_pcs.push_back(a.pc);
+          live_addrs.erase(a.addr);
+        }
+      }
+      continue;
+    }
+    const Function& fn = module.function(u.block.func);
+    const BasicBlock& bb = fn.blocks[u.block.block];
+    if (!bb.instructions.empty() &&
+        (bb.terminator().op == Opcode::kCall || bb.terminator().op == Opcode::kRet) &&
+        u.includes_terminator) {
+      break;  // frame boundary
+    }
+    uint32_t scan_end = u.end_index;
+    if (ui == start && before_index != UINT32_MAX) {
+      scan_end = std::min(scan_end, before_index);
+    }
+    for (uint32_t i = scan_end; i-- > 0;) {
+      const Instruction& inst = bb.instructions[i];
+      auto written = InstructionWrittenReg(inst);
+      if (!written || live_regs.count(*written) == 0) {
+        if (inst.op == Opcode::kStore) {
+          // A same-thread store to a live address.
+          for (const MemAccess& a : u.accesses) {
+            if (a.is_write && a.pc.index == i && live_addrs.count(a.addr) != 0) {
+              origin.writer_pcs.push_back(a.pc);
+              live_addrs.erase(a.addr);
+              live_regs.insert(inst.rb);
+            }
+          }
+        }
+        continue;
+      }
+      live_regs.erase(*written);
+      switch (inst.op) {
+        case Opcode::kInput:
+          origin.input_pcs.push_back(Pc{u.block.func, u.block.block, i});
+          break;
+        case Opcode::kLoad: {
+          // Find this load's concrete address among the unit's accesses.
+          for (const MemAccess& a : u.accesses) {
+            if (!a.is_write && a.pc.index == i) {
+              live_addrs.insert(a.addr);
+            }
+          }
+          break;
+        }
+        case Opcode::kConst:
+          break;  // literal: flow ends here
+        default:
+          for (RegId r : InstructionReadRegs(inst)) {
+            live_regs.insert(r);
+          }
+          break;
+      }
+    }
+  }
+  origin.reaches_before_suffix = !live_regs.empty() || !live_addrs.empty();
+  return origin;
+}
+
+std::optional<RootCause> DetectDeadlockCycle(const Module& module,
+                                             const Coredump& dump) {
+  if (dump.trap.kind != TrapKind::kDeadlock) {
+    return std::nullopt;
+  }
+  // waits_for[t] = owner of the mutex t is blocked on.
+  std::map<uint32_t, uint32_t> waits_for;
+  for (const ThreadDump& t : dump.threads) {
+    if (t.state != ThreadState::kBlockedOnLock) {
+      continue;
+    }
+    auto owner_word = dump.memory.ReadWord(t.blocked_on);
+    if (!owner_word.ok() || owner_word.value() <= 0) {
+      continue;
+    }
+    waits_for[t.id] = static_cast<uint32_t>(owner_word.value() - 1);
+  }
+  // Find a cycle by walking from each blocked thread.
+  for (const auto& [start, first_owner] : waits_for) {
+    std::vector<uint32_t> chain = {start};
+    uint32_t cur = first_owner;
+    for (size_t steps = 0; steps < waits_for.size() + 1; ++steps) {
+      auto pos = std::find(chain.begin(), chain.end(), cur);
+      if (pos != chain.end()) {
+        // Cycle found: canonicalize by rotating to the smallest tid.
+        std::vector<uint32_t> cycle(pos, chain.end());
+        auto min_it = std::min_element(cycle.begin(), cycle.end());
+        std::rotate(cycle.begin(), min_it, cycle.end());
+        RootCause cause;
+        cause.kind = RootCauseKind::kDeadlock;
+        cause.thread_a = cycle.front();
+        cause.thread_b = cycle.size() > 1 ? cycle[1] : cycle.front();
+        std::string desc = "lock cycle:";
+        for (uint32_t t : cycle) {
+          desc += StrFormat(" t%u", t);
+        }
+        cause.description = desc;
+        const ThreadDump& td = dump.threads[cause.thread_a];
+        if (!td.frames.empty()) {
+          cause.site_a = Pc{td.frames.back().func, td.frames.back().block,
+                            td.frames.back().index};
+        }
+        cause.address = td.blocked_on;
+        return cause;
+      }
+      chain.push_back(cur);
+      auto next = waits_for.find(cur);
+      if (next == waits_for.end()) {
+        break;
+      }
+      cur = next->second;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<RootCause> DetectRootCauses(const Module& module, const Coredump& dump,
+                                        const SynthesizedSuffix& suffix,
+                                        const ExprPool* pool) {
+  std::vector<RootCause> causes;
+
+  if (auto deadlock = DetectDeadlockCycle(module, dump)) {
+    causes.push_back(*deadlock);
+    return causes;
+  }
+
+  // Buffer overflow witness: a write whose symbolic base object differs from
+  // the object the concrete address landed in.
+  for (size_t ui = 0; ui < suffix.units.size(); ++ui) {
+    const SuffixUnit& u = suffix.units[ui];
+    for (const MemAccess& a : u.accesses) {
+      if (!a.is_write || !a.address_was_symbolic || a.symbolic_base == 0) {
+        continue;
+      }
+      auto object_of = [&module](uint64_t addr) -> std::pair<uint64_t, uint64_t> {
+        for (const GlobalVar& g : module.globals()) {
+          if (addr >= g.address && addr < g.address + g.size_words * kWordSize) {
+            return {g.address, g.size_words * kWordSize};
+          }
+        }
+        return {0, 0};
+      };
+      auto [base_obj, base_size] = object_of(a.symbolic_base);
+      auto [land_obj, land_size] = object_of(a.addr);
+      bool out_of_object =
+          base_obj != 0 && (land_obj != base_obj ||
+                            a.addr >= base_obj + base_size);
+      if (!out_of_object && base_obj == 0 && IsHeapAddress(a.symbolic_base)) {
+        // Heap variant: landed outside the allocation containing the base.
+        out_of_object = !(a.addr >= a.symbolic_base &&
+                          IsHeapAddress(a.addr));
+      }
+      if (out_of_object) {
+        RootCause cause;
+        cause.kind = RootCauseKind::kBufferOverflow;
+        cause.site_a = a.pc;
+        cause.site_b = dump.trap.pc;
+        cause.thread_a = a.tid;
+        cause.thread_b = dump.trap.thread;
+        cause.address = a.addr;
+        cause.input_tainted = a.address_input_tainted;
+        // The address was concretized through memory: chase the index's
+        // def-use chain for an external-input source (exploitability §3.1).
+        const Instruction* winst = InstructionAt(module, a.pc);
+        if (!cause.input_tainted && winst != nullptr &&
+            winst->op == Opcode::kStore) {
+          ValueOrigin vo = TrackRegisterOrigin(module, suffix, a.tid, winst->ra,
+                                               ui, a.pc.index);
+          cause.input_tainted = !vo.input_pcs.empty();
+        }
+        cause.description = StrFormat(
+            "out-of-bounds write at %s: base object %s, landed at %s%s",
+            module.PcToString(a.pc).c_str(),
+            SymbolizeAddress(module, a.symbolic_base).c_str(),
+            SymbolizeAddress(module, a.addr).c_str(),
+            a.address_input_tainted ? " (index from external input)" : "");
+        causes.push_back(std::move(cause));
+      }
+    }
+  }
+
+  // Concurrency detectors next: an interleaving explanation is the most
+  // precise label for races, atomicity and order violations, and frequently
+  // the only explanation for assert failures.
+  DetectConcurrencyBugs(module, suffix, &causes);
+
+  switch (dump.trap.kind) {
+    case TrapKind::kUseAfterFree:
+    case TrapKind::kDoubleFree: {
+      for (const SuffixUnit& u : suffix.units) {
+        for (const UnitEvent& e : u.events) {
+          if (e.kind != UnitEventKind::kFree) {
+            continue;
+          }
+          bool matches;
+          if (dump.trap.kind == TrapKind::kDoubleFree) {
+            matches = e.value == dump.trap.address;
+          } else {
+            // The free that poisoned the accessed allocation.
+            matches = dump.trap.address >= e.value;
+            for (const Allocation& a : dump.heap_allocations) {
+              if (a.base == e.value) {
+                matches = dump.trap.address >= a.base &&
+                          dump.trap.address < a.base + a.size_words * kWordSize;
+              }
+            }
+          }
+          if (matches) {
+            RootCause cause;
+            cause.kind = dump.trap.kind == TrapKind::kDoubleFree
+                             ? RootCauseKind::kDoubleFree
+                             : RootCauseKind::kUseAfterFree;
+            cause.site_a = e.pc;
+            cause.site_b = dump.trap.pc;
+            cause.thread_a = u.tid;
+            cause.thread_b = dump.trap.thread;
+            cause.address = dump.trap.address;
+            cause.description = StrFormat(
+                "%s: freed at %s, %s at %s",
+                std::string(RootCauseKindName(cause.kind)).c_str(),
+                module.PcToString(e.pc).c_str(),
+                dump.trap.kind == TrapKind::kDoubleFree ? "freed again" : "accessed",
+                module.PcToString(dump.trap.pc).c_str());
+            causes.push_back(std::move(cause));
+          }
+        }
+      }
+      break;
+    }
+    case TrapKind::kDivByZero:
+    case TrapKind::kAssertFailure:
+    case TrapKind::kMemoryFault: {
+      if (!causes.empty()) {
+        break;  // a concurrency or overflow explanation already covers it
+      }
+      const Instruction* inst = InstructionAt(module, dump.trap.pc);
+      if (inst == nullptr) {
+        break;
+      }
+      RegId operand = kNoReg;
+      if (dump.trap.kind == TrapKind::kDivByZero) {
+        operand = inst->rb;
+      } else if (dump.trap.kind == TrapKind::kAssertFailure) {
+        operand = inst->rc;
+      } else {
+        operand = inst->ra;  // faulting address base
+      }
+      if (operand == kNoReg) {
+        break;
+      }
+      ValueOrigin origin =
+          TrackRegisterOrigin(module, suffix, dump.trap.thread, operand);
+      if (!origin.input_pcs.empty()) {
+        RootCause cause;
+        cause.kind = dump.trap.kind == TrapKind::kDivByZero
+                         ? RootCauseKind::kDivByZero
+                         : (dump.trap.kind == TrapKind::kMemoryFault
+                                ? RootCauseKind::kWildPointer
+                                : RootCauseKind::kSemanticBug);
+        cause.site_a = origin.input_pcs.front();
+        cause.site_b = dump.trap.pc;
+        cause.thread_a = dump.trap.thread;
+        cause.thread_b = dump.trap.thread;
+        cause.input_tainted = true;
+        cause.description = StrFormat(
+            "%s at %s fed by unvalidated input at %s",
+            std::string(RootCauseKindName(cause.kind)).c_str(),
+            module.PcToString(dump.trap.pc).c_str(),
+            module.PcToString(cause.site_a).c_str());
+        causes.push_back(std::move(cause));
+      } else if (!origin.writer_pcs.empty()) {
+        RootCause cause;
+        cause.kind = dump.trap.kind == TrapKind::kDivByZero
+                         ? RootCauseKind::kDivByZero
+                         : (dump.trap.kind == TrapKind::kMemoryFault
+                                ? RootCauseKind::kWildPointer
+                                : RootCauseKind::kSemanticBug);
+        cause.site_a = origin.writer_pcs.front();
+        cause.site_b = dump.trap.pc;
+        cause.thread_a = dump.trap.thread;
+        cause.thread_b = dump.trap.thread;
+        cause.description = StrFormat(
+            "%s at %s; offending value written at %s",
+            std::string(RootCauseKindName(cause.kind)).c_str(),
+            module.PcToString(dump.trap.pc).c_str(),
+            module.PcToString(cause.site_a).c_str());
+        causes.push_back(std::move(cause));
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  return causes;
+}
+
+}  // namespace res

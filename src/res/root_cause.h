@@ -1,0 +1,80 @@
+// Root-cause detectors over synthesized suffixes (paper §3).
+//
+// Once RES has a feasible suffix, these analyses name the defect class and
+// the program locations responsible — the key enabler for root-cause-based
+// triaging (§3.1). They operate purely on the suffix (accesses, events,
+// locksets) plus the coredump; no ground truth from the workload leaks in.
+#ifndef RES_RES_ROOT_CAUSE_H_
+#define RES_RES_ROOT_CAUSE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/coredump/coredump.h"
+#include "src/ir/module.h"
+#include "src/res/suffix.h"
+#include "src/symbolic/expr.h"
+
+namespace res {
+
+enum class RootCauseKind : uint8_t {
+  kDataRace = 0,
+  kAtomicityViolation,
+  kOrderViolation,
+  kBufferOverflow,
+  kUseAfterFree,
+  kDoubleFree,
+  kDivByZero,
+  kSemanticBug,      // assert failure explained by an in-suffix writer
+  kWildPointer,      // memory fault with an in-suffix address origin
+  kDeadlock,
+  kUnknown,
+};
+
+std::string_view RootCauseKindName(RootCauseKind kind);
+
+struct RootCause {
+  RootCauseKind kind = RootCauseKind::kUnknown;
+  Pc site_a;             // primary location (e.g. racing write, free site)
+  Pc site_b;             // secondary location (e.g. racing read, crash site)
+  uint32_t thread_a = 0;
+  uint32_t thread_b = 0;
+  uint64_t address = 0;  // contended / corrupted memory word
+  bool input_tainted = false;  // the defect is fed by external input (§3.1)
+  std::string description;
+
+  // Canonical bucket key: identical root causes map to identical signatures
+  // even when the failure sites differ (the WER-beating property).
+  std::string BucketSignature(const Module& module) const;
+};
+
+// Where a register value came from, chasing def-use chains backward through
+// one thread's top-frame units.
+struct ValueOrigin {
+  std::vector<Pc> writer_pcs;   // in-suffix stores feeding the value
+  std::vector<Pc> input_pcs;    // kInput instructions feeding the value
+  bool reaches_before_suffix = false;  // part of the flow predates the suffix
+};
+
+// Tracks the origin of register `reg` as of just before instruction
+// `before_index` of unit `from_unit` (defaults: from the very end of the
+// suffix — the operands of the trap instruction).
+ValueOrigin TrackRegisterOrigin(const Module& module, const SynthesizedSuffix& suffix,
+                                uint32_t tid, RegId reg,
+                                size_t from_unit = SIZE_MAX,
+                                uint32_t before_index = UINT32_MAX);
+
+// Runs every applicable detector. `pool` is needed to inspect variable
+// origins (input taint); may be null (taint reporting disabled).
+std::vector<RootCause> DetectRootCauses(const Module& module, const Coredump& dump,
+                                        const SynthesizedSuffix& suffix,
+                                        const ExprPool* pool);
+
+// Deadlock detection needs no suffix: the waits-for cycle is in the dump.
+std::optional<RootCause> DetectDeadlockCycle(const Module& module,
+                                             const Coredump& dump);
+
+}  // namespace res
+
+#endif  // RES_RES_ROOT_CAUSE_H_

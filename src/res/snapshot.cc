@@ -1,0 +1,91 @@
+#include "src/res/snapshot.h"
+
+namespace res {
+
+SymSnapshot SymSnapshot::FromCoredump(const Module& module, const Coredump& dump,
+                                      ExprPool* pool) {
+  SymSnapshot snap;
+  snap.dump_ = &dump;
+  for (const ThreadDump& td : dump.threads) {
+    SymThread t;
+    t.id = td.id;
+    t.dump_state = td.state;
+    t.blocked_on = td.blocked_on;
+    for (const Frame& f : td.frames) {
+      SymFrame sf;
+      sf.func = f.func;
+      sf.block = f.block;
+      sf.index = f.index;
+      sf.caller_result_reg = f.caller_result_reg;
+      sf.regs.reserve(f.regs.size());
+      for (int64_t v : f.regs) {
+        sf.regs.push_back(pool->Const(v));
+      }
+      t.frames.push_back(std::move(sf));
+    }
+    if (td.state == ThreadState::kExited || t.frames.empty()) {
+      t.opaque = true;
+      t.at_birth = true;
+      t.partial_done = true;
+    } else if (t.frames.back().index == 0) {
+      // Nothing of the current block has executed; there is no partial unit.
+      t.partial_done = true;
+    }
+    snap.threads_.push_back(std::move(t));
+  }
+  for (const Allocation& a : dump.heap_allocations) {
+    SnapAlloc sa;
+    sa.base = a.base;
+    sa.size_words = a.size_words;
+    sa.alloc_seq = a.alloc_seq;
+    sa.state = a.state == AllocState::kAllocated ? SnapAllocState::kAllocated
+                                                 : SnapAllocState::kFreed;
+    snap.heap_.emplace(sa.base, sa);
+  }
+  return snap;
+}
+
+const Expr* SymSnapshot::ReadMem(ExprPool* pool, uint64_t addr) const {
+  auto it = overlay_.find(addr);
+  if (it != overlay_.end()) {
+    return it->second;
+  }
+  auto word = dump_->memory.ReadWord(addr);
+  if (!word.ok()) {
+    return nullptr;
+  }
+  return pool->Const(word.value());
+}
+
+const SnapAlloc* SymSnapshot::FindAlloc(uint64_t addr) const {
+  auto it = heap_.upper_bound(addr);
+  if (it == heap_.begin()) {
+    return nullptr;
+  }
+  --it;
+  const SnapAlloc& a = it->second;
+  if (addr >= a.base && addr < a.base + a.size_words * kWordSize) {
+    return &a;
+  }
+  return nullptr;
+}
+
+SnapAlloc* SymSnapshot::FindAllocMutable(uint64_t addr) {
+  return const_cast<SnapAlloc*>(
+      static_cast<const SymSnapshot*>(this)->FindAlloc(addr));
+}
+
+SnapAlloc* SymSnapshot::NewestLiveAlloc() {
+  SnapAlloc* best = nullptr;
+  for (auto& [base, a] : heap_) {
+    if (a.state == SnapAllocState::kUnallocated) {
+      continue;
+    }
+    if (best == nullptr || a.alloc_seq > best->alloc_seq) {
+      best = &a;
+    }
+  }
+  return best;
+}
+
+}  // namespace res

@@ -1,0 +1,109 @@
+// Symbolic snapshots (paper §2.3).
+//
+// A SymSnapshot is "a mix of known, concrete values and currently unknown,
+// symbolic values": the hypothesized machine state at the *start* of the
+// execution suffix inferred so far. Concrete content comes from the coredump
+// (the suffix-end state); every location the suffix overwrites has been
+// replaced by a symbolic variable, possibly constrained by the matching
+// conditions the reverse engine collected.
+//
+// Memory is represented as the coredump image plus an overlay of symbolic
+// words; thread stacks hold expression-valued registers; heap metadata is
+// rewound alongside (an allocation that happens inside the suffix is
+// kUnallocated in the snapshot).
+#ifndef RES_RES_SNAPSHOT_H_
+#define RES_RES_SNAPSHOT_H_
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "src/coredump/coredump.h"
+#include "src/ir/module.h"
+#include "src/symbolic/expr.h"
+
+namespace res {
+
+struct SymFrame {
+  FuncId func = kNoFunc;
+  BlockId block = 0;
+  uint32_t index = 0;
+  std::vector<const Expr*> regs;
+  RegId caller_result_reg = kNoReg;
+
+  Pc pc() const { return Pc{func, block, index}; }
+};
+
+struct SymThread {
+  uint32_t id = 0;
+  ThreadState dump_state = ThreadState::kRunnable;
+  uint64_t blocked_on = 0;
+  std::vector<SymFrame> frames;  // back() = active frame at snapshot time
+  // True once the thread's partial trailing block has been absorbed into the
+  // suffix (the first backward step for every live thread).
+  bool partial_done = false;
+  // True when the thread has been rewound to its creation (spawn or program
+  // start): no further units can be attributed to it.
+  bool at_birth = false;
+  // True when a reversed kSpawn has claimed this thread's creation.
+  bool spawn_linked = false;
+  // Threads that were already exited at the coredump are opaque to the
+  // engine (their stacks are gone); they contribute no units.
+  bool opaque = false;
+
+  bool Reversible() const { return !at_birth && !opaque && !frames.empty(); }
+};
+
+// Rewound allocation state. kUnallocated means "does not exist yet at
+// snapshot time" (its kAlloc lies inside the suffix).
+enum class SnapAllocState : uint8_t { kAllocated, kFreed, kUnallocated };
+
+struct SnapAlloc {
+  uint64_t base = 0;
+  uint64_t size_words = 0;
+  uint64_t alloc_seq = 0;
+  SnapAllocState state = SnapAllocState::kAllocated;
+};
+
+class SymSnapshot {
+ public:
+  // Builds the base-case snapshot: an exact, fully concrete copy of the
+  // coredump (paper §2.4: "Spost is initialized with a copy of the
+  // coredump C").
+  static SymSnapshot FromCoredump(const Module& module, const Coredump& dump,
+                                  ExprPool* pool);
+
+  // Memory word at snapshot time: overlay expression, else the concrete
+  // coredump value, else nullptr (word does not exist in the dump).
+  const Expr* ReadMem(ExprPool* pool, uint64_t addr) const;
+  void WriteMem(uint64_t addr, const Expr* value) { overlay_[addr] = value; }
+  const std::unordered_map<uint64_t, const Expr*>& overlay() const { return overlay_; }
+
+  std::vector<SymThread>& threads() { return threads_; }
+  const std::vector<SymThread>& threads() const { return threads_; }
+
+  std::map<uint64_t, SnapAlloc>& heap() { return heap_; }
+  const std::map<uint64_t, SnapAlloc>& heap() const { return heap_; }
+
+  // Allocation covering addr, if any.
+  const SnapAlloc* FindAlloc(uint64_t addr) const;
+  SnapAlloc* FindAllocMutable(uint64_t addr);
+
+  // The live (not kUnallocated) allocation with the highest alloc_seq — the
+  // one a reversed kAlloc must unwind (the heap is a bump allocator, so
+  // creation order is seq order).
+  SnapAlloc* NewestLiveAlloc();
+
+  const Coredump* dump() const { return dump_; }
+
+ private:
+  const Coredump* dump_ = nullptr;  // not owned; source of concrete words
+  std::unordered_map<uint64_t, const Expr*> overlay_;
+  std::vector<SymThread> threads_;
+  std::map<uint64_t, SnapAlloc> heap_;
+};
+
+}  // namespace res
+
+#endif  // RES_RES_SNAPSHOT_H_

@@ -1,0 +1,42 @@
+// Hashing helpers: FNV-1a for byte streams, hash combining for structs.
+#ifndef RES_SUPPORT_HASH_H_
+#define RES_SUPPORT_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace res {
+
+inline constexpr uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+inline uint64_t FnvHashBytes(const void* data, size_t len,
+                             uint64_t seed = kFnvOffsetBasis) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+inline uint64_t FnvHashString(std::string_view s, uint64_t seed = kFnvOffsetBasis) {
+  return FnvHashBytes(s.data(), s.size(), seed);
+}
+
+// boost-style combine with 64-bit golden-ratio constant.
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4));
+}
+
+inline uint64_t HashU64(uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace res
+
+#endif  // RES_SUPPORT_HASH_H_

@@ -1,0 +1,48 @@
+// Minimal leveled logger. Off by default above kWarning so benchmarks stay
+// quiet; tests can raise verbosity via SetLogLevel.
+#ifndef RES_SUPPORT_LOGGING_H_
+#define RES_SUPPORT_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace res {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kNone = 4,
+};
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Internal: emits one formatted line to stderr.
+void LogLine(LogLevel level, const char* file, int line, const std::string& message);
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() {
+    if (level_ >= GetLogLevel()) {
+      LogLine(level_, file_, line_, stream_.str());
+    }
+  }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+#define RES_LOG(level) \
+  ::res::LogMessage(::res::LogLevel::level, __FILE__, __LINE__).stream()
+
+}  // namespace res
+
+#endif  // RES_SUPPORT_LOGGING_H_

@@ -1,0 +1,56 @@
+// Deterministic pseudo-random number generation.
+//
+// Everything in this library that needs randomness (schedulers, fault
+// injectors, workload generators, solver local search) takes an explicit
+// Rng so runs are reproducible from a seed.
+#ifndef RES_SUPPORT_RNG_H_
+#define RES_SUPPORT_RNG_H_
+
+#include <cstdint>
+
+namespace res {
+
+// splitmix64: tiny, fast, passes BigCrush when used to seed; fully portable.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound). bound == 0 yields 0.
+  uint64_t NextBelow(uint64_t bound) {
+    if (bound == 0) {
+      return 0;
+    }
+    // Modulo bias is negligible for our bounds (<< 2^64) and determinism is
+    // what matters here, not statistical perfection.
+    return Next() % bound;
+  }
+
+  // Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(NextBelow(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  bool NextBool() { return (Next() & 1) != 0; }
+
+  // Probability p/denominator of returning true.
+  bool NextChance(uint64_t p, uint64_t denominator) {
+    return NextBelow(denominator) < p;
+  }
+
+  // Derives an independent stream (for forking deterministic sub-generators).
+  Rng Fork() { return Rng(Next() ^ 0xd1b54a32d192ed03ULL); }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace res
+
+#endif  // RES_SUPPORT_RNG_H_

@@ -1,0 +1,34 @@
+// Small string formatting / parsing helpers used across the library.
+#ifndef RES_SUPPORT_STRING_UTIL_H_
+#define RES_SUPPORT_STRING_UTIL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace res {
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Splits on `sep`, keeping empty tokens out when skip_empty is true.
+std::vector<std::string_view> StrSplit(std::string_view text, char sep,
+                                       bool skip_empty = true);
+
+// Strips ASCII whitespace from both ends.
+std::string_view StrTrim(std::string_view text);
+
+bool StrStartsWith(std::string_view text, std::string_view prefix);
+
+// Parses a signed 64-bit integer (decimal, or hex with 0x prefix; optional
+// leading '-'). Returns nullopt on malformed input or overflow.
+std::optional<int64_t> ParseInt64(std::string_view text);
+
+// Joins tokens with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts, std::string_view sep);
+
+}  // namespace res
+
+#endif  // RES_SUPPORT_STRING_UTIL_H_

@@ -1,0 +1,360 @@
+#include "src/symbolic/expr.h"
+
+#include <cassert>
+#include <limits>
+
+#include "src/support/hash.h"
+#include "src/support/string_util.h"
+
+namespace res {
+
+std::string_view BinOpName(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd: return "add";
+    case BinOp::kSub: return "sub";
+    case BinOp::kMul: return "mul";
+    case BinOp::kDivS: return "divs";
+    case BinOp::kRemS: return "rems";
+    case BinOp::kAnd: return "and";
+    case BinOp::kOr: return "or";
+    case BinOp::kXor: return "xor";
+    case BinOp::kShl: return "shl";
+    case BinOp::kShrL: return "shrl";
+    case BinOp::kShrA: return "shra";
+    case BinOp::kEq: return "eq";
+    case BinOp::kNe: return "ne";
+    case BinOp::kLtS: return "lts";
+    case BinOp::kLeS: return "les";
+    case BinOp::kLtU: return "ltu";
+    case BinOp::kLeU: return "leu";
+  }
+  return "?";
+}
+
+bool BinOpIsComparison(BinOp op) {
+  switch (op) {
+    case BinOp::kEq:
+    case BinOp::kNe:
+    case BinOp::kLtS:
+    case BinOp::kLeS:
+    case BinOp::kLtU:
+    case BinOp::kLeU:
+      return true;
+    default:
+      return false;
+  }
+}
+
+BinOp BinOpFromOpcode(Opcode op) {
+  switch (op) {
+    case Opcode::kAdd: return BinOp::kAdd;
+    case Opcode::kSub: return BinOp::kSub;
+    case Opcode::kMul: return BinOp::kMul;
+    case Opcode::kDivS: return BinOp::kDivS;
+    case Opcode::kRemS: return BinOp::kRemS;
+    case Opcode::kAnd: return BinOp::kAnd;
+    case Opcode::kOr: return BinOp::kOr;
+    case Opcode::kXor: return BinOp::kXor;
+    case Opcode::kShl: return BinOp::kShl;
+    case Opcode::kShrL: return BinOp::kShrL;
+    case Opcode::kShrA: return BinOp::kShrA;
+    case Opcode::kCmpEq: return BinOp::kEq;
+    case Opcode::kCmpNe: return BinOp::kNe;
+    case Opcode::kCmpLtS: return BinOp::kLtS;
+    case Opcode::kCmpLeS: return BinOp::kLeS;
+    case Opcode::kCmpLtU: return BinOp::kLtU;
+    case Opcode::kCmpLeU: return BinOp::kLeU;
+    default:
+      assert(false && "not an ALU opcode");
+      return BinOp::kAdd;
+  }
+}
+
+int64_t ApplyBinOp(BinOp op, int64_t a, int64_t b) {
+  uint64_t ua = static_cast<uint64_t>(a);
+  uint64_t ub = static_cast<uint64_t>(b);
+  switch (op) {
+    case BinOp::kAdd: return static_cast<int64_t>(ua + ub);
+    case BinOp::kSub: return static_cast<int64_t>(ua - ub);
+    case BinOp::kMul: return static_cast<int64_t>(ua * ub);
+    case BinOp::kDivS:
+      if (b == 0 || (a == std::numeric_limits<int64_t>::min() && b == -1)) {
+        return 0;  // total-function semantics; see header
+      }
+      return a / b;
+    case BinOp::kRemS:
+      if (b == 0 || (a == std::numeric_limits<int64_t>::min() && b == -1)) {
+        return 0;
+      }
+      return a % b;
+    case BinOp::kAnd: return static_cast<int64_t>(ua & ub);
+    case BinOp::kOr: return static_cast<int64_t>(ua | ub);
+    case BinOp::kXor: return static_cast<int64_t>(ua ^ ub);
+    case BinOp::kShl: return static_cast<int64_t>(ua << (ub & 63));
+    case BinOp::kShrL: return static_cast<int64_t>(ua >> (ub & 63));
+    case BinOp::kShrA: return a >> (ub & 63);
+    case BinOp::kEq: return a == b ? 1 : 0;
+    case BinOp::kNe: return a != b ? 1 : 0;
+    case BinOp::kLtS: return a < b ? 1 : 0;
+    case BinOp::kLeS: return a <= b ? 1 : 0;
+    case BinOp::kLtU: return ua < ub ? 1 : 0;
+    case BinOp::kLeU: return ua <= ub ? 1 : 0;
+  }
+  return 0;
+}
+
+bool ExprPool::NodeEq::operator()(const Expr* x, const Expr* y) const {
+  return x->kind == y->kind && x->bin_op == y->bin_op && x->value == y->value &&
+         x->var == y->var && x->a == y->a && x->b == y->b && x->c == y->c;
+}
+
+ExprPool::ExprPool() = default;
+
+const Expr* ExprPool::Intern(Expr node) {
+  uint64_t h = HashCombine(HashU64(static_cast<uint64_t>(node.kind)),
+                           HashU64(static_cast<uint64_t>(node.bin_op)));
+  h = HashCombine(h, HashU64(static_cast<uint64_t>(node.value)));
+  h = HashCombine(h, HashU64(node.var));
+  h = HashCombine(h, reinterpret_cast<uintptr_t>(node.a));
+  h = HashCombine(h, reinterpret_cast<uintptr_t>(node.b));
+  h = HashCombine(h, reinterpret_cast<uintptr_t>(node.c));
+  node.hash = h;
+  auto it = interned_.find(&node);
+  if (it != interned_.end()) {
+    return *it;
+  }
+  node.id = static_cast<uint32_t>(nodes_.size());
+  nodes_.push_back(std::make_unique<Expr>(node));
+  const Expr* stored = nodes_.back().get();
+  interned_.insert(stored);
+  return stored;
+}
+
+const Expr* ExprPool::Const(int64_t value) {
+  Expr node;
+  node.kind = ExprKind::kConst;
+  node.value = value;
+  return Intern(node);
+}
+
+const Expr* ExprPool::Var(const std::string& name, VarOrigin origin) {
+  VarInfo info;
+  info.id = static_cast<VarId>(vars_.size());
+  info.name = name;
+  info.origin = origin;
+  vars_.push_back(info);
+  Expr node;
+  node.kind = ExprKind::kVar;
+  node.var = info.id;
+  return Intern(node);
+}
+
+const Expr* ExprPool::Binary(BinOp op, const Expr* a, const Expr* b) {
+  // Constant folding.
+  if (a->is_const() && b->is_const()) {
+    return Const(ApplyBinOp(op, a->value, b->value));
+  }
+  // Identities.
+  switch (op) {
+    case BinOp::kAdd:
+      if (a->is_const() && a->value == 0) return b;
+      if (b->is_const() && b->value == 0) return a;
+      // Normalize constants to the right: (c + x) -> (x + c).
+      if (a->is_const()) std::swap(a, b);
+      // Re-associate (x + c1) + c2 -> x + (c1+c2).
+      if (b->is_const() && a->kind == ExprKind::kBinary && a->bin_op == BinOp::kAdd &&
+          a->b->is_const()) {
+        return Binary(BinOp::kAdd, a->a,
+                      Const(ApplyBinOp(BinOp::kAdd, a->b->value, b->value)));
+      }
+      break;
+    case BinOp::kSub:
+      if (b->is_const() && b->value == 0) return a;
+      if (a == b) return Const(0);
+      // x - c -> x + (-c) so the kAdd normalizations apply.
+      if (b->is_const()) {
+        return Binary(BinOp::kAdd, a, Const(-b->value));
+      }
+      break;
+    case BinOp::kMul:
+      if (a->is_const()) std::swap(a, b);
+      if (b->is_const()) {
+        if (b->value == 0) return Const(0);
+        if (b->value == 1) return a;
+      }
+      break;
+    case BinOp::kAnd:
+      if (a->is_const()) std::swap(a, b);
+      if (b->is_const()) {
+        if (b->value == 0) return Const(0);
+        if (b->value == -1) return a;
+      }
+      if (a == b) return a;
+      break;
+    case BinOp::kOr:
+      if (a->is_const()) std::swap(a, b);
+      if (b->is_const()) {
+        if (b->value == 0) return a;
+        if (b->value == -1) return Const(-1);
+      }
+      if (a == b) return a;
+      break;
+    case BinOp::kXor:
+      if (a->is_const()) std::swap(a, b);
+      if (b->is_const() && b->value == 0) return a;
+      if (a == b) return Const(0);
+      break;
+    case BinOp::kShl:
+    case BinOp::kShrL:
+    case BinOp::kShrA:
+      if (b->is_const() && (b->value & 63) == 0) return a;
+      break;
+    case BinOp::kEq:
+      if (a == b) return Const(1);
+      if (a->is_const()) std::swap(a, b);
+      break;
+    case BinOp::kNe:
+      if (a == b) return Const(0);
+      if (a->is_const()) std::swap(a, b);
+      break;
+    case BinOp::kLtS:
+    case BinOp::kLtU:
+      if (a == b) return Const(0);
+      break;
+    case BinOp::kLeS:
+    case BinOp::kLeU:
+      if (a == b) return Const(1);
+      break;
+    default:
+      break;
+  }
+  Expr node;
+  node.kind = ExprKind::kBinary;
+  node.bin_op = op;
+  node.a = a;
+  node.b = b;
+  return Intern(node);
+}
+
+const Expr* ExprPool::Select(const Expr* cond, const Expr* if_true,
+                             const Expr* if_false) {
+  if (cond->is_const()) {
+    return cond->value != 0 ? if_true : if_false;
+  }
+  if (if_true == if_false) {
+    return if_true;
+  }
+  Expr node;
+  node.kind = ExprKind::kSelect;
+  node.a = cond;
+  node.b = if_true;
+  node.c = if_false;
+  return Intern(node);
+}
+
+const Expr* ExprPool::Not(const Expr* e) {
+  if (e->is_const()) {
+    return Const(e->value == 0 ? 1 : 0);
+  }
+  // not(cmp) -> inverted cmp where cheap.
+  if (e->kind == ExprKind::kBinary) {
+    switch (e->bin_op) {
+      case BinOp::kEq: return Binary(BinOp::kNe, e->a, e->b);
+      case BinOp::kNe: return Binary(BinOp::kEq, e->a, e->b);
+      case BinOp::kLtS: return Binary(BinOp::kLeS, e->b, e->a);
+      case BinOp::kLeS: return Binary(BinOp::kLtS, e->b, e->a);
+      case BinOp::kLtU: return Binary(BinOp::kLeU, e->b, e->a);
+      case BinOp::kLeU: return Binary(BinOp::kLtU, e->b, e->a);
+      default:
+        break;
+    }
+  }
+  return Binary(BinOp::kEq, e, Const(0));
+}
+
+int64_t EvalExpr(const Expr* e, const Assignment& assignment) {
+  switch (e->kind) {
+    case ExprKind::kConst:
+      return e->value;
+    case ExprKind::kVar: {
+      auto it = assignment.find(e->var);
+      return it == assignment.end() ? 0 : it->second;
+    }
+    case ExprKind::kBinary:
+      return ApplyBinOp(e->bin_op, EvalExpr(e->a, assignment),
+                        EvalExpr(e->b, assignment));
+    case ExprKind::kSelect:
+      return EvalExpr(e->a, assignment) != 0 ? EvalExpr(e->b, assignment)
+                                             : EvalExpr(e->c, assignment);
+  }
+  return 0;
+}
+
+void CollectVars(const Expr* e, std::unordered_set<VarId>* out) {
+  switch (e->kind) {
+    case ExprKind::kConst:
+      return;
+    case ExprKind::kVar:
+      out->insert(e->var);
+      return;
+    case ExprKind::kBinary:
+      CollectVars(e->a, out);
+      CollectVars(e->b, out);
+      return;
+    case ExprKind::kSelect:
+      CollectVars(e->a, out);
+      CollectVars(e->b, out);
+      CollectVars(e->c, out);
+      return;
+  }
+}
+
+const Expr* Substitute(ExprPool* pool, const Expr* e,
+                       const std::unordered_map<VarId, const Expr*>& bindings) {
+  switch (e->kind) {
+    case ExprKind::kConst:
+      return e;
+    case ExprKind::kVar: {
+      auto it = bindings.find(e->var);
+      return it == bindings.end() ? e : it->second;
+    }
+    case ExprKind::kBinary: {
+      const Expr* a = Substitute(pool, e->a, bindings);
+      const Expr* b = Substitute(pool, e->b, bindings);
+      if (a == e->a && b == e->b) {
+        return e;
+      }
+      return pool->Binary(e->bin_op, a, b);
+    }
+    case ExprKind::kSelect: {
+      const Expr* a = Substitute(pool, e->a, bindings);
+      const Expr* b = Substitute(pool, e->b, bindings);
+      const Expr* c = Substitute(pool, e->c, bindings);
+      if (a == e->a && b == e->b && c == e->c) {
+        return e;
+      }
+      return pool->Select(a, b, c);
+    }
+  }
+  return e;
+}
+
+std::string ExprToString(const ExprPool& pool, const Expr* e) {
+  switch (e->kind) {
+    case ExprKind::kConst:
+      return std::to_string(e->value);
+    case ExprKind::kVar:
+      return pool.var_info(e->var).name;
+    case ExprKind::kBinary:
+      return StrFormat("(%s %s %s)", std::string(BinOpName(e->bin_op)).c_str(),
+                       ExprToString(pool, e->a).c_str(),
+                       ExprToString(pool, e->b).c_str());
+    case ExprKind::kSelect:
+      return StrFormat("(select %s %s %s)", ExprToString(pool, e->a).c_str(),
+                       ExprToString(pool, e->b).c_str(),
+                       ExprToString(pool, e->c).c_str());
+  }
+  return "?";
+}
+
+}  // namespace res

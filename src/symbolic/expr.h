@@ -1,0 +1,137 @@
+// Hash-consed symbolic expression DAG over 64-bit bitvectors.
+//
+// This is the KLEE-substitute at the heart of RES's symbolic snapshots
+// (paper §2.3): snapshot locations hold either concrete words or Expr nodes
+// ("stand-ins for any possible value ... subject to constraints"). All nodes
+// are interned in an ExprPool, so structural equality is pointer equality
+// and snapshots can share structure freely.
+#ifndef RES_SYMBOLIC_EXPR_H_
+#define RES_SYMBOLIC_EXPR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/ir/opcode.h"
+#include "src/support/status.h"
+
+namespace res {
+
+using VarId = uint32_t;
+
+enum class ExprKind : uint8_t {
+  kConst = 0,
+  kVar = 1,
+  kBinary = 2,
+  kSelect = 3,
+};
+
+// Binary operators (semantics identical to the VM's EvalBinary).
+enum class BinOp : uint8_t {
+  kAdd, kSub, kMul, kDivS, kRemS, kAnd, kOr, kXor, kShl, kShrL, kShrA,
+  kEq, kNe, kLtS, kLeS, kLtU, kLeU,
+};
+
+std::string_view BinOpName(BinOp op);
+bool BinOpIsComparison(BinOp op);
+// Maps an ALU opcode to its BinOp; asserts on non-ALU opcodes.
+BinOp BinOpFromOpcode(Opcode op);
+
+// Immutable interned node. Never construct directly; use ExprPool.
+struct Expr {
+  ExprKind kind;
+  BinOp bin_op = BinOp::kAdd;
+  int64_t value = 0;          // kConst
+  VarId var = 0;              // kVar
+  const Expr* a = nullptr;    // kBinary lhs / kSelect cond
+  const Expr* b = nullptr;    // kBinary rhs / kSelect if-true
+  const Expr* c = nullptr;    // kSelect if-false
+  uint64_t hash = 0;
+  uint32_t id = 0;            // pool-assigned, for stable ordering
+
+  bool is_const() const { return kind == ExprKind::kConst; }
+  bool is_var() const { return kind == ExprKind::kVar; }
+};
+
+// Metadata about a symbolic variable (why it exists).
+enum class VarOrigin : uint8_t {
+  kHavocReg = 0,    // register overwritten by a reversed block
+  kHavocMem = 1,    // memory word overwritten by a reversed block
+  kInput = 2,       // external input consumed inside the suffix
+  kUnknown = 3,
+};
+
+struct VarInfo {
+  VarId id = 0;
+  std::string name;
+  VarOrigin origin = VarOrigin::kUnknown;
+};
+
+// Owning, interning factory. Smart constructors simplify aggressively:
+// constant folding, algebraic identities, select folding — so "concrete in,
+// concrete out" holds wherever the coredump pins values.
+class ExprPool {
+ public:
+  ExprPool();
+  ExprPool(const ExprPool&) = delete;
+  ExprPool& operator=(const ExprPool&) = delete;
+
+  const Expr* Const(int64_t value);
+  const Expr* True() { return Const(1); }
+  const Expr* False() { return Const(0); }
+  const Expr* Var(const std::string& name, VarOrigin origin);
+  const Expr* Binary(BinOp op, const Expr* a, const Expr* b);
+  const Expr* Select(const Expr* cond, const Expr* if_true, const Expr* if_false);
+
+  // Convenience.
+  const Expr* Eq(const Expr* a, const Expr* b) { return Binary(BinOp::kEq, a, b); }
+  const Expr* Ne(const Expr* a, const Expr* b) { return Binary(BinOp::kNe, a, b); }
+  const Expr* Add(const Expr* a, const Expr* b) { return Binary(BinOp::kAdd, a, b); }
+  // Boolean negation of a 0/1 expression (or any expression, != 0 semantics).
+  const Expr* Not(const Expr* e);
+
+  const VarInfo& var_info(VarId id) const { return vars_[id]; }
+  size_t var_count() const { return vars_.size(); }
+  size_t node_count() const { return nodes_.size(); }
+
+ private:
+  const Expr* Intern(Expr node);
+
+  struct NodeHash {
+    size_t operator()(const Expr* e) const { return static_cast<size_t>(e->hash); }
+  };
+  struct NodeEq {
+    bool operator()(const Expr* x, const Expr* y) const;
+  };
+
+  std::vector<std::unique_ptr<Expr>> nodes_;
+  std::unordered_set<const Expr*, NodeHash, NodeEq> interned_;
+  std::vector<VarInfo> vars_;
+};
+
+// Concrete evaluation under a variable assignment (missing vars read as 0).
+using Assignment = std::unordered_map<VarId, int64_t>;
+int64_t EvalExpr(const Expr* e, const Assignment& assignment);
+
+// Applies the binary operator to concrete operands (division by zero yields
+// 0, matching the solver's total-function semantics; the engine emits an
+// explicit divisor!=0 constraint wherever the VM would trap).
+int64_t ApplyBinOp(BinOp op, int64_t a, int64_t b);
+
+// All variables appearing in `e`.
+void CollectVars(const Expr* e, std::unordered_set<VarId>* out);
+
+// Structural substitution: replaces variables by bound expressions,
+// re-simplifying through `pool`.
+const Expr* Substitute(ExprPool* pool, const Expr* e,
+                       const std::unordered_map<VarId, const Expr*>& bindings);
+
+// Human-readable rendering ("(add v3 8)").
+std::string ExprToString(const ExprPool& pool, const Expr* e);
+
+}  // namespace res
+
+#endif  // RES_SYMBOLIC_EXPR_H_

@@ -1,0 +1,510 @@
+#include "src/symbolic/solver.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <map>
+
+namespace res {
+
+namespace {
+
+constexpr int64_t kIntMin = std::numeric_limits<int64_t>::min();
+constexpr int64_t kIntMax = std::numeric_limits<int64_t>::max();
+
+struct Interval {
+  int64_t lo = kIntMin;
+  int64_t hi = kIntMax;
+
+  bool empty() const { return lo > hi; }
+  bool finite() const { return lo != kIntMin || hi != kIntMax; }
+  // Width as unsigned count of points; saturates.
+  uint64_t width() const {
+    if (empty()) {
+      return 0;
+    }
+    uint64_t w = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo);
+    return w == std::numeric_limits<uint64_t>::max() ? w : w + 1;
+  }
+};
+
+// Mutable solving context shared by Check and EnumerateValues.
+struct Context {
+  std::vector<const Expr*> residual;             // simplified, non-constant
+  std::unordered_map<VarId, const Expr*> bindings;
+  std::map<VarId, Interval> intervals;
+  bool unsat = false;
+};
+
+// Tries to rewrite Eq(lhs, rhs) into a binding var := expr by peeling
+// invertible operations (add/sub/xor with the variable on one side).
+// Returns the variable and the solved expression, or nullopt.
+struct SolvedEq {
+  VarId var;
+  const Expr* value;
+};
+
+std::optional<SolvedEq> SolveForVar(ExprPool* pool, const Expr* lhs, const Expr* rhs) {
+  // Normalize: keep the side containing structure on the left.
+  for (int peel = 0; peel < 64; ++peel) {
+    if (lhs->is_var()) {
+      std::unordered_set<VarId> rhs_vars;
+      CollectVars(rhs, &rhs_vars);
+      if (rhs_vars.count(lhs->var) != 0) {
+        return std::nullopt;  // occurs check
+      }
+      return SolvedEq{lhs->var, rhs};
+    }
+    if (rhs->is_var()) {
+      std::swap(lhs, rhs);
+      continue;
+    }
+    if (lhs->kind != ExprKind::kBinary) {
+      if (rhs->kind == ExprKind::kBinary) {
+        std::swap(lhs, rhs);
+        continue;
+      }
+      return std::nullopt;
+    }
+    // lhs = (op a b); move the constant-free side out.
+    const Expr* a = lhs->a;
+    const Expr* b = lhs->b;
+    switch (lhs->bin_op) {
+      case BinOp::kAdd:
+        if (b->is_const()) {
+          rhs = pool->Binary(BinOp::kSub, rhs, b);
+          lhs = a;
+          continue;
+        }
+        if (a->is_const()) {
+          rhs = pool->Binary(BinOp::kSub, rhs, a);
+          lhs = b;
+          continue;
+        }
+        return std::nullopt;
+      case BinOp::kSub:
+        if (b->is_const()) {
+          rhs = pool->Binary(BinOp::kAdd, rhs, b);
+          lhs = a;
+          continue;
+        }
+        if (a->is_const()) {
+          // a - x == rhs  =>  x == a - rhs
+          rhs = pool->Binary(BinOp::kSub, a, rhs);
+          lhs = b;
+          continue;
+        }
+        return std::nullopt;
+      case BinOp::kXor:
+        if (b->is_const()) {
+          rhs = pool->Binary(BinOp::kXor, rhs, b);
+          lhs = a;
+          continue;
+        }
+        if (a->is_const()) {
+          rhs = pool->Binary(BinOp::kXor, rhs, a);
+          lhs = b;
+          continue;
+        }
+        return std::nullopt;
+      case BinOp::kMul:
+        // Only invert multiplication by +-1 (odd-constant inversion exists
+        // but is not needed by our workloads and complicates soundness).
+        if (b->is_const() && (b->value == 1 || b->value == -1)) {
+          rhs = pool->Binary(BinOp::kMul, rhs, b);
+          lhs = a;
+          continue;
+        }
+        return std::nullopt;
+      default:
+        return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+// Extracts (var, offset) from expressions of the form var or (add var c).
+std::optional<std::pair<VarId, int64_t>> AsVarPlusConst(const Expr* e) {
+  if (e->is_var()) {
+    return std::make_pair(e->var, int64_t{0});
+  }
+  if (e->kind == ExprKind::kBinary && e->bin_op == BinOp::kAdd && e->a->is_var() &&
+      e->b->is_const()) {
+    return std::make_pair(e->a->var, e->b->value);
+  }
+  return std::nullopt;
+}
+
+int64_t SatSub(int64_t a, int64_t b) {
+  // a - b with saturation (intervals only; wraparound constraints fall back
+  // to search, which re-verifies, so saturation here is sound).
+  __int128 r = static_cast<__int128>(a) - static_cast<__int128>(b);
+  if (r < kIntMin) return kIntMin;
+  if (r > kIntMax) return kIntMax;
+  return static_cast<int64_t>(r);
+}
+
+void TightenFromComparison(Context* ctx, const Expr* e, SolverStats* stats) {
+  if (e->kind != ExprKind::kBinary) {
+    return;
+  }
+  auto tighten_hi = [&](VarId v, int64_t hi) {
+    Interval& iv = ctx->intervals[v];
+    if (hi < iv.hi) {
+      iv.hi = hi;
+      ++stats->interval_cuts;
+    }
+  };
+  auto tighten_lo = [&](VarId v, int64_t lo) {
+    Interval& iv = ctx->intervals[v];
+    if (lo > iv.lo) {
+      iv.lo = lo;
+      ++stats->interval_cuts;
+    }
+  };
+  auto tighten_eq = [&](VarId v, int64_t c) {
+    tighten_lo(v, c);
+    tighten_hi(v, c);
+  };
+
+  const Expr* a = e->a;
+  const Expr* b = e->b;
+  switch (e->bin_op) {
+    case BinOp::kEq:
+      if (auto va = AsVarPlusConst(a); va && b->is_const()) {
+        tighten_eq(va->first, SatSub(b->value, va->second));
+      } else if (auto vb = AsVarPlusConst(b); vb && a->is_const()) {
+        tighten_eq(vb->first, SatSub(a->value, vb->second));
+      }
+      break;
+    case BinOp::kLtS:
+      if (auto va = AsVarPlusConst(a); va && b->is_const()) {
+        tighten_hi(va->first, SatSub(SatSub(b->value, 1), va->second));
+      } else if (auto vb = AsVarPlusConst(b); vb && a->is_const()) {
+        tighten_lo(vb->first, SatSub(a->value == kIntMax ? kIntMax
+                                                         : a->value + 1,
+                                     vb->second));
+      }
+      break;
+    case BinOp::kLeS:
+      if (auto va = AsVarPlusConst(a); va && b->is_const()) {
+        tighten_hi(va->first, SatSub(b->value, va->second));
+      } else if (auto vb = AsVarPlusConst(b); vb && a->is_const()) {
+        tighten_lo(vb->first, SatSub(a->value, vb->second));
+      }
+      break;
+    case BinOp::kLtU:
+      // x <u c with c >= 0 implies 0 <= x < c in the signed order too.
+      if (a->is_var() && b->is_const() && b->value > 0) {
+        tighten_lo(a->var, 0);
+        tighten_hi(a->var, b->value - 1);
+      }
+      break;
+    case BinOp::kLeU:
+      if (a->is_var() && b->is_const() && b->value >= 0) {
+        tighten_lo(a->var, 0);
+        tighten_hi(a->var, b->value);
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+std::string_view SatResultName(SatResult r) {
+  switch (r) {
+    case SatResult::kSat:
+      return "sat";
+    case SatResult::kUnsat:
+      return "unsat";
+    case SatResult::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+Solver::Solver(ExprPool* pool, uint64_t seed, SolverOptions options)
+    : pool_(pool), rng_(seed), options_(options) {}
+
+SolveOutcome Solver::Check(const std::vector<const Expr*>& constraints) {
+  ++stats_.checks;
+  Context ctx;
+  ctx.residual.assign(constraints.begin(), constraints.end());
+
+  // --- Phase 1: simplification + equality propagation to fixpoint.
+  // Loops while it either creates bindings or the substitution still
+  // changes constraints (binding chains resolve over several rounds). ---
+  for (size_t round = 0; round < options_.max_propagation_rounds; ++round) {
+    bool new_binding = false;
+    bool any_rewrite = false;
+    std::vector<const Expr*> next;
+    next.reserve(ctx.residual.size());
+    for (const Expr* c : ctx.residual) {
+      const Expr* s = Substitute(pool_, c, ctx.bindings);
+      if (s != c) {
+        any_rewrite = true;
+      }
+      if (s->is_const()) {
+        if (s->value == 0) {
+          ctx.unsat = true;
+          break;
+        }
+        continue;  // satisfied; drop
+      }
+      if (s->kind == ExprKind::kBinary && s->bin_op == BinOp::kEq) {
+        if (auto solved = SolveForVar(pool_, s->a, s->b)) {
+          auto it = ctx.bindings.find(solved->var);
+          if (it == ctx.bindings.end()) {
+            ctx.bindings[solved->var] = Substitute(pool_, solved->value, ctx.bindings);
+            ++stats_.eq_bindings;
+            new_binding = true;
+            continue;
+          }
+          // Already bound: keep as a residual equality between the two.
+          next.push_back(pool_->Eq(it->second, solved->value));
+          continue;
+        }
+      }
+      next.push_back(s);
+    }
+    if (ctx.unsat) {
+      break;
+    }
+    ctx.residual = std::move(next);
+    if (!new_binding && !any_rewrite) {
+      break;
+    }
+  }
+
+  SolveOutcome out;
+  auto finish_sat = [&](Assignment free_assignment) -> bool {
+    // Complete the model: free vars from `free_assignment`, bound vars by
+    // evaluating their binding expressions, then re-verify everything.
+    Assignment model = std::move(free_assignment);
+    // Bindings may reference other vars; iterate to fixpoint (bounded).
+    for (size_t round = 0; round < ctx.bindings.size() + 1; ++round) {
+      bool progress = false;
+      for (const auto& [var, expr] : ctx.bindings) {
+        if (model.count(var) != 0) {
+          continue;
+        }
+        std::unordered_set<VarId> deps;
+        CollectVars(expr, &deps);
+        bool ready = true;
+        for (VarId d : deps) {
+          if (model.count(d) == 0 && ctx.bindings.count(d) != 0) {
+            ready = false;
+            break;
+          }
+        }
+        if (ready) {
+          model[var] = EvalExpr(expr, model);
+          progress = true;
+        }
+      }
+      if (!progress) {
+        break;
+      }
+    }
+    for (const auto& [var, expr] : ctx.bindings) {
+      if (model.count(var) == 0) {
+        model[var] = EvalExpr(expr, model);  // best effort on cycles
+      }
+    }
+    for (const Expr* c : constraints) {
+      if (EvalExpr(c, model) == 0) {
+        return false;
+      }
+    }
+    out.result = SatResult::kSat;
+    out.model = std::move(model);
+    ++stats_.sat;
+    return true;
+  };
+
+  if (ctx.unsat) {
+    out.result = SatResult::kUnsat;
+    ++stats_.unsat;
+    return out;
+  }
+  if (ctx.residual.empty()) {
+    if (finish_sat({})) {
+      return out;
+    }
+    // Verification failed (e.g. a binding cycle); fall through to search.
+  }
+
+  // --- Phase 2: interval propagation. ---
+  std::unordered_set<VarId> free_vars;
+  for (const Expr* c : ctx.residual) {
+    CollectVars(c, &free_vars);
+    TightenFromComparison(&ctx, c, &stats_);
+  }
+  for (VarId v : free_vars) {
+    auto it = ctx.intervals.find(v);
+    if (it != ctx.intervals.end() && it->second.empty()) {
+      out.result = SatResult::kUnsat;
+      ++stats_.unsat;
+      return out;
+    }
+  }
+
+  // --- Phase 3: exhaustive enumeration of small finite domains. ---
+  std::vector<VarId> order(free_vars.begin(), free_vars.end());
+  std::sort(order.begin(), order.end());
+  bool enumerable = order.size() <= options_.max_enum_vars && !order.empty();
+  uint64_t points = 1;
+  for (VarId v : order) {
+    auto it = ctx.intervals.find(v);
+    if (it == ctx.intervals.end() || !it->second.finite()) {
+      enumerable = false;
+      break;
+    }
+    uint64_t w = it->second.width();
+    if (w == 0 || w > options_.max_enum_points || points > options_.max_enum_points / w) {
+      enumerable = false;
+      break;
+    }
+    points *= w;
+  }
+  if (enumerable) {
+    std::vector<int64_t> cursor(order.size());
+    for (size_t i = 0; i < order.size(); ++i) {
+      cursor[i] = ctx.intervals[order[i]].lo;
+    }
+    while (true) {
+      ++stats_.enumerated_points;
+      Assignment candidate;
+      for (size_t i = 0; i < order.size(); ++i) {
+        candidate[order[i]] = cursor[i];
+      }
+      bool all_ok = true;
+      for (const Expr* c : ctx.residual) {
+        if (EvalExpr(c, candidate) == 0) {
+          all_ok = false;
+          break;
+        }
+      }
+      if (all_ok && finish_sat(candidate)) {
+        return out;
+      }
+      // Advance odometer.
+      size_t i = 0;
+      for (; i < order.size(); ++i) {
+        if (cursor[i] < ctx.intervals[order[i]].hi) {
+          ++cursor[i];
+          for (size_t j = 0; j < i; ++j) {
+            cursor[j] = ctx.intervals[order[j]].lo;
+          }
+          break;
+        }
+      }
+      if (i == order.size()) {
+        break;  // exhausted: complete enumeration proves UNSAT
+      }
+    }
+    out.result = SatResult::kUnsat;
+    ++stats_.unsat;
+    return out;
+  }
+
+  // --- Phase 4: randomized local search (sound for SAT only). ---
+  for (uint64_t restart = 0; restart < options_.search_restarts; ++restart) {
+    Assignment candidate;
+    for (VarId v : order) {
+      auto it = ctx.intervals.find(v);
+      int64_t seed_value = 0;
+      if (it != ctx.intervals.end() && it->second.finite()) {
+        seed_value = restart == 0
+                         ? it->second.lo
+                         : rng_.NextInRange(std::max<int64_t>(it->second.lo, -4096),
+                                            std::min<int64_t>(it->second.hi, 4096));
+      } else if (restart > 0) {
+        seed_value = static_cast<int64_t>(rng_.NextBelow(257)) - 128;
+      }
+      candidate[v] = seed_value;
+    }
+    for (uint64_t step = 0; step < options_.search_steps; ++step) {
+      ++stats_.search_steps;
+      const Expr* violated = nullptr;
+      for (const Expr* c : ctx.residual) {
+        if (EvalExpr(c, candidate) == 0) {
+          violated = c;
+          break;
+        }
+      }
+      if (violated == nullptr) {
+        if (finish_sat(candidate)) {
+          return out;
+        }
+        break;
+      }
+      std::unordered_set<VarId> involved;
+      CollectVars(violated, &involved);
+      if (involved.empty()) {
+        break;
+      }
+      std::vector<VarId> vs(involved.begin(), involved.end());
+      VarId v = vs[rng_.NextBelow(vs.size())];
+      int64_t old = candidate[v];
+      switch (rng_.NextBelow(6)) {
+        case 0: candidate[v] = old + 1; break;
+        case 1: candidate[v] = old - 1; break;
+        case 2: candidate[v] = 0; break;
+        case 3: candidate[v] = old + static_cast<int64_t>(rng_.NextBelow(64)) - 32; break;
+        case 4: candidate[v] = static_cast<int64_t>(rng_.Next()); break;
+        default: {
+          // Try to satisfy an equality directly: v := value making both
+          // sides equal if the other side is evaluable.
+          if (violated->kind == ExprKind::kBinary && violated->bin_op == BinOp::kEq) {
+            Assignment probe = candidate;
+            probe.erase(v);
+            if (violated->a->is_var() && violated->a->var == v) {
+              candidate[v] = EvalExpr(violated->b, probe);
+            } else if (violated->b->is_var() && violated->b->var == v) {
+              candidate[v] = EvalExpr(violated->a, probe);
+            } else {
+              candidate[v] = old ^ static_cast<int64_t>(1ULL << rng_.NextBelow(16));
+            }
+          } else {
+            candidate[v] = old ^ static_cast<int64_t>(1ULL << rng_.NextBelow(16));
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  out.result = SatResult::kUnknown;
+  ++stats_.unknown;
+  return out;
+}
+
+std::vector<int64_t> Solver::EnumerateValues(
+    const Expr* target, const std::vector<const Expr*>& constraints, size_t limit,
+    bool* complete) {
+  *complete = false;
+  std::vector<int64_t> values;
+  std::vector<const Expr*> work = constraints;
+  for (size_t i = 0; i < limit + 1; ++i) {
+    SolveOutcome outcome = Check(work);
+    if (outcome.result == SatResult::kUnsat) {
+      *complete = true;  // no further values exist
+      return values;
+    }
+    if (outcome.result != SatResult::kSat) {
+      return values;  // incomplete
+    }
+    int64_t v = EvalExpr(target, outcome.model);
+    if (values.size() >= limit) {
+      return values;  // one more value exists than we may return
+    }
+    values.push_back(v);
+    work.push_back(pool_->Ne(target, pool_->Const(v)));
+  }
+  return values;
+}
+
+}  // namespace res

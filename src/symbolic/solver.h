@@ -1,0 +1,78 @@
+// Constraint solver over the Expr language.
+//
+// This replaces STP/KLEE's solver in the authors' prototype. It is *sound*:
+// kSat answers carry a model that has been re-verified against every input
+// constraint, and kUnsat is returned only via complete reasoning (constant
+// contradiction, equality-propagation conflict, empty interval, or
+// exhaustive enumeration of finite domains). Anything else is kUnknown,
+// which RES treats conservatively (hypothesis kept, marked unverified).
+//
+// Pipeline: equality propagation + linear inversion -> interval propagation
+// -> exhaustive enumeration of small finite domains -> randomized local
+// search -> kUnknown.
+#ifndef RES_SYMBOLIC_SOLVER_H_
+#define RES_SYMBOLIC_SOLVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/support/rng.h"
+#include "src/symbolic/expr.h"
+
+namespace res {
+
+enum class SatResult : uint8_t { kSat = 0, kUnsat = 1, kUnknown = 2 };
+
+std::string_view SatResultName(SatResult r);
+
+struct SolveOutcome {
+  SatResult result = SatResult::kUnknown;
+  Assignment model;  // meaningful iff result == kSat
+};
+
+struct SolverStats {
+  uint64_t checks = 0;
+  uint64_t eq_bindings = 0;
+  uint64_t interval_cuts = 0;
+  uint64_t enumerated_points = 0;
+  uint64_t search_steps = 0;
+  uint64_t sat = 0;
+  uint64_t unsat = 0;
+  uint64_t unknown = 0;
+};
+
+struct SolverOptions {
+  size_t max_propagation_rounds = 32;
+  size_t max_enum_vars = 4;          // exhaustive enumeration variable cap
+  uint64_t max_enum_points = 65536;  // exhaustive enumeration point cap
+  uint64_t search_restarts = 8;
+  uint64_t search_steps = 512;       // per restart
+};
+
+class Solver {
+ public:
+  explicit Solver(ExprPool* pool, uint64_t seed = 1, SolverOptions options = {});
+
+  // Is the conjunction of `constraints` satisfiable?
+  SolveOutcome Check(const std::vector<const Expr*>& constraints);
+
+  // Distinct values `target` can take subject to `constraints` (up to
+  // `limit`). `complete` is set true when the returned set is provably
+  // exhaustive. Used for pointer concretization (paper §2.4's omitted
+  // "symbolic addresses" case).
+  std::vector<int64_t> EnumerateValues(const Expr* target,
+                                       const std::vector<const Expr*>& constraints,
+                                       size_t limit, bool* complete);
+
+  const SolverStats& stats() const { return stats_; }
+
+ private:
+  ExprPool* pool_;
+  Rng rng_;
+  SolverOptions options_;
+  SolverStats stats_;
+};
+
+}  // namespace res
+
+#endif  // RES_SYMBOLIC_SOLVER_H_

@@ -1,0 +1,99 @@
+#include "src/triage/triage.h"
+
+namespace res {
+
+std::string StackBucketer::BucketFor(const Coredump& dump) const {
+  return FaultingStackSignature(module_, dump);
+}
+
+std::string ResBucketer::BucketFor(const Coredump& dump) const {
+  ResEngine engine(module_, dump, options_);
+  ResResult result = engine.Run();
+  if (!result.causes.empty()) {
+    return result.causes.front().BucketSignature(module_);
+  }
+  if (result.hardware_error_suspected) {
+    return "hardware_error";
+  }
+  return "stack:" + FaultingStackSignature(module_, dump);
+}
+
+double PairwiseBucketingAccuracy(const std::vector<std::string>& buckets,
+                                 const std::vector<std::string>& ground_truth) {
+  if (buckets.size() != ground_truth.size() || buckets.size() < 2) {
+    return 0.0;
+  }
+  size_t correct = 0;
+  size_t total = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    for (size_t j = i + 1; j < buckets.size(); ++j) {
+      bool same_bucket = buckets[i] == buckets[j];
+      bool same_bug = ground_truth[i] == ground_truth[j];
+      correct += (same_bucket == same_bug) ? 1 : 0;
+      ++total;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(total);
+}
+
+std::string_view ExploitabilityName(Exploitability e) {
+  switch (e) {
+    case Exploitability::kExploitable:
+      return "exploitable";
+    case Exploitability::kProbablyExploitable:
+      return "probably_exploitable";
+    case Exploitability::kProbablyNotExploitable:
+      return "probably_not_exploitable";
+    case Exploitability::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+Exploitability HeuristicExploitabilityRater::Rate(const Coredump& dump) const {
+  // !exploitable-style: judge from the failure symptom alone.
+  switch (dump.trap.kind) {
+    case TrapKind::kUseAfterFree:
+    case TrapKind::kDoubleFree:
+      return Exploitability::kExploitable;  // heap corruption: assume the worst
+    case TrapKind::kMemoryFault:
+      // Wild access: can't see whether the pointer is attacker-controlled.
+      return Exploitability::kProbablyExploitable;
+    case TrapKind::kAssertFailure:
+      // Asserts look benign — even when the assert is the only thing standing
+      // between an input-driven overflow and silent corruption.
+      return Exploitability::kProbablyNotExploitable;
+    case TrapKind::kDivByZero:
+      return Exploitability::kProbablyNotExploitable;
+    case TrapKind::kDeadlock:
+      return Exploitability::kProbablyNotExploitable;
+    default:
+      return Exploitability::kUnknown;
+  }
+}
+
+Exploitability ResExploitabilityRater::Rate(const Coredump& dump) const {
+  ResEngine engine(module_, dump, options_);
+  ResResult result = engine.Run();
+  if (result.causes.empty()) {
+    return Exploitability::kUnknown;
+  }
+  for (const RootCause& cause : result.causes) {
+    if (cause.input_tainted &&
+        (cause.kind == RootCauseKind::kBufferOverflow ||
+         cause.kind == RootCauseKind::kWildPointer ||
+         cause.kind == RootCauseKind::kUseAfterFree)) {
+      return Exploitability::kExploitable;
+    }
+  }
+  for (const RootCause& cause : result.causes) {
+    if (cause.input_tainted) {
+      // Input reaches the failure but not through memory corruption
+      // (e.g. input-driven div-by-zero): denial of service at worst.
+      return Exploitability::kProbablyExploitable;
+    }
+  }
+  return Exploitability::kProbablyNotExploitable;
+}
+
+}  // namespace res

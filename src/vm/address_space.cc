@@ -1,0 +1,141 @@
+#include "src/vm/address_space.h"
+
+#include "src/support/string_util.h"
+
+namespace res {
+
+Status AddressSpace::MapRegion(uint64_t base, uint64_t words) {
+  if (!IsWordAligned(base)) {
+    return InvalidArgument(StrFormat("MapRegion: unaligned base 0x%llx",
+                                     static_cast<unsigned long long>(base)));
+  }
+  for (uint64_t i = 0; i < words; ++i) {
+    uint64_t addr = base + i * kWordSize;
+    Page& page = EnsurePage(addr / kPageBytes);
+    size_t slot = (addr % kPageBytes) / kWordSize;
+    page.mapped[slot] = true;
+    page.words[slot] = 0;
+  }
+  return OkStatus();
+}
+
+void AddressSpace::UnmapRegion(uint64_t base, uint64_t words) {
+  for (uint64_t i = 0; i < words; ++i) {
+    uint64_t addr = base + i * kWordSize;
+    if (Page* page = FindPage(addr / kPageBytes)) {
+      size_t slot = (addr % kPageBytes) / kWordSize;
+      page->mapped[slot] = false;
+      page->words[slot] = 0;
+    }
+  }
+}
+
+bool AddressSpace::IsMappedWord(uint64_t addr) const {
+  if (!IsWordAligned(addr)) {
+    return false;
+  }
+  const Page* page = FindPage(addr / kPageBytes);
+  if (page == nullptr) {
+    return false;
+  }
+  return page->mapped[(addr % kPageBytes) / kWordSize];
+}
+
+Result<int64_t> AddressSpace::ReadWord(uint64_t addr) const {
+  if (!IsWordAligned(addr)) {
+    return OutOfRange(StrFormat("unaligned read at 0x%llx",
+                                static_cast<unsigned long long>(addr)));
+  }
+  const Page* page = FindPage(addr / kPageBytes);
+  if (page == nullptr) {
+    return OutOfRange(StrFormat("read of unmapped 0x%llx",
+                                static_cast<unsigned long long>(addr)));
+  }
+  size_t slot = (addr % kPageBytes) / kWordSize;
+  if (!page->mapped[slot]) {
+    return OutOfRange(StrFormat("read of unmapped 0x%llx",
+                                static_cast<unsigned long long>(addr)));
+  }
+  return page->words[slot];
+}
+
+Status AddressSpace::WriteWord(uint64_t addr, int64_t value) {
+  if (!IsWordAligned(addr)) {
+    return OutOfRange(StrFormat("unaligned write at 0x%llx",
+                                static_cast<unsigned long long>(addr)));
+  }
+  Page* page = FindPage(addr / kPageBytes);
+  if (page == nullptr) {
+    return OutOfRange(StrFormat("write to unmapped 0x%llx",
+                                static_cast<unsigned long long>(addr)));
+  }
+  size_t slot = (addr % kPageBytes) / kWordSize;
+  if (!page->mapped[slot]) {
+    return OutOfRange(StrFormat("write to unmapped 0x%llx",
+                                static_cast<unsigned long long>(addr)));
+  }
+  page->words[slot] = value;
+  return OkStatus();
+}
+
+void AddressSpace::WriteWordUnchecked(uint64_t addr, int64_t value) {
+  Page& page = EnsurePage(addr / kPageBytes);
+  size_t slot = (addr % kPageBytes) / kWordSize;
+  page.mapped[slot] = true;
+  page.words[slot] = value;
+}
+
+void AddressSpace::ForEachWord(
+    const std::function<void(uint64_t addr, int64_t value)>& fn) const {
+  for (const auto& [index, page] : pages_) {
+    for (size_t slot = 0; slot < kPageWords; ++slot) {
+      if (page.mapped[slot]) {
+        fn(index * kPageBytes + slot * kWordSize, page.words[slot]);
+      }
+    }
+  }
+}
+
+size_t AddressSpace::MappedWordCount() const {
+  size_t n = 0;
+  for (const auto& [index, page] : pages_) {
+    for (bool m : page.mapped) {
+      n += m ? 1 : 0;
+    }
+  }
+  return n;
+}
+
+bool AddressSpace::operator==(const AddressSpace& other) const {
+  // Compare mapped words only (empty pages are irrelevant).
+  bool equal = true;
+  ForEachWord([&](uint64_t addr, int64_t value) {
+    if (!equal) {
+      return;
+    }
+    auto r = other.ReadWord(addr);
+    if (!r.ok() || r.value() != value) {
+      equal = false;
+    }
+  });
+  if (!equal) {
+    return false;
+  }
+  return MappedWordCount() == other.MappedWordCount();
+}
+
+AddressSpace::Page* AddressSpace::FindPage(uint64_t page_index) {
+  auto it = pages_.find(page_index);
+  return it == pages_.end() ? nullptr : &it->second;
+}
+
+const AddressSpace::Page* AddressSpace::FindPage(uint64_t page_index) const {
+  auto it = pages_.find(page_index);
+  return it == pages_.end() ? nullptr : &it->second;
+}
+
+AddressSpace::Page& AddressSpace::EnsurePage(uint64_t page_index) {
+  return pages_[page_index];
+}
+
+}  // namespace res

@@ -1,0 +1,70 @@
+// Sparse, paged, word-granular address space.
+//
+// Words are 64-bit; addresses are byte-granular but accesses must be
+// word-aligned (layout.h). Pages track a per-word "mapped" bit so reads of
+// never-mapped memory fault and coredumps capture exactly the mapped image.
+#ifndef RES_VM_ADDRESS_SPACE_H_
+#define RES_VM_ADDRESS_SPACE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/ir/layout.h"
+#include "src/support/status.h"
+
+namespace res {
+
+class AddressSpace {
+ public:
+  static constexpr size_t kPageWords = 512;  // 4 KiB pages
+  static constexpr uint64_t kPageBytes = kPageWords * kWordSize;
+
+  AddressSpace() = default;
+
+  // Copyable by design: coredumps embed a full image and snapshots are cheap
+  // at our scales. Clone() is the explicit spelling.
+  AddressSpace Clone() const { return *this; }
+
+  // Maps `words` zeroed words starting at word-aligned `base`.
+  Status MapRegion(uint64_t base, uint64_t words);
+
+  // Unmaps words (used only by tests; kFree keeps pages mapped so RES can
+  // still observe freed memory in the dump, like a real coredump does).
+  void UnmapRegion(uint64_t base, uint64_t words);
+
+  bool IsMappedWord(uint64_t addr) const;
+
+  // Word-aligned read/write; OutOfRange on unmapped or unaligned access.
+  Result<int64_t> ReadWord(uint64_t addr) const;
+  Status WriteWord(uint64_t addr, int64_t value);
+
+  // Unchecked variants for trusted callers (coredump restore, fault injector).
+  void WriteWordUnchecked(uint64_t addr, int64_t value);
+
+  // Iterates all mapped words in address order.
+  void ForEachWord(const std::function<void(uint64_t addr, int64_t value)>& fn) const;
+
+  size_t MappedWordCount() const;
+
+  bool operator==(const AddressSpace& other) const;
+
+ private:
+  struct Page {
+    std::vector<int64_t> words;
+    std::vector<bool> mapped;
+    Page() : words(kPageWords, 0), mapped(kPageWords, false) {}
+  };
+
+  Page* FindPage(uint64_t page_index);
+  const Page* FindPage(uint64_t page_index) const;
+  Page& EnsurePage(uint64_t page_index);
+
+  std::map<uint64_t, Page> pages_;
+};
+
+}  // namespace res
+
+#endif  // RES_VM_ADDRESS_SPACE_H_

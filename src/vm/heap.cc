@@ -1,0 +1,72 @@
+#include "src/vm/heap.h"
+
+#include "src/support/string_util.h"
+
+namespace res {
+
+Result<uint64_t> Heap::Allocate(uint64_t size_bytes) {
+  uint64_t words = (size_bytes + kWordSize - 1) / kWordSize;
+  if (words == 0) {
+    words = 1;  // zero-byte allocations still get a distinct address
+  }
+  if (next_free_ + words * kWordSize > kHeapLimit) {
+    return ResourceExhausted("heap segment exhausted");
+  }
+  Allocation a;
+  a.base = next_free_;
+  a.size_words = words;
+  a.state = AllocState::kAllocated;
+  a.alloc_seq = next_seq_++;
+  next_free_ += words * kWordSize;
+  uint64_t base = a.base;
+  allocations_.emplace(base, a);
+  return base;
+}
+
+Status Heap::Free(uint64_t base) {
+  auto it = allocations_.find(base);
+  if (it == allocations_.end()) {
+    return InvalidArgument(StrFormat("free of non-allocation 0x%llx",
+                                     static_cast<unsigned long long>(base)));
+  }
+  if (it->second.state == AllocState::kFreed) {
+    return FailedPrecondition(StrFormat("double free of 0x%llx",
+                                        static_cast<unsigned long long>(base)));
+  }
+  it->second.state = AllocState::kFreed;
+  return OkStatus();
+}
+
+Heap::AccessVerdict Heap::CheckAccess(uint64_t addr) const {
+  const Allocation* a = FindCovering(addr);
+  if (a == nullptr) {
+    return AccessVerdict::kUnallocated;
+  }
+  return a->state == AllocState::kAllocated ? AccessVerdict::kOk
+                                            : AccessVerdict::kFreed;
+}
+
+const Allocation* Heap::FindCovering(uint64_t addr) const {
+  auto it = allocations_.upper_bound(addr);
+  if (it == allocations_.begin()) {
+    return nullptr;
+  }
+  --it;
+  const Allocation& a = it->second;
+  if (addr >= a.base && addr < a.base + a.size_words * kWordSize) {
+    return &a;
+  }
+  return nullptr;
+}
+
+void Heap::RestoreAllocation(const Allocation& a) {
+  allocations_[a.base] = a;
+  if (a.base + a.size_words * kWordSize > next_free_) {
+    next_free_ = a.base + a.size_words * kWordSize;
+  }
+  if (a.alloc_seq >= next_seq_) {
+    next_seq_ = a.alloc_seq + 1;
+  }
+}
+
+}  // namespace res

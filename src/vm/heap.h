@@ -1,0 +1,68 @@
+// Bump allocator with allocation metadata.
+//
+// kFree does NOT unmap memory: freed words stay visible (with their final
+// contents) exactly as in a real coredump, and the metadata lets the VM trap
+// use-after-free / double-free — the root causes §3.1 of the paper uses as
+// triaging examples. The allocation table is captured into coredumps so RES
+// can reason about heap state post-mortem.
+#ifndef RES_VM_HEAP_H_
+#define RES_VM_HEAP_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/ir/layout.h"
+#include "src/support/status.h"
+
+namespace res {
+
+enum class AllocState : uint8_t {
+  kAllocated = 0,
+  kFreed = 1,
+};
+
+struct Allocation {
+  uint64_t base = 0;
+  uint64_t size_words = 0;
+  AllocState state = AllocState::kAllocated;
+  uint64_t alloc_seq = 0;  // monotonically increasing allocation id
+};
+
+class Heap {
+ public:
+  Heap() = default;
+
+  // Reserves size_bytes (rounded up to whole words); returns the base address.
+  Result<uint64_t> Allocate(uint64_t size_bytes);
+
+  // Marks the allocation at `base` freed. Errors: kInvalidArgument if base is
+  // not an allocation start, kFailedPrecondition if already freed.
+  Status Free(uint64_t base);
+
+  // Classification of an address for access checking.
+  enum class AccessVerdict { kOk, kFreed, kUnallocated };
+  AccessVerdict CheckAccess(uint64_t addr) const;
+
+  // Allocation covering `addr`, if any (allocated or freed).
+  const Allocation* FindCovering(uint64_t addr) const;
+
+  const std::map<uint64_t, Allocation>& allocations() const { return allocations_; }
+  uint64_t next_free() const { return next_free_; }
+
+  // Restore path for coredump loading.
+  void RestoreAllocation(const Allocation& a);
+  void set_next_free(uint64_t v) { next_free_ = v; }
+  void set_next_seq(uint64_t v) { next_seq_ = v; }
+  uint64_t next_seq() const { return next_seq_; }
+
+ private:
+  std::map<uint64_t, Allocation> allocations_;  // keyed by base
+  uint64_t next_free_ = kHeapBase;
+  uint64_t next_seq_ = 1;
+};
+
+}  // namespace res
+
+#endif  // RES_VM_HEAP_H_

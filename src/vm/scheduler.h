@@ -1,0 +1,179 @@
+// Thread schedulers.
+//
+// The VM executes one instruction at a time under sequential consistency
+// (the paper's stated memory model); the scheduler picks which runnable
+// thread steps next. Three policies:
+//  - RoundRobinScheduler: fixed quantum, deterministic.
+//  - RandomScheduler: seeded preemption — the workload corpus uses it to
+//    make concurrency bugs actually fire.
+//  - ScriptedScheduler: follows an explicit block-level schedule; this is
+//    how a synthesized RES suffix is replayed deterministically.
+#ifndef RES_VM_SCHEDULER_H_
+#define RES_VM_SCHEDULER_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/support/rng.h"
+
+namespace res {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  // Picks the next thread among `runnable` (non-empty, ascending tids).
+  // `current` is the previously running thread (may not be runnable).
+  virtual uint32_t Pick(const std::vector<uint32_t>& runnable, uint32_t current) = 0;
+
+  // Notification: `tid` just finished a basic block (executed its terminator).
+  virtual void OnBlockBoundary(uint32_t tid) {}
+
+  // True if the scheduler has diverged from its script (scripted replay only).
+  virtual bool failed() const { return false; }
+};
+
+class RoundRobinScheduler : public Scheduler {
+ public:
+  explicit RoundRobinScheduler(uint32_t quantum = 16) : quantum_(quantum) {}
+
+  uint32_t Pick(const std::vector<uint32_t>& runnable, uint32_t current) override {
+    bool current_runnable = false;
+    for (uint32_t t : runnable) {
+      if (t == current) {
+        current_runnable = true;
+        break;
+      }
+    }
+    if (current_runnable && ticks_ < quantum_) {
+      ++ticks_;
+      return current;
+    }
+    ticks_ = 0;
+    // Next runnable tid after `current`, wrapping.
+    for (uint32_t t : runnable) {
+      if (t > current) {
+        return t;
+      }
+    }
+    return runnable.front();
+  }
+
+ private:
+  uint32_t quantum_;
+  uint32_t ticks_ = 0;
+};
+
+class RandomScheduler : public Scheduler {
+ public:
+  // switch_permille: probability (out of 1000) of preempting at each step.
+  explicit RandomScheduler(uint64_t seed, uint32_t switch_permille = 100)
+      : rng_(seed), switch_permille_(switch_permille) {}
+
+  uint32_t Pick(const std::vector<uint32_t>& runnable, uint32_t current) override {
+    bool current_runnable = false;
+    for (uint32_t t : runnable) {
+      if (t == current) {
+        current_runnable = true;
+        break;
+      }
+    }
+    if (current_runnable && !rng_.NextChance(switch_permille_, 1000)) {
+      return current;
+    }
+    return runnable[rng_.NextBelow(runnable.size())];
+  }
+
+ private:
+  Rng rng_;
+  uint32_t switch_permille_;
+};
+
+// Follows a block-granular script: entry i names the thread that must run
+// until it crosses its next block boundary. When the script is exhausted the
+// scheduler keeps scheduling the last thread (suffix replay ends at the trap
+// before that matters). If the scripted thread is not runnable, the replay
+// has diverged and failed() turns true (the VM stops).
+class ScriptedScheduler : public Scheduler {
+ public:
+  explicit ScriptedScheduler(std::vector<uint32_t> script)
+      : script_(std::move(script)) {}
+
+  uint32_t Pick(const std::vector<uint32_t>& runnable, uint32_t current) override {
+    uint32_t want = position_ < script_.size() ? script_[position_] : current;
+    for (uint32_t t : runnable) {
+      if (t == want) {
+        return t;
+      }
+    }
+    failed_ = true;
+    return runnable.front();
+  }
+
+  void OnBlockBoundary(uint32_t tid) override {
+    if (position_ < script_.size() && script_[position_] == tid) {
+      ++position_;
+    }
+  }
+
+  bool failed() const override { return failed_; }
+  size_t position() const { return position_; }
+
+ private:
+  std::vector<uint32_t> script_;
+  size_t position_ = 0;
+  bool failed_ = false;
+};
+
+// Instruction-count schedule slices, the replay-side counterpart of a
+// synthesized suffix's schedule: run slices_[i].first for slices_[i].second
+// instruction steps, then move on. Used to replay partial trailing blocks
+// and the final trap instruction precisely. Once the script is exhausted the
+// current thread keeps running (the replay trap fires before that matters);
+// an unavailable scripted thread marks the replay diverged.
+class SliceScheduler : public Scheduler {
+ public:
+  using Slice = std::pair<uint32_t, uint64_t>;  // (tid, instruction count)
+  explicit SliceScheduler(std::vector<Slice> slices) : slices_(std::move(slices)) {}
+
+  uint32_t Pick(const std::vector<uint32_t>& runnable, uint32_t current) override {
+    while (pos_ < slices_.size() && used_ >= slices_[pos_].second) {
+      ++pos_;
+      used_ = 0;
+    }
+    if (pos_ >= slices_.size()) {
+      overran_ = true;
+      for (uint32_t t : runnable) {
+        if (t == current) {
+          return current;
+        }
+      }
+      return runnable.front();
+    }
+    uint32_t want = slices_[pos_].first;
+    for (uint32_t t : runnable) {
+      if (t == want) {
+        ++used_;
+        return want;
+      }
+    }
+    failed_ = true;
+    return runnable.front();
+  }
+
+  bool failed() const override { return failed_; }
+  // True if execution needed more steps than the script provided.
+  bool overran() const { return overran_; }
+
+ private:
+  std::vector<Slice> slices_;
+  size_t pos_ = 0;
+  uint64_t used_ = 0;
+  bool failed_ = false;
+  bool overran_ = false;
+};
+
+}  // namespace res
+
+#endif  // RES_VM_SCHEDULER_H_

@@ -1,0 +1,55 @@
+#include "src/vm/trap.h"
+
+#include "src/support/string_util.h"
+
+namespace res {
+
+std::string_view TrapKindName(TrapKind kind) {
+  switch (kind) {
+    case TrapKind::kNone:
+      return "none";
+    case TrapKind::kMemoryFault:
+      return "memory_fault";
+    case TrapKind::kDivByZero:
+      return "div_by_zero";
+    case TrapKind::kAssertFailure:
+      return "assert_failure";
+    case TrapKind::kUseAfterFree:
+      return "use_after_free";
+    case TrapKind::kDoubleFree:
+      return "double_free";
+    case TrapKind::kInvalidFree:
+      return "invalid_free";
+    case TrapKind::kDeadlock:
+      return "deadlock";
+    case TrapKind::kUnlockNotOwned:
+      return "unlock_not_owned";
+    case TrapKind::kHeapExhausted:
+      return "heap_exhausted";
+    case TrapKind::kThreadLimit:
+      return "thread_limit";
+    case TrapKind::kStepLimit:
+      return "step_limit";
+  }
+  return "unknown";
+}
+
+bool IsFailureTrap(TrapKind kind) {
+  switch (kind) {
+    case TrapKind::kNone:
+    case TrapKind::kStepLimit:
+      return false;
+    default:
+      return true;
+  }
+}
+
+std::string TrapInfo::ToString(const Module& module) const {
+  return StrFormat("%s at %s (thread %u, addr 0x%llx)%s%s",
+                   std::string(TrapKindName(kind)).c_str(),
+                   module.PcToString(pc).c_str(), thread,
+                   static_cast<unsigned long long>(address),
+                   message.empty() ? "" : ": ", message.c_str());
+}
+
+}  // namespace res

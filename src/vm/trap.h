@@ -1,0 +1,49 @@
+// Trap taxonomy: the failure kinds a VM execution can end with.
+//
+// A trap freezes the VM with full state intact; the coredump module then
+// snapshots that state exactly as a production crash handler would.
+#ifndef RES_VM_TRAP_H_
+#define RES_VM_TRAP_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/ir/module.h"
+
+namespace res {
+
+enum class TrapKind : uint8_t {
+  kNone = 0,
+  kMemoryFault,     // unmapped or unaligned access
+  kDivByZero,       // kDivS / kRemS with zero divisor (or INT64_MIN / -1)
+  kAssertFailure,   // kAssert condition was 0
+  kUseAfterFree,    // access to a freed heap allocation
+  kDoubleFree,      // kFree of an already-freed allocation
+  kInvalidFree,     // kFree of a non-allocation address
+  kDeadlock,        // every live thread is blocked
+  kUnlockNotOwned,  // kUnlock of a mutex the thread does not hold
+  kHeapExhausted,   // allocator out of segment space
+  kThreadLimit,     // kSpawn beyond kMaxThreads
+  kStepLimit,       // execution budget exceeded (not a program failure)
+};
+
+std::string_view TrapKindName(TrapKind kind);
+
+// True for kinds that represent genuine program failures (the ones worth a
+// coredump), as opposed to harness limits.
+bool IsFailureTrap(TrapKind kind);
+
+struct TrapInfo {
+  TrapKind kind = TrapKind::kNone;
+  uint32_t thread = 0;     // faulting thread
+  Pc pc;                   // instruction that trapped
+  uint64_t address = 0;    // faulting address, when applicable
+  std::string message;     // assert text or diagnostic
+
+  std::string ToString(const Module& module) const;
+};
+
+}  // namespace res
+
+#endif  // RES_VM_TRAP_H_

@@ -1,0 +1,140 @@
+// The resvm concrete interpreter.
+//
+// Executes a verified Module one instruction at a time under sequential
+// consistency. A pluggable Scheduler interleaves threads, a pluggable
+// InputProvider supplies environment values, and an optional Recorder
+// implements the record-replay baselines. On failure the VM freezes with
+// full state (memory, heap metadata, all thread stacks, LBR rings, error
+// log) ready for coredump capture.
+#ifndef RES_VM_VM_H_
+#define RES_VM_VM_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/cfg/cfg.h"
+#include "src/ir/module.h"
+#include "src/support/status.h"
+#include "src/vm/address_space.h"
+#include "src/vm/breadcrumbs.h"
+#include "src/vm/heap.h"
+#include "src/vm/input.h"
+#include "src/vm/recorder.h"
+#include "src/vm/scheduler.h"
+#include "src/vm/thread.h"
+#include "src/vm/trap.h"
+
+namespace res {
+
+struct VmOptions {
+  uint64_t max_steps = 50'000'000;
+  size_t error_log_capacity = 64;
+  // Records the full sequence of (thread, block) entries — ground truth for
+  // tests; never available to RES itself (that would be recording!).
+  bool record_block_trace = false;
+  // Journals every consumed input (test ground truth, same caveat).
+  bool record_consumed_inputs = false;
+};
+
+struct BlockTraceEntry {
+  uint32_t thread;
+  BlockRef block;
+  bool operator==(const BlockTraceEntry&) const = default;
+};
+
+enum class RunOutcome : uint8_t {
+  kHalted = 0,         // main thread exited normally
+  kTrapped = 1,        // failure trap (see TrapInfo)
+  kStepLimit = 2,      // budget exhausted
+  kScheduleDiverged = 3,  // scripted replay could not follow its schedule
+};
+
+struct RunResult {
+  RunOutcome outcome = RunOutcome::kHalted;
+  TrapInfo trap;
+  uint64_t steps = 0;
+};
+
+class Vm {
+ public:
+  explicit Vm(const Module* module, VmOptions options = {});
+
+  // Non-owning collaborators; defaults: round-robin scheduler, zero inputs.
+  void set_scheduler(Scheduler* s) { scheduler_ = s; }
+  void set_input_provider(InputProvider* p) { inputs_ = p; }
+  void set_recorder(Recorder* r) { recorder_ = r; }
+
+  // (Re)initializes globals and the main thread. Must be called before Run
+  // unless RestoreForReplay was used.
+  Status Reset();
+
+  // Replaces execution state wholesale (replay of a synthesized suffix).
+  void RestoreForReplay(AddressSpace memory, Heap heap, std::vector<Thread> threads);
+
+  // Runs until halt/trap/limit.
+  RunResult Run();
+
+  // Runs at most `steps` further instructions (incremental driving, used by
+  // the debugger). Returns the same result kinds; kStepLimit means "still
+  // running".
+  RunResult RunBounded(uint64_t steps);
+
+  // --- State inspection (coredump capture, tests, debugger). ---
+  const Module& module() const { return *module_; }
+  const AddressSpace& memory() const { return memory_; }
+  AddressSpace* mutable_memory() { return &memory_; }
+  const Heap& heap() const { return heap_; }
+  const std::vector<Thread>& threads() const { return threads_; }
+  const TrapInfo& trap() const { return trap_; }
+  const ErrorLog& error_log() const { return error_log_; }
+  const LbrRing& lbr(uint32_t tid) const { return lbr_[tid]; }
+  uint64_t steps() const { return steps_; }
+  const std::vector<BlockTraceEntry>& block_trace() const { return block_trace_; }
+  const std::vector<ConsumedInput>& consumed_inputs() const { return consumed_inputs_; }
+
+ private:
+  // Executes one instruction of thread `tid`; returns false if the program
+  // should stop (trap or main-thread exit).
+  bool Step(uint32_t tid);
+
+  void RaiseTrap(TrapKind kind, uint32_t tid, const Pc& pc, uint64_t address,
+                 std::string message);
+
+  // Memory access with heap poisoning checks. On failure raises a trap and
+  // returns false.
+  bool CheckedRead(uint32_t tid, const Pc& pc, uint64_t addr, int64_t* out);
+  bool CheckedWrite(uint32_t tid, const Pc& pc, uint64_t addr, int64_t value);
+
+  void RecordBranch(uint32_t tid, const Pc& source, FuncId dfunc, BlockId dblock);
+  void EnterBlock(uint32_t tid, FuncId func, BlockId block);
+  void WakeLockWaiters(uint64_t mutex_addr);
+  void WakeJoiners(uint32_t exited_tid);
+  void ThreadExit(uint32_t tid, int64_t value);
+
+  const Module* module_;
+  VmOptions options_;
+
+  AddressSpace memory_;
+  Heap heap_;
+  std::vector<Thread> threads_;
+  std::vector<LbrRing> lbr_;
+  ErrorLog error_log_;
+  TrapInfo trap_;
+  bool stopped_ = false;
+  bool main_exited_ = false;
+  uint64_t steps_ = 0;
+  uint32_t current_tid_ = 0;
+
+  RoundRobinScheduler default_scheduler_;
+  Scheduler* scheduler_;
+  InputProvider* inputs_ = nullptr;  // null => every input reads 0
+  Recorder* recorder_ = nullptr;
+
+  std::vector<BlockTraceEntry> block_trace_;
+  std::vector<ConsumedInput> consumed_inputs_;
+};
+
+}  // namespace res
+
+#endif  // RES_VM_VM_H_

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "src/coredump/corruptor.h"
+#include "src/coredump/serialize.h"
+#include "src/workloads/harness.h"
+#include "src/workloads/workloads.h"
+
+namespace res {
+namespace {
+
+Coredump DumpOf(const char* workload) {
+  const WorkloadSpec& spec = WorkloadByName(workload);
+  Module module = spec.build();
+  FailureRunOptions options;
+  options.require_live_peers = spec.requires_live_peers;
+  auto run = RunToFailure(module, spec, options);
+  EXPECT_TRUE(run.ok()) << run.status().ToString();
+  return run.ok() ? std::move(run).value().dump : Coredump{};
+}
+
+TEST(CoredumpTest, CaptureHasFullState) {
+  const WorkloadSpec& spec = WorkloadByName("use_after_free");
+  Module module = spec.build();
+  auto run = RunToFailure(module, spec);
+  ASSERT_TRUE(run.ok());
+  const Coredump& dump = run.value().dump;
+  EXPECT_EQ(dump.trap.kind, TrapKind::kUseAfterFree);
+  EXPECT_TRUE(dump.has_memory);
+  EXPECT_GT(dump.memory.MappedWordCount(), 0u);
+  ASSERT_FALSE(dump.threads.empty());
+  EXPECT_FALSE(dump.FaultingThread().frames.empty());
+  EXPECT_FALSE(dump.heap_allocations.empty());
+  // The allocation the UAF touched is marked freed.
+  bool freed_alloc = false;
+  for (const Allocation& a : dump.heap_allocations) {
+    freed_alloc |= a.state == AllocState::kFreed;
+  }
+  EXPECT_TRUE(freed_alloc);
+}
+
+TEST(CoredumpTest, StackSignatureReflectsCallPath) {
+  Module module = BuildUseAfterFree();
+  const WorkloadSpec& spec = WorkloadByName("use_after_free");
+
+  WorkloadSpec path_a = spec;
+  path_a.channel0_inputs = {1};
+  WorkloadSpec path_b = spec;
+  path_b.channel0_inputs = {2};
+
+  auto run_a = RunToFailure(module, path_a);
+  auto run_b = RunToFailure(module, path_b);
+  ASSERT_TRUE(run_a.ok());
+  ASSERT_TRUE(run_b.ok());
+  std::string sig_a = FaultingStackSignature(module, run_a.value().dump);
+  std::string sig_b = FaultingStackSignature(module, run_b.value().dump);
+  EXPECT_NE(sig_a, sig_b);  // same bug, different stacks — the WER trap
+  EXPECT_NE(sig_a.find("use_via_reader"), std::string::npos);
+  EXPECT_NE(sig_b.find("use_via_flusher"), std::string::npos);
+}
+
+TEST(CoredumpTest, MinidumpStripsMemory) {
+  Coredump full = DumpOf("div_by_zero_input");
+  Coredump mini = MakeMinidump(full);
+  EXPECT_FALSE(mini.has_memory);
+  EXPECT_EQ(mini.memory.MappedWordCount(), 0u);
+  EXPECT_TRUE(mini.heap_allocations.empty());
+  EXPECT_EQ(mini.threads.size(), full.threads.size());
+  EXPECT_EQ(mini.trap.kind, full.trap.kind);
+  // Stacks and registers survive.
+  EXPECT_EQ(mini.FaultingThread().frames, full.FaultingThread().frames);
+}
+
+class SerializeRoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SerializeRoundTripTest, ExactRoundTrip) {
+  Coredump dump = DumpOf(GetParam());
+  std::vector<uint8_t> bytes = SerializeCoredump(dump);
+  auto restored = DeserializeCoredump(bytes);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  const Coredump& r = restored.value();
+  EXPECT_EQ(r.trap.kind, dump.trap.kind);
+  EXPECT_TRUE(r.trap.pc == dump.trap.pc);
+  EXPECT_EQ(r.trap.message, dump.trap.message);
+  EXPECT_TRUE(r.memory == dump.memory);
+  ASSERT_EQ(r.threads.size(), dump.threads.size());
+  for (size_t i = 0; i < r.threads.size(); ++i) {
+    EXPECT_EQ(r.threads[i], dump.threads[i]) << "thread " << i;
+  }
+  ASSERT_EQ(r.heap_allocations.size(), dump.heap_allocations.size());
+  EXPECT_EQ(r.heap_next_free, dump.heap_next_free);
+  ASSERT_EQ(r.error_log.size(), dump.error_log.size());
+  // Serialization is deterministic.
+  EXPECT_EQ(SerializeCoredump(r), bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, SerializeRoundTripTest,
+                         ::testing::Values("div_by_zero_input", "use_after_free",
+                                           "deadlock", "racy_counter",
+                                           "buffer_overflow"));
+
+TEST(SerializeTest, RejectsTruncation) {
+  Coredump dump = DumpOf("div_by_zero_input");
+  std::vector<uint8_t> bytes = SerializeCoredump(dump);
+  for (size_t cut : {size_t{0}, size_t{4}, bytes.size() / 2, bytes.size() - 1}) {
+    std::vector<uint8_t> truncated(bytes.begin(), bytes.begin() + cut);
+    EXPECT_FALSE(DeserializeCoredump(truncated).ok()) << "cut at " << cut;
+  }
+}
+
+TEST(SerializeTest, RejectsBadMagic) {
+  Coredump dump = DumpOf("div_by_zero_input");
+  std::vector<uint8_t> bytes = SerializeCoredump(dump);
+  bytes[0] ^= 0xff;
+  EXPECT_FALSE(DeserializeCoredump(bytes).ok());
+}
+
+TEST(SerializeTest, RejectsTrailingGarbage) {
+  Coredump dump = DumpOf("div_by_zero_input");
+  std::vector<uint8_t> bytes = SerializeCoredump(dump);
+  bytes.push_back(0);
+  EXPECT_FALSE(DeserializeCoredump(bytes).ok());
+}
+
+TEST(CorruptorTest, MemoryBitFlipChangesExactlyOneWord) {
+  Coredump dump = DumpOf("div_by_zero_input");
+  Coredump corrupted = dump;
+  Rng rng(42);
+  auto fault = InjectMemoryBitFlip(&corrupted, &rng);
+  ASSERT_TRUE(fault.has_value());
+  EXPECT_EQ(fault->kind, InjectedFaultKind::kMemoryBitFlip);
+  size_t diffs = 0;
+  dump.memory.ForEachWord([&](uint64_t addr, int64_t value) {
+    auto other = corrupted.memory.ReadWord(addr);
+    if (!other.ok() || other.value() != value) {
+      ++diffs;
+      EXPECT_EQ(addr, fault->address);
+      // Exactly one bit differs.
+      uint64_t x = static_cast<uint64_t>(value ^ other.value());
+      EXPECT_EQ(x & (x - 1), 0u);
+    }
+  });
+  EXPECT_EQ(diffs, 1u);
+}
+
+TEST(CorruptorTest, RegisterCorruptionTouchesOneFrame) {
+  Coredump dump = DumpOf("racy_counter");
+  Coredump corrupted = dump;
+  Rng rng(43);
+  auto fault = InjectRegisterCorruption(&corrupted, &rng);
+  ASSERT_TRUE(fault.has_value());
+  EXPECT_EQ(fault->kind, InjectedFaultKind::kRegisterCorruption);
+  const Frame& frame = corrupted.threads[fault->thread].frames[fault->frame];
+  EXPECT_EQ(frame.regs[fault->reg], fault->new_value);
+  EXPECT_NE(fault->old_value, fault->new_value);
+}
+
+TEST(CorruptorTest, MemoryFlipOnMinidumpFails) {
+  Coredump mini = MakeMinidump(DumpOf("div_by_zero_input"));
+  Rng rng(1);
+  EXPECT_FALSE(InjectMemoryBitFlip(&mini, &rng).has_value());
+}
+
+}  // namespace
+}  // namespace res

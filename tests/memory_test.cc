@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "src/vm/address_space.h"
+#include "src/vm/heap.h"
+
+namespace res {
+namespace {
+
+TEST(AddressSpaceTest, UnmappedReadsFault) {
+  AddressSpace as;
+  EXPECT_FALSE(as.ReadWord(kGlobalBase).ok());
+  EXPECT_FALSE(as.IsMappedWord(kGlobalBase));
+}
+
+TEST(AddressSpaceTest, MapThenReadWrite) {
+  AddressSpace as;
+  ASSERT_TRUE(as.MapRegion(kGlobalBase, 4).ok());
+  EXPECT_TRUE(as.IsMappedWord(kGlobalBase));
+  EXPECT_TRUE(as.IsMappedWord(kGlobalBase + 24));
+  EXPECT_FALSE(as.IsMappedWord(kGlobalBase + 32));
+  EXPECT_EQ(as.ReadWord(kGlobalBase).value(), 0);
+  ASSERT_TRUE(as.WriteWord(kGlobalBase + 8, -5).ok());
+  EXPECT_EQ(as.ReadWord(kGlobalBase + 8).value(), -5);
+}
+
+TEST(AddressSpaceTest, UnalignedAccessFaults) {
+  AddressSpace as;
+  ASSERT_TRUE(as.MapRegion(kGlobalBase, 1).ok());
+  EXPECT_FALSE(as.ReadWord(kGlobalBase + 1).ok());
+  EXPECT_FALSE(as.WriteWord(kGlobalBase + 4, 1).ok());
+  EXPECT_FALSE(as.MapRegion(kGlobalBase + 3, 1).ok());
+}
+
+TEST(AddressSpaceTest, CrossPageRegions) {
+  AddressSpace as;
+  uint64_t base = kGlobalBase + AddressSpace::kPageBytes - 2 * kWordSize;
+  ASSERT_TRUE(as.MapRegion(base, 4).ok());  // straddles a page boundary
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(as.WriteWord(base + i * kWordSize, i).ok());
+  }
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(as.ReadWord(base + i * kWordSize).value(), i);
+  }
+  EXPECT_EQ(as.MappedWordCount(), 4u);
+}
+
+TEST(AddressSpaceTest, UnmapRegion) {
+  AddressSpace as;
+  ASSERT_TRUE(as.MapRegion(kHeapBase, 4).ok());
+  as.UnmapRegion(kHeapBase, 2);
+  EXPECT_FALSE(as.IsMappedWord(kHeapBase));
+  EXPECT_TRUE(as.IsMappedWord(kHeapBase + 16));
+}
+
+TEST(AddressSpaceTest, CloneIsDeepAndEqual) {
+  AddressSpace as;
+  ASSERT_TRUE(as.MapRegion(kGlobalBase, 2).ok());
+  ASSERT_TRUE(as.WriteWord(kGlobalBase, 11).ok());
+  AddressSpace copy = as.Clone();
+  EXPECT_TRUE(as == copy);
+  ASSERT_TRUE(copy.WriteWord(kGlobalBase, 12).ok());
+  EXPECT_FALSE(as == copy);
+  EXPECT_EQ(as.ReadWord(kGlobalBase).value(), 11);
+}
+
+TEST(AddressSpaceTest, ForEachWordVisitsInOrder) {
+  AddressSpace as;
+  ASSERT_TRUE(as.MapRegion(kHeapBase, 2).ok());
+  ASSERT_TRUE(as.MapRegion(kGlobalBase, 1).ok());
+  std::vector<uint64_t> addrs;
+  as.ForEachWord([&addrs](uint64_t a, int64_t) { addrs.push_back(a); });
+  ASSERT_EQ(addrs.size(), 3u);
+  EXPECT_EQ(addrs[0], kGlobalBase);  // ascending order
+  EXPECT_EQ(addrs[1], kHeapBase);
+}
+
+TEST(HeapTest, BumpAllocation) {
+  Heap heap;
+  uint64_t a = heap.Allocate(24).value();
+  uint64_t b = heap.Allocate(1).value();
+  EXPECT_EQ(a, kHeapBase);
+  EXPECT_EQ(b, a + 24);  // 24 bytes = 3 words
+  EXPECT_EQ(heap.allocations().at(b).size_words, 1u);
+}
+
+TEST(HeapTest, ZeroByteAllocationGetsDistinctAddress) {
+  Heap heap;
+  uint64_t a = heap.Allocate(0).value();
+  uint64_t b = heap.Allocate(0).value();
+  EXPECT_NE(a, b);
+}
+
+TEST(HeapTest, FreeAndAccessVerdicts) {
+  Heap heap;
+  uint64_t a = heap.Allocate(16).value();
+  EXPECT_EQ(heap.CheckAccess(a + 8), Heap::AccessVerdict::kOk);
+  ASSERT_TRUE(heap.Free(a).ok());
+  EXPECT_EQ(heap.CheckAccess(a + 8), Heap::AccessVerdict::kFreed);
+  EXPECT_EQ(heap.CheckAccess(a + 64), Heap::AccessVerdict::kUnallocated);
+}
+
+TEST(HeapTest, DoubleFreeRejected) {
+  Heap heap;
+  uint64_t a = heap.Allocate(8).value();
+  ASSERT_TRUE(heap.Free(a).ok());
+  Status second = heap.Free(a);
+  EXPECT_EQ(second.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(HeapTest, InvalidFreeRejected) {
+  Heap heap;
+  heap.Allocate(16).value();
+  EXPECT_EQ(heap.Free(kHeapBase + 8).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(heap.Free(0x1234).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(HeapTest, FindCoveringBoundaries) {
+  Heap heap;
+  uint64_t a = heap.Allocate(16).value();  // 2 words
+  EXPECT_EQ(heap.FindCovering(a)->base, a);
+  EXPECT_EQ(heap.FindCovering(a + 8)->base, a);
+  EXPECT_EQ(heap.FindCovering(a + 16), nullptr);
+  EXPECT_EQ(heap.FindCovering(a - 8), nullptr);
+}
+
+TEST(HeapTest, SequenceNumbersMonotone) {
+  Heap heap;
+  uint64_t a = heap.Allocate(8).value();
+  uint64_t b = heap.Allocate(8).value();
+  EXPECT_LT(heap.allocations().at(a).alloc_seq, heap.allocations().at(b).alloc_seq);
+}
+
+TEST(HeapTest, RestoreAllocationRebuildsCursors) {
+  Heap heap;
+  Allocation a;
+  a.base = kHeapBase + 64;
+  a.size_words = 2;
+  a.alloc_seq = 9;
+  heap.RestoreAllocation(a);
+  EXPECT_GE(heap.next_free(), a.base + 16);
+  EXPECT_GT(heap.next_seq(), 9u);
+}
+
+}  // namespace
+}  // namespace res

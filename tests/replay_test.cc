@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "src/replay/debugger.h"
+#include "src/replay/replay.h"
+#include "src/res/res_api.h"
+#include "src/workloads/harness.h"
+#include "src/workloads/workloads.h"
+
+namespace res {
+namespace {
+
+struct Synthesized {
+  Module module;
+  Coredump dump;
+  std::unique_ptr<ResEngine> engine;
+  SynthesizedSuffix suffix;
+};
+
+Synthesized SynthesizeFor(const char* workload) {
+  Synthesized out;
+  const WorkloadSpec& spec = WorkloadByName(workload);
+  out.module = spec.build();
+  FailureRunOptions options;
+  options.require_live_peers = spec.requires_live_peers;
+  auto run = RunToFailure(out.module, spec, options);
+  EXPECT_TRUE(run.ok()) << run.status().ToString();
+  out.dump = std::move(run).value().dump;
+  out.engine = std::make_unique<ResEngine>(out.module, out.dump);
+  ResResult result = out.engine->Run();
+  EXPECT_TRUE(result.suffix.has_value());
+  if (result.suffix.has_value()) {
+    out.suffix = std::move(*result.suffix);
+  }
+  return out;
+}
+
+TEST(ReplayStateTest, ConcretizesInitialState) {
+  Synthesized s = SynthesizeFor("div_by_zero_input");
+  auto state = BuildReplayState(s.module, s.dump, s.suffix, s.engine->pool());
+  ASSERT_TRUE(state.ok()) << state.status().ToString();
+  EXPECT_FALSE(state.value().threads.empty());
+  EXPECT_FALSE(state.value().schedule.empty());
+  // The crashing input (0) appears in the input journal.
+  ASSERT_FALSE(state.value().inputs.empty());
+  EXPECT_EQ(state.value().inputs[0].second, 0);
+}
+
+TEST(ReplayStateTest, UnverifiedSuffixRejected) {
+  Synthesized s = SynthesizeFor("div_by_zero_input");
+  s.suffix.verified = false;
+  auto state = BuildReplayState(s.module, s.dump, s.suffix, s.engine->pool());
+  EXPECT_FALSE(state.ok());
+}
+
+TEST(CompareCoredumpsTest, IdenticalDumpsMatch) {
+  Synthesized s = SynthesizeFor("div_by_zero_input");
+  std::string why;
+  EXPECT_TRUE(CompareCoredumps(s.module, s.dump, s.dump, &why)) << why;
+}
+
+TEST(CompareCoredumpsTest, DetectsMemoryDifference) {
+  Synthesized s = SynthesizeFor("div_by_zero_input");
+  Coredump other = s.dump;
+  const GlobalVar* g = s.module.FindGlobal("quotient");
+  other.memory.WriteWordUnchecked(g->address, 9999);
+  std::string why;
+  EXPECT_FALSE(CompareCoredumps(s.module, s.dump, other, &why));
+  EXPECT_NE(why.find("memory"), std::string::npos);
+}
+
+TEST(CompareCoredumpsTest, DetectsRegisterDifference) {
+  Synthesized s = SynthesizeFor("div_by_zero_input");
+  Coredump other = s.dump;
+  other.threads[0].frames.back().regs[0] ^= 1;
+  std::string why;
+  EXPECT_FALSE(CompareCoredumps(s.module, s.dump, other, &why));
+  EXPECT_NE(why.find("registers"), std::string::npos);
+}
+
+TEST(CompareCoredumpsTest, DetectsTrapDifference) {
+  Synthesized s = SynthesizeFor("div_by_zero_input");
+  Coredump other = s.dump;
+  other.trap.kind = TrapKind::kAssertFailure;
+  std::string why;
+  EXPECT_FALSE(CompareCoredumps(s.module, s.dump, other, &why));
+  EXPECT_NE(why.find("trap"), std::string::npos);
+}
+
+TEST(DebuggerTest, RunsToTheFailure) {
+  Synthesized s = SynthesizeFor("div_by_zero_input");
+  SuffixDebugger dbg(s.module, s.dump, s.suffix, s.engine->pool());
+  ASSERT_TRUE(dbg.Start().ok());
+  auto result = dbg.Continue();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().outcome, RunOutcome::kTrapped);
+  EXPECT_EQ(result.value().trap.kind, TrapKind::kDivByZero);
+}
+
+TEST(DebuggerTest, BreakpointStopsBeforeFailure) {
+  Synthesized s = SynthesizeFor("div_by_zero_input");
+  SuffixDebugger dbg(s.module, s.dump, s.suffix, s.engine->pool());
+  ASSERT_TRUE(dbg.Start().ok());
+  // Break at the head of the crash block.
+  Pc bp{s.module.entry(), s.dump.trap.pc.block, 0};
+  dbg.AddBreakpoint(bp);
+  auto result = dbg.Continue();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().outcome, RunOutcome::kStepLimit);  // still running
+  auto pc = dbg.CurrentPc(0);
+  ASSERT_TRUE(pc.ok());
+  EXPECT_EQ(pc.value(), bp);
+}
+
+TEST(DebuggerTest, StateInspectionAtBreakpoint) {
+  Synthesized s = SynthesizeFor("div_by_zero_input");
+  SuffixDebugger dbg(s.module, s.dump, s.suffix, s.engine->pool());
+  ASSERT_TRUE(dbg.Start().ok());
+  dbg.AddBreakpoint(Pc{s.module.entry(), s.dump.trap.pc.block, 0});
+  ASSERT_TRUE(dbg.Continue().ok());
+  // The poisoned divisor is visible in memory before the crash.
+  const GlobalVar* divisor = s.module.FindGlobal("divisor");
+  auto word = dbg.ReadMemory(divisor->address);
+  ASSERT_TRUE(word.ok());
+  EXPECT_EQ(word.value(), 0);
+}
+
+TEST(DebuggerTest, ReverseStepWithoutRecording) {
+  Synthesized s = SynthesizeFor("div_by_zero_input");
+  SuffixDebugger dbg(s.module, s.dump, s.suffix, s.engine->pool());
+  ASSERT_TRUE(dbg.Start().ok());
+  // Step forward three times, remember the PCs.
+  std::vector<Pc> pcs;
+  for (int i = 0; i < 3; ++i) {
+    pcs.push_back(dbg.CurrentPc(0).value());
+    ASSERT_TRUE(dbg.StepInstruction().ok());
+  }
+  // Reverse-step twice: PC must walk back through the same sequence.
+  ASSERT_TRUE(dbg.ReverseStepInstruction().ok());
+  EXPECT_EQ(dbg.CurrentPc(0).value(), pcs[2]);
+  ASSERT_TRUE(dbg.ReverseStepInstruction().ok());
+  EXPECT_EQ(dbg.CurrentPc(0).value(), pcs[1]);
+  EXPECT_EQ(dbg.steps_executed(), 1u);
+}
+
+TEST(DebuggerTest, ReverseAtStartRefuses) {
+  Synthesized s = SynthesizeFor("div_by_zero_input");
+  SuffixDebugger dbg(s.module, s.dump, s.suffix, s.engine->pool());
+  ASSERT_TRUE(dbg.Start().ok());
+  EXPECT_FALSE(dbg.ReverseStepInstruction().ok());
+}
+
+TEST(DebuggerTest, MultithreadedSuffixReplays) {
+  Synthesized s = SynthesizeFor("racy_counter");
+  if (!s.suffix.verified) {
+    GTEST_SKIP() << "unverified suffix";
+  }
+  SuffixDebugger dbg(s.module, s.dump, s.suffix, s.engine->pool());
+  ASSERT_TRUE(dbg.Start().ok());
+  auto result = dbg.Continue();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().outcome, RunOutcome::kTrapped);
+  EXPECT_EQ(result.value().trap.kind, TrapKind::kAssertFailure);
+}
+
+// Property: replaying the same suffix K times yields byte-identical
+// serialized coredumps (T6's determinism claim).
+TEST(ReplayDeterminismTest, SerializedDumpsAreByteIdentical) {
+  Synthesized s = SynthesizeFor("use_after_free");
+  std::vector<uint8_t> first;
+  for (int round = 0; round < 3; ++round) {
+    auto replay = ReplaySuffix(s.module, s.dump, s.suffix, s.engine->pool());
+    ASSERT_TRUE(replay.ok());
+    ASSERT_TRUE(replay.value().trap_matches);
+    std::vector<uint8_t> bytes = SerializeCoredump(replay.value().replay_dump);
+    if (round == 0) {
+      first = bytes;
+    } else {
+      EXPECT_EQ(bytes, first) << "round " << round;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace res

@@ -1,0 +1,316 @@
+// Unit-level tests of the RES engine's components and behaviours beyond the
+// end-to-end integration suite: snapshots, trap consistency, breadcrumb
+// pruning, the minidump ablation, suffix artifacts and schedules.
+#include <gtest/gtest.h>
+
+#include "src/res/res_api.h"
+#include "src/workloads/harness.h"
+#include "src/workloads/workloads.h"
+
+namespace res {
+namespace {
+
+FailureRun FailWorkload(const char* name, const Module& module) {
+  const WorkloadSpec& spec = WorkloadByName(name);
+  FailureRunOptions options;
+  options.require_live_peers = spec.requires_live_peers;
+  auto run = RunToFailure(module, spec, options);
+  EXPECT_TRUE(run.ok()) << run.status().ToString();
+  return run.ok() ? std::move(run).value() : FailureRun{};
+}
+
+TEST(SymSnapshotTest, BaseCaseIsExactCoredumpCopy) {
+  Module module = BuildDivByZeroInput();
+  FailureRun failure = FailWorkload("div_by_zero_input", module);
+  ExprPool pool;
+  SymSnapshot snap = SymSnapshot::FromCoredump(module, failure.dump, &pool);
+
+  // Every register is the concrete dump value.
+  ASSERT_EQ(snap.threads().size(), failure.dump.threads.size());
+  const SymFrame& frame = snap.threads()[0].frames.back();
+  const Frame& dump_frame = failure.dump.threads[0].frames.back();
+  for (size_t r = 0; r < frame.regs.size(); ++r) {
+    ASSERT_TRUE(frame.regs[r]->is_const());
+    EXPECT_EQ(frame.regs[r]->value, dump_frame.regs[r]);
+  }
+  // Memory reads come from the dump image.
+  const GlobalVar* divisor = module.FindGlobal("divisor");
+  const Expr* word = snap.ReadMem(&pool, divisor->address);
+  ASSERT_NE(word, nullptr);
+  EXPECT_TRUE(word->is_const());
+  EXPECT_EQ(word->value, 0);
+  // Unmapped words read as null.
+  EXPECT_EQ(snap.ReadMem(&pool, 0x40), nullptr);
+}
+
+TEST(SymSnapshotTest, OverlayWinsOverDumpImage) {
+  Module module = BuildDivByZeroInput();
+  FailureRun failure = FailWorkload("div_by_zero_input", module);
+  ExprPool pool;
+  SymSnapshot snap = SymSnapshot::FromCoredump(module, failure.dump, &pool);
+  const GlobalVar* divisor = module.FindGlobal("divisor");
+  const Expr* var = pool.Var("havoc", VarOrigin::kHavocMem);
+  snap.WriteMem(divisor->address, var);
+  EXPECT_EQ(snap.ReadMem(&pool, divisor->address), var);
+}
+
+TEST(SymSnapshotTest, HeapQueriesAndNewestLive) {
+  Module module = BuildUseAfterFree();
+  FailureRun failure = FailWorkload("use_after_free", module);
+  ExprPool pool;
+  SymSnapshot snap = SymSnapshot::FromCoredump(module, failure.dump, &pool);
+  ASSERT_FALSE(snap.heap().empty());
+  const SnapAlloc* a = snap.FindAlloc(failure.dump.trap.address);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->state, SnapAllocState::kFreed);
+  SnapAlloc* newest = snap.NewestLiveAlloc();
+  ASSERT_NE(newest, nullptr);
+  newest->state = SnapAllocState::kUnallocated;
+  EXPECT_EQ(snap.NewestLiveAlloc(), nullptr);  // only one allocation here
+}
+
+TEST(TrapConsistencyTest, GenuineDumpsAreConsistent) {
+  for (const char* name : {"div_by_zero_input", "semantic_assert",
+                           "use_after_free", "double_free", "deadlock"}) {
+    const WorkloadSpec& spec = WorkloadByName(name);
+    Module module = spec.build();
+    FailureRun failure = FailWorkload(name, module);
+    ResEngine engine(module, failure.dump);
+    std::string why;
+    EXPECT_TRUE(engine.CheckTrapConsistency(&why)) << name << ": " << why;
+  }
+}
+
+TEST(TrapConsistencyTest, FlippedAssertRegisterDetected) {
+  Module module = BuildSemanticAssert();
+  FailureRun failure = FailWorkload("semantic_assert", module);
+  Coredump corrupted = failure.dump;
+  // Flip the assert condition register to a non-zero value: the trap becomes
+  // impossible — exactly the CPU-error signature of §3.2.
+  const Function& fn = module.function(corrupted.trap.pc.func);
+  const Instruction& assert_inst =
+      fn.blocks[corrupted.trap.pc.block].instructions[corrupted.trap.pc.index];
+  corrupted.threads[0].frames.back().regs[assert_inst.rc] = 1;
+
+  ResEngine engine(module, corrupted);
+  std::string why;
+  EXPECT_FALSE(engine.CheckTrapConsistency(&why));
+  ResResult result = engine.Run();
+  EXPECT_TRUE(result.dump_inconsistent_at_trap);
+  EXPECT_TRUE(result.hardware_error_suspected);
+  EXPECT_EQ(result.stop, StopReason::kInconsistentDump);
+}
+
+TEST(ResEngineTest, ReachesProgramStartOnShortPrograms) {
+  Module module = BuildDivByZeroInput();
+  FailureRun failure = FailWorkload("div_by_zero_input", module);
+  ResOptions options;
+  options.stop_at_root_cause = false;  // synthesize the complete execution
+  ResEngine engine(module, failure.dump, options);
+  ResResult result = engine.Run();
+  EXPECT_EQ(result.stop, StopReason::kReachedStart);
+  ASSERT_TRUE(result.suffix.has_value());
+  EXPECT_TRUE(result.suffix->verified);
+  // The complete execution covers both of main's blocks.
+  EXPECT_EQ(result.suffix->units.size(), 2u);
+}
+
+TEST(ResEngineTest, SuffixLengthBoundRespected) {
+  Module module = BuildLongExecution(1000);
+  const WorkloadSpec div_spec = [] {
+    WorkloadSpec s = WorkloadByName("div_by_zero_input");
+    s.name = "long";
+    return s;
+  }();
+  WorkloadSpec spec = div_spec;
+  spec.build = nullptr;
+  FailureRunOptions opts;
+  auto run = RunToFailure(module, spec, opts);
+  ASSERT_TRUE(run.ok());
+  ResOptions options;
+  options.stop_at_root_cause = false;
+  options.max_units = 6;
+  ResEngine engine(module, run.value().dump, options);
+  ResResult result = engine.Run();
+  ASSERT_TRUE(result.suffix.has_value());
+  EXPECT_LE(result.suffix->units.size(), 6u);
+  EXPECT_EQ(result.stop, StopReason::kMaxDepth);
+}
+
+TEST(ResEngineTest, BreadcrumbsReduceExploration) {
+  // On a branchy program, LBR + error-log breadcrumbs must not increase the
+  // number of hypotheses explored (and typically shrink it).
+  Module module = BuildLongExecution(64);
+  WorkloadSpec spec = WorkloadByName("div_by_zero_input");
+  auto run = RunToFailure(module, spec, {});
+  ASSERT_TRUE(run.ok());
+
+  ResOptions with;
+  with.stop_at_root_cause = false;
+  with.max_units = 24;
+  ResOptions without = with;
+  without.use_lbr = false;
+  without.use_error_log = false;
+
+  ResEngine engine_with(module, run.value().dump, with);
+  ResEngine engine_without(module, run.value().dump, without);
+  ResResult r_with = engine_with.Run();
+  ResResult r_without = engine_without.Run();
+  EXPECT_LE(r_with.stats.hypotheses_explored, r_without.stats.hypotheses_explored);
+}
+
+TEST(ResEngineTest, MinidumpModeStillFindsInputBug) {
+  // The ablation: without the memory image RES loses precision but the
+  // div-by-zero's operand chain is register/stack-local enough to resolve.
+  Module module = BuildDivByZeroInput();
+  FailureRun failure = FailWorkload("div_by_zero_input", module);
+  Coredump mini = MakeMinidump(failure.dump);
+  ResEngine engine(module, mini);
+  ResResult result = engine.Run();
+  EXPECT_FALSE(result.dump_inconsistent_at_trap);
+  ASSERT_TRUE(result.suffix.has_value());
+}
+
+TEST(ResEngineTest, MinidumpLosesHardwareDetection) {
+  // A memory bit flip is invisible without the memory image: minidump mode
+  // must NOT claim hardware error (it cannot see the inconsistency).
+  Module module = BuildSemanticAssert();
+  auto dumped = RunWithMemoryFault(module, {3}, /*flip_after_steps=*/4,
+                                   /*rng_seed=*/7);
+  if (!dumped.ok()) {
+    GTEST_SKIP() << "fault injection did not produce a crash with this seed";
+  }
+  Coredump mini = MakeMinidump(dumped.value());
+  ResEngine engine(module, mini);
+  ResResult result = engine.Run();
+  EXPECT_FALSE(result.dump_inconsistent_at_trap);
+}
+
+TEST(SuffixTest, ScheduleCoversUnitsAndTrap) {
+  Module module = BuildDivByZeroInput();
+  FailureRun failure = FailWorkload("div_by_zero_input", module);
+  ResEngine engine(module, failure.dump);
+  ResResult result = engine.Run();
+  ASSERT_TRUE(result.suffix.has_value());
+  std::vector<ScheduleSlice> schedule =
+      BuildSchedule(module, failure.dump, *result.suffix);
+  uint64_t total = 0;
+  for (const ScheduleSlice& s : schedule) {
+    total += s.steps;
+  }
+  // All unit instructions + 1 trap step.
+  EXPECT_EQ(total, result.suffix->TotalInstructions() + 1);
+}
+
+TEST(SuffixTest, ReadWriteSetsFocusAttention) {
+  Module module = BuildLongExecution(50);
+  WorkloadSpec spec = WorkloadByName("div_by_zero_input");
+  auto run = RunToFailure(module, spec, {});
+  ASSERT_TRUE(run.ok());
+  FailureRun failure = std::move(run).value();
+  ResEngine engine(module, failure.dump);
+  ResResult result = engine.Run();
+  ASSERT_TRUE(result.suffix.has_value());
+  ReadWriteSets sets = ComputeReadWriteSets(*result.suffix);
+  const GlobalVar* val = module.FindGlobal("divisor");
+  EXPECT_TRUE(sets.writes.count(val->address) || sets.reads.count(val->address));
+  // The focus set is far smaller than the full dump (paper §3.3).
+  EXPECT_LT(sets.reads.size() + sets.writes.size(),
+            failure.dump.memory.MappedWordCount());
+}
+
+TEST(SuffixTest, SuffixToStringMentionsEveryUnit) {
+  Module module = BuildDivByZeroInput();
+  FailureRun failure = FailWorkload("div_by_zero_input", module);
+  ResEngine engine(module, failure.dump);
+  ResResult result = engine.Run();
+  ASSERT_TRUE(result.suffix.has_value());
+  std::string text = SuffixToString(module, *result.suffix);
+  size_t lines = std::count(text.begin(), text.end(), '\n');
+  EXPECT_EQ(lines, result.suffix->units.size());
+}
+
+TEST(RootCauseTest, BucketSignatureStableAcrossStacks) {
+  // Two UAF dumps with different crash stacks bucket identically.
+  Module module = BuildUseAfterFree();
+  WorkloadSpec spec = WorkloadByName("use_after_free");
+  spec.channel0_inputs = {1};
+  auto run_a = RunToFailure(module, spec, {});
+  spec.channel0_inputs = {2};
+  auto run_b = RunToFailure(module, spec, {});
+  ASSERT_TRUE(run_a.ok());
+  ASSERT_TRUE(run_b.ok());
+
+  ResEngine engine_a(module, run_a.value().dump);
+  ResEngine engine_b(module, run_b.value().dump);
+  ResResult ra = engine_a.Run();
+  ResResult rb = engine_b.Run();
+  ASSERT_FALSE(ra.causes.empty());
+  ASSERT_FALSE(rb.causes.empty());
+  EXPECT_EQ(ra.causes.front().BucketSignature(module),
+            rb.causes.front().BucketSignature(module));
+  // While the WER-style stack signatures differ.
+  EXPECT_NE(FaultingStackSignature(module, run_a.value().dump),
+            FaultingStackSignature(module, run_b.value().dump));
+}
+
+TEST(RootCauseTest, DeadlockCycleFromDumpOnly) {
+  Module module = BuildDeadlock();
+  FailureRun failure = FailWorkload("deadlock", module);
+  auto cause = DetectDeadlockCycle(module, failure.dump);
+  ASSERT_TRUE(cause.has_value());
+  EXPECT_EQ(cause->kind, RootCauseKind::kDeadlock);
+  EXPECT_NE(cause->description.find("lock cycle"), std::string::npos);
+}
+
+TEST(RootCauseTest, ExploitabilityTaintOnOverflow) {
+  Module module = BuildBufferOverflow();
+  FailureRun failure = FailWorkload("buffer_overflow", module);
+  ResEngine engine(module, failure.dump);
+  ResResult result = engine.Run();
+  ASSERT_FALSE(result.causes.empty());
+  EXPECT_EQ(result.causes.front().kind, RootCauseKind::kBufferOverflow);
+  EXPECT_TRUE(result.causes.front().input_tainted)
+      << result.causes.front().description;
+}
+
+TEST(HashChainTest, SpilledInputReExecutesForward) {
+  // §6 workaround: with the input spilled to memory, RES re-executes the
+  // hash concretely and fully verifies the suffix.
+  Module module = BuildHashChain(/*spill_input=*/true);
+  WorkloadSpec spec = WorkloadByName("semantic_assert");
+  spec.channel0_inputs = {42};
+  spec.expected_trap = TrapKind::kAssertFailure;
+  auto run = RunToFailure(module, spec, {});
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ResOptions options;
+  options.stop_at_root_cause = false;
+  ResEngine engine(module, run.value().dump, options);
+  ResResult result = engine.Run();
+  ASSERT_TRUE(result.suffix.has_value());
+  EXPECT_TRUE(result.suffix->verified);
+  EXPECT_EQ(result.stop, StopReason::kReachedStart);
+}
+
+TEST(HashChainTest, UnspilledInputBlocksInversion) {
+  // Without the spill, reversing the hash requires inverting the mix: the
+  // solver answers UNKNOWN and the suffix stays unverified (but RES must
+  // not wrongly call it a hardware error).
+  // A large crashing input so the solver's local search cannot stumble on
+  // the preimage; inverting the mix is the only way, and it cannot.
+  Module module = BuildHashChain(/*spill_input=*/false, 77777777777);
+  WorkloadSpec spec = WorkloadByName("semantic_assert");
+  spec.channel0_inputs = {77777777777};
+  auto run = RunToFailure(module, spec, {});
+  ASSERT_TRUE(run.ok());
+  ResOptions options;
+  options.stop_at_root_cause = false;
+  ResEngine engine(module, run.value().dump, options);
+  ResResult result = engine.Run();
+  ASSERT_TRUE(result.suffix.has_value());
+  EXPECT_FALSE(result.suffix->verified);
+  EXPECT_GT(result.stats.unknown_kept, 0u);
+}
+
+}  // namespace
+}  // namespace res

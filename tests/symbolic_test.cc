@@ -1,0 +1,326 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+
+#include "src/support/rng.h"
+#include "src/symbolic/expr.h"
+#include "src/symbolic/solver.h"
+
+namespace res {
+namespace {
+
+class ExprTest : public ::testing::Test {
+ protected:
+  ExprPool pool_;
+};
+
+TEST_F(ExprTest, ConstantsAreInterned) {
+  EXPECT_EQ(pool_.Const(5), pool_.Const(5));
+  EXPECT_NE(pool_.Const(5), pool_.Const(6));
+}
+
+TEST_F(ExprTest, StructuralInterning) {
+  const Expr* v = pool_.Var("v", VarOrigin::kInput);
+  const Expr* a = pool_.Add(v, pool_.Const(3));
+  const Expr* b = pool_.Add(v, pool_.Const(3));
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(ExprTest, ConstantFolding) {
+  const Expr* e = pool_.Binary(BinOp::kMul, pool_.Const(6), pool_.Const(7));
+  ASSERT_TRUE(e->is_const());
+  EXPECT_EQ(e->value, 42);
+}
+
+TEST_F(ExprTest, AlgebraicIdentities) {
+  const Expr* v = pool_.Var("v", VarOrigin::kInput);
+  EXPECT_EQ(pool_.Add(v, pool_.Const(0)), v);
+  EXPECT_EQ(pool_.Binary(BinOp::kMul, v, pool_.Const(1)), v);
+  EXPECT_EQ(pool_.Binary(BinOp::kMul, v, pool_.Const(0)), pool_.Const(0));
+  EXPECT_EQ(pool_.Binary(BinOp::kSub, v, v), pool_.Const(0));
+  EXPECT_EQ(pool_.Binary(BinOp::kXor, v, v), pool_.Const(0));
+  EXPECT_EQ(pool_.Binary(BinOp::kAnd, v, pool_.Const(0)), pool_.Const(0));
+  EXPECT_EQ(pool_.Eq(v, v), pool_.Const(1));
+}
+
+TEST_F(ExprTest, AddReassociation) {
+  const Expr* v = pool_.Var("v", VarOrigin::kInput);
+  // (v + 3) + 4 -> v + 7
+  const Expr* e = pool_.Add(pool_.Add(v, pool_.Const(3)), pool_.Const(4));
+  EXPECT_EQ(e, pool_.Add(v, pool_.Const(7)));
+  // v - 3 -> v + (-3)
+  EXPECT_EQ(pool_.Binary(BinOp::kSub, v, pool_.Const(3)),
+            pool_.Add(v, pool_.Const(-3)));
+}
+
+TEST_F(ExprTest, SelectFolding) {
+  const Expr* v = pool_.Var("v", VarOrigin::kInput);
+  const Expr* w = pool_.Var("w", VarOrigin::kInput);
+  EXPECT_EQ(pool_.Select(pool_.Const(1), v, w), v);
+  EXPECT_EQ(pool_.Select(pool_.Const(0), v, w), w);
+  EXPECT_EQ(pool_.Select(v, w, w), w);
+}
+
+TEST_F(ExprTest, NotInvertsComparisons) {
+  const Expr* v = pool_.Var("v", VarOrigin::kInput);
+  const Expr* lt = pool_.Binary(BinOp::kLtS, v, pool_.Const(5));
+  const Expr* not_lt = pool_.Not(lt);
+  ASSERT_EQ(not_lt->kind, ExprKind::kBinary);
+  EXPECT_EQ(not_lt->bin_op, BinOp::kLeS);  // !(v < 5) == (5 <= v)
+}
+
+TEST_F(ExprTest, EvalMatchesApplyBinOp) {
+  const Expr* v = pool_.Var("v", VarOrigin::kInput);
+  const Expr* e = pool_.Binary(BinOp::kShl, v, pool_.Const(3));
+  Assignment a{{v->var, 5}};
+  EXPECT_EQ(EvalExpr(e, a), 40);
+}
+
+TEST_F(ExprTest, DivisionByZeroIsTotal) {
+  EXPECT_EQ(ApplyBinOp(BinOp::kDivS, 5, 0), 0);
+  EXPECT_EQ(ApplyBinOp(BinOp::kRemS, 5, 0), 0);
+  EXPECT_EQ(ApplyBinOp(BinOp::kDivS, INT64_MIN, -1), 0);
+}
+
+TEST_F(ExprTest, SubstituteRebuildsAndSimplifies) {
+  const Expr* v = pool_.Var("v", VarOrigin::kInput);
+  const Expr* w = pool_.Var("w", VarOrigin::kInput);
+  const Expr* e = pool_.Add(pool_.Binary(BinOp::kMul, v, pool_.Const(2)), w);
+  std::unordered_map<VarId, const Expr*> bindings{{v->var, pool_.Const(10)},
+                                                  {w->var, pool_.Const(2)}};
+  const Expr* s = Substitute(&pool_, e, bindings);
+  ASSERT_TRUE(s->is_const());
+  EXPECT_EQ(s->value, 22);
+}
+
+TEST_F(ExprTest, CollectVarsFindsAll) {
+  const Expr* v = pool_.Var("v", VarOrigin::kInput);
+  const Expr* w = pool_.Var("w", VarOrigin::kHavocMem);
+  const Expr* e = pool_.Select(v, pool_.Add(w, pool_.Const(1)), pool_.Const(0));
+  std::unordered_set<VarId> vars;
+  CollectVars(e, &vars);
+  EXPECT_EQ(vars.size(), 2u);
+  EXPECT_TRUE(vars.count(v->var));
+  EXPECT_TRUE(vars.count(w->var));
+}
+
+// Property: random expressions evaluate identically before and after
+// substitution with constant bindings (simplification is semantics-
+// preserving). This is the soundness spine of the whole symbolic layer.
+class ExprPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExprPropertyTest, SimplificationPreservesSemantics) {
+  ExprPool pool;
+  Rng rng(GetParam());
+  std::vector<const Expr*> vars;
+  for (int i = 0; i < 4; ++i) {
+    vars.push_back(pool.Var("v" + std::to_string(i), VarOrigin::kUnknown));
+  }
+  // Random expression tree.
+  std::function<const Expr*(int)> gen = [&](int depth) -> const Expr* {
+    if (depth == 0 || rng.NextChance(1, 4)) {
+      if (rng.NextBool()) {
+        return vars[rng.NextBelow(vars.size())];
+      }
+      return pool.Const(rng.NextInRange(-8, 8));
+    }
+    BinOp op = static_cast<BinOp>(rng.NextBelow(17));
+    return pool.Binary(op, gen(depth - 1), gen(depth - 1));
+  };
+  for (int trial = 0; trial < 50; ++trial) {
+    const Expr* e = gen(4);
+    Assignment a;
+    std::unordered_map<VarId, const Expr*> bindings;
+    for (const Expr* v : vars) {
+      int64_t value = rng.NextInRange(-16, 16);
+      a[v->var] = value;
+      bindings[v->var] = pool.Const(value);
+    }
+    const Expr* substituted = Substitute(&pool, e, bindings);
+    ASSERT_TRUE(substituted->is_const());
+    EXPECT_EQ(substituted->value, EvalExpr(e, a))
+        << ExprToString(pool, e);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExprPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// --- Solver. ---
+
+class SolverTest : public ::testing::Test {
+ protected:
+  ExprPool pool_;
+  Solver solver_{&pool_, 99};
+};
+
+TEST_F(SolverTest, TrivialSat) {
+  EXPECT_EQ(solver_.Check({pool_.Const(1)}).result, SatResult::kSat);
+  EXPECT_EQ(solver_.Check({}).result, SatResult::kSat);
+}
+
+TEST_F(SolverTest, TrivialUnsat) {
+  EXPECT_EQ(solver_.Check({pool_.Const(0)}).result, SatResult::kUnsat);
+}
+
+TEST_F(SolverTest, EqualityPropagation) {
+  const Expr* x = pool_.Var("x", VarOrigin::kUnknown);
+  auto out = solver_.Check({pool_.Eq(x, pool_.Const(7))});
+  ASSERT_EQ(out.result, SatResult::kSat);
+  EXPECT_EQ(out.model[x->var], 7);
+}
+
+TEST_F(SolverTest, ConflictingEqualitiesUnsat) {
+  const Expr* x = pool_.Var("x", VarOrigin::kUnknown);
+  EXPECT_EQ(solver_
+                .Check({pool_.Eq(x, pool_.Const(1)), pool_.Eq(x, pool_.Const(2))})
+                .result,
+            SatResult::kUnsat);
+}
+
+TEST_F(SolverTest, BindingChainsResolve) {
+  const Expr* x = pool_.Var("x", VarOrigin::kUnknown);
+  const Expr* y = pool_.Var("y", VarOrigin::kUnknown);
+  const Expr* z = pool_.Var("z", VarOrigin::kUnknown);
+  auto out = solver_.Check({pool_.Eq(x, y), pool_.Eq(y, z),
+                            pool_.Eq(z, pool_.Const(3)),
+                            pool_.Ne(pool_.Ne(x, pool_.Const(0)), pool_.Const(0))});
+  ASSERT_EQ(out.result, SatResult::kSat);
+  EXPECT_EQ(out.model[x->var], 3);
+}
+
+TEST_F(SolverTest, LinearInversion) {
+  const Expr* x = pool_.Var("x", VarOrigin::kUnknown);
+  // x + 5 == 12
+  auto out = solver_.Check({pool_.Eq(pool_.Add(x, pool_.Const(5)), pool_.Const(12))});
+  ASSERT_EQ(out.result, SatResult::kSat);
+  EXPECT_EQ(out.model[x->var], 7);
+  // 20 - x == 12
+  auto out2 = solver_.Check(
+      {pool_.Eq(pool_.Binary(BinOp::kSub, pool_.Const(20), x), pool_.Const(12))});
+  ASSERT_EQ(out2.result, SatResult::kSat);
+  EXPECT_EQ(out2.model[x->var], 8);
+  // x ^ 0xff == 0xf0
+  auto out3 = solver_.Check({pool_.Eq(pool_.Binary(BinOp::kXor, x, pool_.Const(0xff)),
+                                      pool_.Const(0xf0))});
+  ASSERT_EQ(out3.result, SatResult::kSat);
+  EXPECT_EQ(out3.model[x->var], 0x0f);
+}
+
+TEST_F(SolverTest, IntervalUnsat) {
+  const Expr* x = pool_.Var("x", VarOrigin::kUnknown);
+  // x < 5 && 10 <= x is unsatisfiable.
+  auto out = solver_.Check({pool_.Binary(BinOp::kLtS, x, pool_.Const(5)),
+                            pool_.Binary(BinOp::kLeS, pool_.Const(10), x)});
+  EXPECT_EQ(out.result, SatResult::kUnsat);
+}
+
+TEST_F(SolverTest, BoundedEnumeration) {
+  const Expr* x = pool_.Var("x", VarOrigin::kUnknown);
+  // 0 <= x <= 20 and x*x == 169 -> x == 13.
+  auto out = solver_.Check({pool_.Binary(BinOp::kLeS, pool_.Const(0), x),
+                            pool_.Binary(BinOp::kLeS, x, pool_.Const(20)),
+                            pool_.Eq(pool_.Binary(BinOp::kMul, x, x),
+                                     pool_.Const(169))});
+  ASSERT_EQ(out.result, SatResult::kSat);
+  EXPECT_EQ(out.model[x->var], 13);
+}
+
+TEST_F(SolverTest, BoundedEnumerationProvesUnsat) {
+  const Expr* x = pool_.Var("x", VarOrigin::kUnknown);
+  // 0 <= x <= 20 and x*x == 7 has no solution: complete enumeration.
+  auto out = solver_.Check({pool_.Binary(BinOp::kLeS, pool_.Const(0), x),
+                            pool_.Binary(BinOp::kLeS, x, pool_.Const(20)),
+                            pool_.Eq(pool_.Binary(BinOp::kMul, x, x),
+                                     pool_.Const(7))});
+  EXPECT_EQ(out.result, SatResult::kUnsat);
+}
+
+TEST_F(SolverTest, HardInversionIsUnknownNotWrong) {
+  const Expr* x = pool_.Var("x", VarOrigin::kUnknown);
+  // hash-like: (x * 2654435761) ^ ((x * 2654435761) >> 13) == K for a K that
+  // does have a preimage; the solver may fail to find it but must not claim
+  // UNSAT.
+  const Expr* m = pool_.Binary(BinOp::kMul, x, pool_.Const(2654435761LL));
+  const Expr* h = pool_.Binary(BinOp::kXor, m,
+                               pool_.Binary(BinOp::kShrL, m, pool_.Const(13)));
+  int64_t k = ApplyBinOp(
+      BinOp::kXor, ApplyBinOp(BinOp::kMul, 42, 2654435761LL),
+      ApplyBinOp(BinOp::kShrL, ApplyBinOp(BinOp::kMul, 42, 2654435761LL), 13));
+  auto out = solver_.Check({pool_.Eq(h, pool_.Const(k))});
+  EXPECT_NE(out.result, SatResult::kUnsat);
+}
+
+TEST_F(SolverTest, SatModelsAreAlwaysVerified) {
+  // Property: every kSat answer's model satisfies every constraint.
+  Rng rng(777);
+  for (int trial = 0; trial < 40; ++trial) {
+    ExprPool pool;
+    Solver solver(&pool, trial + 1);
+    std::vector<const Expr*> vars;
+    for (int i = 0; i < 3; ++i) {
+      vars.push_back(pool.Var("v" + std::to_string(i), VarOrigin::kUnknown));
+    }
+    std::vector<const Expr*> cs;
+    for (int i = 0; i < 4; ++i) {
+      const Expr* v = vars[rng.NextBelow(vars.size())];
+      const Expr* w = vars[rng.NextBelow(vars.size())];
+      int64_t c = rng.NextInRange(-10, 10);
+      switch (rng.NextBelow(3)) {
+        case 0:
+          cs.push_back(pool.Eq(pool.Add(v, pool.Const(c)), w));
+          break;
+        case 1:
+          cs.push_back(pool.Binary(BinOp::kLeS, v, pool.Const(c)));
+          break;
+        default:
+          cs.push_back(pool.Eq(v, pool.Const(c)));
+          break;
+      }
+    }
+    auto out = solver.Check(cs);
+    if (out.result == SatResult::kSat) {
+      for (const Expr* c : cs) {
+        EXPECT_NE(EvalExpr(c, out.model), 0) << ExprToString(pool, c);
+      }
+    }
+  }
+}
+
+TEST_F(SolverTest, EnumerateValuesComplete) {
+  const Expr* x = pool_.Var("x", VarOrigin::kUnknown);
+  std::vector<const Expr*> cs = {pool_.Binary(BinOp::kLeS, pool_.Const(3), x),
+                                 pool_.Binary(BinOp::kLeS, x, pool_.Const(5))};
+  bool complete = false;
+  std::vector<int64_t> values = solver_.EnumerateValues(x, cs, 10, &complete);
+  EXPECT_TRUE(complete);
+  ASSERT_EQ(values.size(), 3u);
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(values, (std::vector<int64_t>{3, 4, 5}));
+}
+
+TEST_F(SolverTest, EnumerateValuesHitsLimit) {
+  const Expr* x = pool_.Var("x", VarOrigin::kUnknown);
+  std::vector<const Expr*> cs = {pool_.Binary(BinOp::kLeS, pool_.Const(0), x),
+                                 pool_.Binary(BinOp::kLeS, x, pool_.Const(100))};
+  bool complete = true;
+  std::vector<int64_t> values = solver_.EnumerateValues(x, cs, 5, &complete);
+  EXPECT_FALSE(complete);
+  EXPECT_EQ(values.size(), 5u);
+}
+
+TEST_F(SolverTest, EnumerateDerivedExpression) {
+  const Expr* x = pool_.Var("x", VarOrigin::kUnknown);
+  std::vector<const Expr*> cs = {pool_.Eq(x, pool_.Const(5))};
+  bool complete = false;
+  std::vector<int64_t> values = solver_.EnumerateValues(
+      pool_.Add(pool_.Binary(BinOp::kMul, x, pool_.Const(8)), pool_.Const(100)),
+      cs, 4, &complete);
+  EXPECT_TRUE(complete);
+  ASSERT_EQ(values.size(), 1u);
+  EXPECT_EQ(values[0], 140);
+}
+
+}  // namespace
+}  // namespace res

@@ -1,0 +1,223 @@
+// resdbg — command-line front end for the RES library.
+//
+//   resdbg run <program.resvm> [--seed N] [--input V]...
+//       Runs the program; on failure writes <program>.core next to it.
+//   resdbg analyze <program.resvm> <dump.core> [--max-units N] [--no-breadcrumbs]
+//       Reverse execution synthesis: prints the suffix, root causes, bucket
+//       signature, exploitability-relevant taint and the hardware verdict.
+//   resdbg replay <program.resvm> <dump.core>
+//       Re-synthesizes and deterministically replays the failure,
+//       verifying the reproduced coredump against the original.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/replay/replay.h"
+#include "src/res/res_api.h"
+
+using namespace res;  // NOLINT: tool brevity
+
+namespace {
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return NotFound("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+Status WriteFile(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Internal("cannot write " + path);
+  }
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  return OkStatus();
+}
+
+Result<Module> LoadModule(const std::string& path) {
+  RES_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  RES_ASSIGN_OR_RETURN(Module module, ParseModule(text));
+  RES_RETURN_IF_ERROR(VerifyModule(module));
+  return module;
+}
+
+Result<Coredump> LoadDump(const std::string& path) {
+  RES_ASSIGN_OR_RETURN(std::string raw, ReadFile(path));
+  std::vector<uint8_t> bytes(raw.begin(), raw.end());
+  return DeserializeCoredump(bytes);
+}
+
+int CmdRun(const std::string& program, int argc, char** argv) {
+  auto module = LoadModule(program);
+  if (!module.ok()) {
+    std::fprintf(stderr, "error: %s\n", module.status().ToString().c_str());
+    return 2;
+  }
+  uint64_t seed = 1;
+  QueueInputProvider inputs(/*fallback=*/0);
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--input") == 0 && i + 1 < argc) {
+      inputs.Push(0, std::strtoll(argv[++i], nullptr, 10));
+    }
+  }
+  Vm vm(&module.value());
+  RandomScheduler scheduler(seed, 300);
+  vm.set_scheduler(&scheduler);
+  vm.set_input_provider(&inputs);
+  if (Status s = vm.Reset(); !s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 2;
+  }
+  RunResult run = vm.Run();
+  switch (run.outcome) {
+    case RunOutcome::kHalted:
+      std::printf("program halted normally after %llu steps\n",
+                  static_cast<unsigned long long>(run.steps));
+      return 0;
+    case RunOutcome::kTrapped: {
+      std::printf("FAILURE: %s (after %llu steps)\n",
+                  run.trap.ToString(module.value()).c_str(),
+                  static_cast<unsigned long long>(run.steps));
+      Coredump dump = CaptureCoredump(vm);
+      std::string core_path = program + ".core";
+      if (Status s = WriteFile(core_path, SerializeCoredump(dump)); !s.ok()) {
+        std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+        return 2;
+      }
+      std::printf("coredump written to %s (%zu bytes)\n", core_path.c_str(),
+                  SerializeCoredump(dump).size());
+      return 1;
+    }
+    default:
+      std::printf("step limit reached without failing\n");
+      return 0;
+  }
+}
+
+int CmdAnalyze(const std::string& program, const std::string& core, int argc,
+               char** argv) {
+  auto module = LoadModule(program);
+  auto dump = LoadDump(core);
+  if (!module.ok() || !dump.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 (!module.ok() ? module.status() : dump.status()).ToString().c_str());
+    return 2;
+  }
+  ResOptions options;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--max-units") == 0 && i + 1 < argc) {
+      options.max_units = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--no-breadcrumbs") == 0) {
+      options.use_lbr = false;
+      options.use_error_log = false;
+    } else if (std::strcmp(argv[i], "--full-path") == 0) {
+      options.stop_at_root_cause = false;
+    }
+  }
+
+  std::printf("failure: %s\n", dump.value().trap.ToString(module.value()).c_str());
+  ResEngine engine(module.value(), dump.value(), options);
+  ResResult result = engine.Run();
+
+  std::printf("stop: %s (hypotheses %llu, max depth %zu, solver sat/unsat/unknown "
+              "%llu/%llu/%llu)\n",
+              std::string(StopReasonName(result.stop)).c_str(),
+              static_cast<unsigned long long>(result.stats.hypotheses_explored),
+              result.stats.max_depth,
+              static_cast<unsigned long long>(result.stats.solver.sat),
+              static_cast<unsigned long long>(result.stats.solver.unsat),
+              static_cast<unsigned long long>(result.stats.solver.unknown));
+  if (result.hardware_error_suspected) {
+    std::printf("VERDICT: suspected HARDWARE ERROR — no feasible execution "
+                "produces this coredump%s\n",
+                result.dump_inconsistent_at_trap
+                    ? " (the dump state cannot even raise its own trap)"
+                    : "");
+    return 3;
+  }
+  if (!result.suffix.has_value()) {
+    std::printf("no suffix synthesized\n");
+    return 1;
+  }
+  std::printf("\nexecution suffix (%zu units, %s):\n%s",
+              result.suffix->units.size(),
+              result.suffix->verified ? "solver-verified" : "UNVERIFIED",
+              SuffixToString(module.value(), *result.suffix).c_str());
+  ReadWriteSets sets = ComputeReadWriteSets(*result.suffix);
+  std::printf("focus: %zu words read, %zu written in the suffix window\n",
+              sets.reads.size(), sets.writes.size());
+  for (const RootCause& cause : result.causes) {
+    std::printf("\nroot cause: %s\n  bucket: %s\n  input-tainted: %s\n",
+                cause.description.c_str(),
+                cause.BucketSignature(module.value()).c_str(),
+                cause.input_tainted ? "yes (attacker-reachable)" : "no");
+  }
+  return 0;
+}
+
+int CmdReplay(const std::string& program, const std::string& core) {
+  auto module = LoadModule(program);
+  auto dump = LoadDump(core);
+  if (!module.ok() || !dump.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 (!module.ok() ? module.status() : dump.status()).ToString().c_str());
+    return 2;
+  }
+  ResEngine engine(module.value(), dump.value());
+  ResResult result = engine.Run();
+  if (!result.suffix.has_value() || !result.suffix->verified) {
+    std::fprintf(stderr, "no verified suffix to replay\n");
+    return 1;
+  }
+  auto replay =
+      ReplaySuffix(module.value(), dump.value(), *result.suffix, engine.pool());
+  if (!replay.ok()) {
+    std::fprintf(stderr, "replay error: %s\n",
+                 replay.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("replayed %zu-unit suffix: trap %s, state %s\n",
+              result.suffix->units.size(),
+              replay.value().trap_matches ? "MATCHES" : "differs",
+              replay.value().state_matches ? "MATCHES" : "differs");
+  if (!replay.value().state_matches) {
+    std::printf("  first mismatch: %s\n", replay.value().mismatch.c_str());
+  }
+  return replay.value().trap_matches && replay.value().state_matches ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage:\n"
+                 "  resdbg run <program.resvm> [--seed N] [--input V]...\n"
+                 "  resdbg analyze <program.resvm> <dump.core> [--max-units N]"
+                 " [--no-breadcrumbs] [--full-path]\n"
+                 "  resdbg replay <program.resvm> <dump.core>\n");
+    return 2;
+  }
+  std::string cmd = argv[1];
+  if (cmd == "run") {
+    return CmdRun(argv[2], argc - 3, argv + 3);
+  }
+  if (cmd == "analyze" && argc >= 4) {
+    return CmdAnalyze(argv[2], argv[3], argc - 4, argv + 4);
+  }
+  if (cmd == "replay" && argc >= 4) {
+    return CmdReplay(argv[2], argv[3]);
+  }
+  std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+  return 2;
+}
