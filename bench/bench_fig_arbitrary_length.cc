@@ -14,6 +14,7 @@ int main() {
   std::vector<std::vector<std::string>> rows;
   rows.push_back({"prefix iters", "exec steps", "RES ms", "RES hyps",
                   "RES suffix", "fwd ms", "fwd blocks", "fwd result"});
+  BenchJsonWriter json;
 
   WorkloadSpec spec = WorkloadByName("div_by_zero_input");
   for (uint64_t n : {100ull, 1000ull, 10000ull, 100000ull}) {
@@ -30,6 +31,10 @@ int main() {
     ResEngine engine(module, run.value().dump);
     ResResult res = engine.Run();
     double res_ms = res_timer.ElapsedMs();
+    json.Append(StrFormat("arbitrary_length/n=%llu",
+                          static_cast<unsigned long long>(n)),
+                res_ms, res.stats.hypotheses_explored, res.stats.solver.checks,
+                res.stats.solver.cache_hits);
 
     ForwardSynthOptions fwd_options;
     fwd_options.max_blocks = 50'000;  // ~12s of search; longer prefixes time out

@@ -1,5 +1,8 @@
 // F2 — path explosion vs root-cause distance (paper §6): RES cost grows with
 // how far the root cause sits from the failure, NOT with execution length.
+// Also the incremental-solver scaling probe: at each distance it reports the
+// solver work (propagation rounds, constraint visits, cache/model-reuse
+// hits) and appends machine-readable records to BENCH_res_scaling.json.
 #include "bench/bench_util.h"
 #include "src/res/res_api.h"
 #include "src/support/string_util.h"
@@ -12,14 +15,17 @@ int main() {
   PrintHeader("F2: RES cost vs root-cause distance (paper §6)");
   std::vector<std::vector<std::string>> rows;
   rows.push_back({"distance(blocks)", "suffix units", "hypotheses", "time(ms)",
+                  "prop rounds", "prop visits", "reuse+cache hits",
                   "cause found"});
+  BenchJsonWriter json;
 
   WorkloadSpec spec = WorkloadByName("semantic_assert");
   for (uint32_t distance : {0u, 1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
     Module module = BuildRootCauseDistance(distance);
     auto run = RunToFailure(module, spec, {});
     if (!run.ok()) {
-      rows.push_back({std::to_string(distance), "-", "-", "-", "no failure"});
+      rows.push_back({std::to_string(distance), "-", "-", "-", "-", "-", "-",
+                      "no failure"});
       continue;
     }
     ResOptions options;
@@ -28,13 +34,20 @@ int main() {
     ResEngine engine(module, run.value().dump, options);
     ResResult result = engine.Run();
     double ms = timer.ElapsedMs();
+    const SolverStats& solver = result.stats.solver;
     rows.push_back(
         {std::to_string(distance),
          result.suffix ? std::to_string(result.suffix->units.size()) : "-",
          std::to_string(result.stats.hypotheses_explored), StrFormat("%.1f", ms),
+         std::to_string(solver.propagation_rounds),
+         std::to_string(solver.propagated_constraints),
+         std::to_string(solver.model_reuse_hits + solver.cache_hits),
          result.causes.empty()
              ? "NO"
              : std::string(RootCauseKindName(result.causes.front().kind))});
+    json.Append(StrFormat("suffix_depth/distance=%u", distance), ms,
+                result.stats.hypotheses_explored, solver.checks,
+                solver.cache_hits);
   }
   PrintTable(rows);
   std::printf("\nexpected shape: suffix length and hypotheses grow with the "

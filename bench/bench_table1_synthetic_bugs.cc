@@ -22,6 +22,9 @@ int main() {
   const char* bugs[] = {"racy_counter", "atomicity_violation", "order_violation"};
   int correct_count = 0;
   int false_positives = 0;
+  uint64_t total_checks = 0;
+  uint64_t total_model_reuse = 0;
+  uint64_t total_cache_hits = 0;
   for (const char* name : bugs) {
     const WorkloadSpec& spec = WorkloadByName(name);
     Module module = spec.build();
@@ -49,6 +52,9 @@ int main() {
     }
     correct_count += acceptable ? 1 : 0;
     false_positives += (!result.causes.empty() && !acceptable) ? 1 : 0;
+    total_checks += result.stats.solver.checks;
+    total_model_reuse += result.stats.solver.model_reuse_hits;
+    total_cache_hits += result.stats.solver.cache_hits;
 
     std::string replay_state = "-";
     if (result.suffix.has_value() && result.suffix->verified) {
@@ -68,5 +74,9 @@ int main() {
   std::printf("\ncorrect root causes: %d/3, false positives: %d "
               "(paper: 3/3 in <1 min, 0 false positives)\n",
               correct_count, false_positives);
+  std::printf("solver: %llu checks, %llu model-reuse hits, %llu cache hits\n",
+              static_cast<unsigned long long>(total_checks),
+              static_cast<unsigned long long>(total_model_reuse),
+              static_cast<unsigned long long>(total_cache_hits));
   return 0;
 }

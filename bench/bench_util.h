@@ -1,10 +1,11 @@
-// Shared helpers for the experiment harnesses: wall-clock timing and
-// aligned table printing. Each bench binary regenerates one table or figure
-// of EXPERIMENTS.md and prints it to stdout.
+// Shared helpers for the experiment harnesses: wall-clock timing, aligned
+// table printing, and machine-readable perf records. Each bench binary
+// regenerates one table or figure of EXPERIMENTS.md and prints it to stdout.
 #ifndef RES_BENCH_BENCH_UTIL_H_
 #define RES_BENCH_BENCH_UTIL_H_
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -45,6 +46,36 @@ inline void PrintTable(const std::vector<std::vector<std::string>>& rows) {
     std::printf("\n");
   }
 }
+
+// Appends one JSON record per bench data point to a shared file (JSON Lines:
+// one object per line, so successive bench runs and binaries can append
+// without rewriting). See bench/README.md for the schema.
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(std::string path = "BENCH_res_scaling.json")
+      : path_(std::move(path)) {}
+
+  void Append(const std::string& name, double wall_ms,
+              uint64_t hypotheses_explored, uint64_t solver_checks,
+              uint64_t cache_hits) {
+    std::FILE* f = std::fopen(path_.c_str(), "a");
+    if (f == nullptr) {
+      return;  // perf records are best-effort; never fail the bench
+    }
+    std::fprintf(f,
+                 "{\"name\": \"%s\", \"wall_ms\": %.3f, "
+                 "\"hypotheses_explored\": %llu, \"solver_checks\": %llu, "
+                 "\"cache_hits\": %llu}\n",
+                 name.c_str(), wall_ms,
+                 static_cast<unsigned long long>(hypotheses_explored),
+                 static_cast<unsigned long long>(solver_checks),
+                 static_cast<unsigned long long>(cache_hits));
+    std::fclose(f);
+  }
+
+ private:
+  std::string path_;
+};
 
 }  // namespace res
 

@@ -24,13 +24,13 @@ Result<ReplayState> BuildReplayState(const Module& module, const Coredump& dump,
       state.memory.UnmapRegion(base, alloc.size_words);
     }
   }
-  for (const auto& [addr, expr] : snap.overlay()) {
+  snap.overlay().ForEach([&](uint64_t addr, const Expr* expr) {
     const SnapAlloc* covering = snap.FindAlloc(addr);
     if (covering != nullptr && covering->state == SnapAllocState::kUnallocated) {
-      continue;  // word does not exist yet; kAlloc will map it zeroed
+      return;  // word does not exist yet; kAlloc will map it zeroed
     }
     state.memory.WriteWordUnchecked(addr, EvalExpr(expr, suffix.model));
-  }
+  });
 
   // --- Heap metadata at suffix start. ---
   uint64_t next_free = dump.heap_next_free;

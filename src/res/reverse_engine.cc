@@ -88,15 +88,38 @@ std::string_view StopReasonName(StopReason r) {
 
 // One node of the backward search tree.
 struct ResEngine::Hypothesis {
+  // Immutable suffix spine: each hypothesis appends one SuffixUnit and
+  // shares the rest of the chain with its parent, so forking copies a
+  // shared_ptr instead of the whole unit vector. head = deepest unit
+  // (furthest from the crash); walking prev reaches the crash.
+  struct UnitNode {
+    SuffixUnit unit;
+    std::shared_ptr<const UnitNode> prev;
+    size_t depth = 1;  // chain length including this node
+  };
+
   SymSnapshot state;                       // machine state at suffix start
   std::vector<const Expr*> constraints;    // accumulated path/match condition
-  std::vector<SuffixUnit> units_backward;  // [0] = unit nearest the crash
+  // Interned members of `constraints`, for O(1) duplicate rejection.
+  std::unordered_set<const Expr*> constraint_set;
+  // Persistent propagation state (bindings/intervals/residual) for the
+  // constraint prefix already checked; forked along with the hypothesis.
+  SolverContext solver_ctx;
+  std::shared_ptr<const UnitNode> units_backward;  // see UnitNode
   std::vector<size_t> lbr_remaining;       // per thread, unconsumed LBR entries
   std::vector<size_t> errlog_remaining;    // per thread, unconsumed log entries
   Assignment model;                        // witness from the last SAT check
   bool verified = true;                    // last solver verdict was SAT
 
-  size_t depth() const { return units_backward.size(); }
+  void AppendUnit(SuffixUnit unit) {
+    auto node = std::make_shared<UnitNode>();
+    node->unit = std::move(unit);
+    node->prev = units_backward;
+    node->depth = units_backward ? units_backward->depth + 1 : 1;
+    units_backward = std::move(node);
+  }
+
+  size_t depth() const { return units_backward ? units_backward->depth : 0; }
 };
 
 ResEngine::ResEngine(const Module& module, const Coredump& dump, ResOptions options)
@@ -287,9 +310,18 @@ bool ResEngine::CheckAndCommit(Hypothesis* h, std::vector<const Expr*> fresh) {
       }
       continue;  // trivially true
     }
+    if (!h->constraint_set.insert(c).second) {
+      // Already asserted on this hypothesis (interning makes structural
+      // duplicates pointer-equal); re-checking a conjunct is a no-op.
+      ++stats_.duplicate_constraints;
+      continue;
+    }
     h->constraints.push_back(c);
   }
-  SolveOutcome outcome = solver_.Check(h->constraints);
+  SolveOutcome outcome =
+      options_.incremental_solving
+          ? solver_.CheckIncremental(&h->solver_ctx, h->constraints)
+          : solver_.Check(h->constraints);
   switch (outcome.result) {
     case SatResult::kUnsat:
       ++stats_.pruned_unsat;
@@ -549,8 +581,8 @@ void ResEngine::ExecuteUnit(Hypothesis h, const UnitPlan& plan,
         // The heap is a bump allocator: reversing unwinds allocations in
         // strictly decreasing alloc_seq order, so this kAlloc must account
         // for the newest still-live allocation not yet claimed by this unit.
-        SnapAlloc* target = nullptr;
-        for (auto& [base, a] : h.state.heap()) {
+        const SnapAlloc* target = nullptr;
+        for (const auto& [base, a] : h.state.heap()) {
           if (a.state == SnapAllocState::kUnallocated) {
             continue;
           }
@@ -853,7 +885,7 @@ void ResEngine::ExecuteUnit(Hypothesis h, const UnitPlan& plan,
 
   // --- Heap metadata rewind. ---
   for (const HeapEvent& ev : heap_events) {
-    SnapAlloc& a = h.state.heap()[ev.base];
+    SnapAlloc& a = h.state.MutableHeap()[ev.base];
     a.state = ev.is_alloc ? SnapAllocState::kUnallocated : SnapAllocState::kAllocated;
   }
 
@@ -885,7 +917,7 @@ void ResEngine::ExecuteUnit(Hypothesis h, const UnitPlan& plan,
     --h.lbr_remaining[plan.tid];
   }
 
-  h.units_backward.push_back(std::move(unit));
+  h.AppendUnit(std::move(unit));
 
   if (!CheckAndCommit(&h, std::move(cons))) {
     return;
@@ -1187,7 +1219,12 @@ std::vector<ResEngine::Hypothesis> ResEngine::Expand(const Hypothesis& h) {
 
 SynthesizedSuffix ResEngine::Finalize(const Hypothesis& h) const {
   SynthesizedSuffix s;
-  s.units.assign(h.units_backward.rbegin(), h.units_backward.rend());
+  // The chain head is the deepest unit, i.e. the first in execution order.
+  s.units.reserve(h.depth());
+  for (const Hypothesis::UnitNode* n = h.units_backward.get(); n != nullptr;
+       n = n->prev.get()) {
+    s.units.push_back(n->unit);
+  }
   s.initial_state = h.state;
   s.model = h.model;
   s.constraints = h.constraints;

@@ -42,6 +42,11 @@ struct ResOptions {
   bool use_error_log = true;         // consume error-log breadcrumbs
   bool stop_at_root_cause = true;    // stop once a detector fires
   bool treat_as_minidump = false;    // ablation: ignore the memory image
+  // Ablation: when false, every CheckAndCommit re-solves the hypothesis's
+  // whole constraint vector monolithically instead of reusing its
+  // SolverContext. Exists so differential tests can pin the incremental
+  // path to the classic one.
+  bool incremental_solving = true;
   uint64_t solver_seed = 7;
   // A feasible suffix of at least this many units must exist for the dump to
   // be considered software-explainable; otherwise Run reports a suspected
@@ -72,6 +77,9 @@ struct ResStats {
   uint64_t address_forks = 0;
   uint64_t address_unresolved = 0;
   uint64_t unknown_kept = 0;
+  // Pointer-identical constraints dropped before reaching the solver
+  // (interning makes structural duplicates pointer-equal).
+  uint64_t duplicate_constraints = 0;
   size_t max_depth = 0;
   size_t max_sat_depth = 0;
   SolverStats solver;

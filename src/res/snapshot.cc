@@ -2,6 +2,26 @@
 
 namespace res {
 
+void CowOverlay::Freeze() {
+  size_t depth = frozen_ ? frozen_->depth : 0;
+  auto layer = std::make_shared<Layer>();
+  if (depth + 1 > kMaxChainDepth) {
+    // Chain too deep for fast lookups: flatten everything into one layer.
+    layer->entries.reserve(delta_.size() + kFreezeThreshold * depth);
+    ForEach([&layer](uint64_t addr, const Expr* value) {
+      layer->entries.emplace(addr, value);
+    });
+    layer->parent = nullptr;
+    layer->depth = 1;
+  } else {
+    layer->entries = std::move(delta_);
+    layer->parent = frozen_;
+    layer->depth = depth + 1;
+  }
+  frozen_ = std::move(layer);
+  delta_.clear();
+}
+
 SymSnapshot SymSnapshot::FromCoredump(const Module& module, const Coredump& dump,
                                       ExprPool* pool) {
   SymSnapshot snap;
@@ -33,6 +53,7 @@ SymSnapshot SymSnapshot::FromCoredump(const Module& module, const Coredump& dump
     }
     snap.threads_.push_back(std::move(t));
   }
+  HeapMap heap;
   for (const Allocation& a : dump.heap_allocations) {
     SnapAlloc sa;
     sa.base = a.base;
@@ -40,15 +61,15 @@ SymSnapshot SymSnapshot::FromCoredump(const Module& module, const Coredump& dump
     sa.alloc_seq = a.alloc_seq;
     sa.state = a.state == AllocState::kAllocated ? SnapAllocState::kAllocated
                                                  : SnapAllocState::kFreed;
-    snap.heap_.emplace(sa.base, sa);
+    heap.emplace(sa.base, sa);
   }
+  snap.heap_ = std::make_shared<HeapMap>(std::move(heap));
   return snap;
 }
 
 const Expr* SymSnapshot::ReadMem(ExprPool* pool, uint64_t addr) const {
-  auto it = overlay_.find(addr);
-  if (it != overlay_.end()) {
-    return it->second;
+  if (const Expr* e = overlay_.Find(addr)) {
+    return e;
   }
   auto word = dump_->memory.ReadWord(addr);
   if (!word.ok()) {
@@ -58,8 +79,9 @@ const Expr* SymSnapshot::ReadMem(ExprPool* pool, uint64_t addr) const {
 }
 
 const SnapAlloc* SymSnapshot::FindAlloc(uint64_t addr) const {
-  auto it = heap_.upper_bound(addr);
-  if (it == heap_.begin()) {
+  const HeapMap& heap = *heap_;
+  auto it = heap.upper_bound(addr);
+  if (it == heap.begin()) {
     return nullptr;
   }
   --it;
@@ -71,13 +93,16 @@ const SnapAlloc* SymSnapshot::FindAlloc(uint64_t addr) const {
 }
 
 SnapAlloc* SymSnapshot::FindAllocMutable(uint64_t addr) {
-  return const_cast<SnapAlloc*>(
-      static_cast<const SymSnapshot*>(this)->FindAlloc(addr));
+  const SnapAlloc* found = FindAlloc(addr);
+  if (found == nullptr) {
+    return nullptr;
+  }
+  return &MutableHeap()[found->base];
 }
 
 SnapAlloc* SymSnapshot::NewestLiveAlloc() {
-  SnapAlloc* best = nullptr;
-  for (auto& [base, a] : heap_) {
+  const SnapAlloc* best = nullptr;
+  for (const auto& [base, a] : *heap_) {
     if (a.state == SnapAllocState::kUnallocated) {
       continue;
     }
@@ -85,7 +110,10 @@ SnapAlloc* SymSnapshot::NewestLiveAlloc() {
       best = &a;
     }
   }
-  return best;
+  if (best == nullptr) {
+    return nullptr;
+  }
+  return &MutableHeap()[best->base];
 }
 
 }  // namespace res

@@ -7,16 +7,21 @@
 // replaced by a symbolic variable, possibly constrained by the matching
 // conditions the reverse engine collected.
 //
-// Memory is represented as the coredump image plus an overlay of symbolic
-// words; thread stacks hold expression-valued registers; heap metadata is
-// rewound alongside (an allocation that happens inside the suffix is
-// kUnallocated in the snapshot).
+// Memory is represented as the coredump image plus a copy-on-write overlay
+// of symbolic words; thread stacks hold expression-valued registers; heap
+// metadata is rewound alongside (an allocation that happens inside the
+// suffix is kUnallocated in the snapshot). Both the overlay and the heap
+// table are structured so that forking a hypothesis (which copies its
+// snapshot) is O(delta), not O(state): the overlay freezes its writes into
+// shared immutable layers, and the heap map is shared until a fork mutates.
 #ifndef RES_RES_SNAPSHOT_H_
 #define RES_RES_SNAPSHOT_H_
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/coredump/coredump.h"
@@ -66,8 +71,83 @@ struct SnapAlloc {
   SnapAllocState state = SnapAllocState::kAllocated;
 };
 
+// Copy-on-write address -> expression map. Writes land in a small private
+// delta; once the delta grows past a threshold it is frozen into an
+// immutable layer shared (by shared_ptr) with every copy taken afterwards.
+// Copying a CowOverlay therefore costs O(delta) — at most the freeze
+// threshold — instead of O(total overlay), which is what makes hypothesis
+// fan-out in the reverse engine cheap at depth.
+class CowOverlay {
+ public:
+  // Value stored for `addr`, or nullptr when the address is absent.
+  const Expr* Find(uint64_t addr) const {
+    auto it = delta_.find(addr);
+    if (it != delta_.end()) {
+      return it->second;
+    }
+    for (const Layer* l = frozen_.get(); l != nullptr; l = l->parent.get()) {
+      auto lit = l->entries.find(addr);
+      if (lit != l->entries.end()) {
+        return lit->second;
+      }
+    }
+    return nullptr;
+  }
+
+  void Set(uint64_t addr, const Expr* value) {
+    delta_[addr] = value;
+    if (delta_.size() >= kFreezeThreshold) {
+      Freeze();
+    }
+  }
+
+  // Visits every live (address, value) pair exactly once, newest layer wins.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    std::unordered_set<uint64_t> seen;
+    for (const auto& [addr, value] : delta_) {
+      if (seen.insert(addr).second) {
+        fn(addr, value);
+      }
+    }
+    for (const Layer* l = frozen_.get(); l != nullptr; l = l->parent.get()) {
+      for (const auto& [addr, value] : l->entries) {
+        if (seen.insert(addr).second) {
+          fn(addr, value);
+        }
+      }
+    }
+  }
+
+  // Number of distinct addresses (counts shadowed writes once).
+  size_t DistinctCount() const {
+    size_t n = 0;
+    ForEach([&n](uint64_t, const Expr*) { ++n; });
+    return n;
+  }
+
+  size_t LayerDepth() const { return frozen_ ? frozen_->depth : 0; }
+
+ private:
+  struct Layer {
+    std::unordered_map<uint64_t, const Expr*> entries;
+    std::shared_ptr<const Layer> parent;
+    size_t depth = 1;  // chain length including this layer
+  };
+
+  static constexpr size_t kFreezeThreshold = 16;
+  static constexpr size_t kMaxChainDepth = 32;
+
+  void Freeze();
+
+  std::shared_ptr<const Layer> frozen_;  // immutable, structure-shared
+  std::unordered_map<uint64_t, const Expr*> delta_;  // private to this copy
+};
+
 class SymSnapshot {
  public:
+  using HeapMap = std::map<uint64_t, SnapAlloc>;
+
   // Builds the base-case snapshot: an exact, fully concrete copy of the
   // coredump (paper §2.4: "Spost is initialized with a copy of the
   // coredump C").
@@ -77,14 +157,21 @@ class SymSnapshot {
   // Memory word at snapshot time: overlay expression, else the concrete
   // coredump value, else nullptr (word does not exist in the dump).
   const Expr* ReadMem(ExprPool* pool, uint64_t addr) const;
-  void WriteMem(uint64_t addr, const Expr* value) { overlay_[addr] = value; }
-  const std::unordered_map<uint64_t, const Expr*>& overlay() const { return overlay_; }
+  void WriteMem(uint64_t addr, const Expr* value) { overlay_.Set(addr, value); }
+  const CowOverlay& overlay() const { return overlay_; }
 
   std::vector<SymThread>& threads() { return threads_; }
   const std::vector<SymThread>& threads() const { return threads_; }
 
-  std::map<uint64_t, SnapAlloc>& heap() { return heap_; }
-  const std::map<uint64_t, SnapAlloc>& heap() const { return heap_; }
+  // Heap metadata. Reads share the table across snapshot copies; the
+  // mutable accessor clones it first if any other snapshot still shares it.
+  const HeapMap& heap() const { return *heap_; }
+  HeapMap& MutableHeap() {
+    if (heap_.use_count() != 1) {
+      heap_ = std::make_shared<HeapMap>(*heap_);
+    }
+    return *heap_;
+  }
 
   // Allocation covering addr, if any.
   const SnapAlloc* FindAlloc(uint64_t addr) const;
@@ -92,16 +179,16 @@ class SymSnapshot {
 
   // The live (not kUnallocated) allocation with the highest alloc_seq — the
   // one a reversed kAlloc must unwind (the heap is a bump allocator, so
-  // creation order is seq order).
+  // creation order is seq order). The mutable variant clones a shared table.
   SnapAlloc* NewestLiveAlloc();
 
   const Coredump* dump() const { return dump_; }
 
  private:
   const Coredump* dump_ = nullptr;  // not owned; source of concrete words
-  std::unordered_map<uint64_t, const Expr*> overlay_;
+  CowOverlay overlay_;
   std::vector<SymThread> threads_;
-  std::map<uint64_t, SnapAlloc> heap_;
+  std::shared_ptr<HeapMap> heap_ = std::make_shared<HeapMap>();
 };
 
 }  // namespace res

@@ -123,9 +123,14 @@ const Expr* ExprPool::Intern(Expr node) {
   if (it != interned_.end()) {
     return *it;
   }
-  node.id = static_cast<uint32_t>(nodes_.size());
-  nodes_.push_back(std::make_unique<Expr>(node));
-  const Expr* stored = nodes_.back().get();
+  size_t slot = node_count_ % kArenaChunkNodes;
+  if (slot == 0) {
+    arena_.push_back(std::make_unique<Expr[]>(kArenaChunkNodes));
+  }
+  node.id = static_cast<uint32_t>(node_count_);
+  Expr* stored = &arena_.back()[slot];
+  *stored = node;
+  ++node_count_;
   interned_.insert(stored);
   return stored;
 }

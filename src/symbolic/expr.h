@@ -73,6 +73,10 @@ struct VarInfo {
 // Owning, interning factory. Smart constructors simplify aggressively:
 // constant folding, algebraic identities, select folding — so "concrete in,
 // concrete out" holds wherever the coredump pins values.
+//
+// Nodes live in bump-allocated arena chunks: interning probes the hash set
+// with a stack-constructed candidate first and only claims an arena slot on
+// a miss, so the hot intern path performs no per-node heap allocation.
 class ExprPool {
  public:
   ExprPool();
@@ -95,9 +99,11 @@ class ExprPool {
 
   const VarInfo& var_info(VarId id) const { return vars_[id]; }
   size_t var_count() const { return vars_.size(); }
-  size_t node_count() const { return nodes_.size(); }
+  size_t node_count() const { return node_count_; }
 
  private:
+  static constexpr size_t kArenaChunkNodes = 1024;
+
   const Expr* Intern(Expr node);
 
   struct NodeHash {
@@ -107,7 +113,8 @@ class ExprPool {
     bool operator()(const Expr* x, const Expr* y) const;
   };
 
-  std::vector<std::unique_ptr<Expr>> nodes_;
+  std::vector<std::unique_ptr<Expr[]>> arena_;  // fixed-size chunks, bump-filled
+  size_t node_count_ = 0;
   std::unordered_set<const Expr*, NodeHash, NodeEq> interned_;
   std::vector<VarInfo> vars_;
 };

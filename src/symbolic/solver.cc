@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
-#include <map>
+
+#include "src/support/hash.h"
 
 namespace res {
 
@@ -11,30 +12,6 @@ namespace {
 
 constexpr int64_t kIntMin = std::numeric_limits<int64_t>::min();
 constexpr int64_t kIntMax = std::numeric_limits<int64_t>::max();
-
-struct Interval {
-  int64_t lo = kIntMin;
-  int64_t hi = kIntMax;
-
-  bool empty() const { return lo > hi; }
-  bool finite() const { return lo != kIntMin || hi != kIntMax; }
-  // Width as unsigned count of points; saturates.
-  uint64_t width() const {
-    if (empty()) {
-      return 0;
-    }
-    uint64_t w = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo);
-    return w == std::numeric_limits<uint64_t>::max() ? w : w + 1;
-  }
-};
-
-// Mutable solving context shared by Check and EnumerateValues.
-struct Context {
-  std::vector<const Expr*> residual;             // simplified, non-constant
-  std::unordered_map<VarId, const Expr*> bindings;
-  std::map<VarId, Interval> intervals;
-  bool unsat = false;
-};
 
 // Tries to rewrite Eq(lhs, rhs) into a binding var := expr by peeling
 // invertible operations (add/sub/xor with the variable on one side).
@@ -144,19 +121,20 @@ int64_t SatSub(int64_t a, int64_t b) {
   return static_cast<int64_t>(r);
 }
 
-void TightenFromComparison(Context* ctx, const Expr* e, SolverStats* stats) {
+void TightenFromComparison(std::map<VarId, Interval>* intervals, const Expr* e,
+                           SolverStats* stats) {
   if (e->kind != ExprKind::kBinary) {
     return;
   }
   auto tighten_hi = [&](VarId v, int64_t hi) {
-    Interval& iv = ctx->intervals[v];
+    Interval& iv = (*intervals)[v];
     if (hi < iv.hi) {
       iv.hi = hi;
       ++stats->interval_cuts;
     }
   };
   auto tighten_lo = [&](VarId v, int64_t lo) {
-    Interval& iv = ctx->intervals[v];
+    Interval& iv = (*intervals)[v];
     if (lo > iv.lo) {
       iv.lo = lo;
       ++stats->interval_cuts;
@@ -211,6 +189,24 @@ void TightenFromComparison(Context* ctx, const Expr* e, SolverStats* stats) {
   }
 }
 
+// Substitution to a per-expression fixpoint. A single Substitute pass
+// replaces a variable with its binding value verbatim; that value may itself
+// mention variables bound *after* it was recorded (binding values are never
+// back-patched), so one pass can leave bound variables behind. Iterating
+// until stable resolves the whole chain; bindings are acyclic (SolveForVar's
+// occurs check runs on fully-substituted sides), so this terminates.
+const Expr* SubstituteFix(ExprPool* pool, const Expr* e,
+                          const std::unordered_map<VarId, const Expr*>& bindings) {
+  for (int i = 0; i < 64; ++i) {
+    const Expr* s = Substitute(pool, e, bindings);
+    if (s == e) {
+      return e;
+    }
+    e = s;
+  }
+  return e;
+}
+
 }  // namespace
 
 std::string_view SatResultName(SatResult r) {
@@ -228,65 +224,234 @@ std::string_view SatResultName(SatResult r) {
 Solver::Solver(ExprPool* pool, uint64_t seed, SolverOptions options)
     : pool_(pool), rng_(seed), options_(options) {}
 
-SolveOutcome Solver::Check(const std::vector<const Expr*>& constraints) {
-  ++stats_.checks;
-  Context ctx;
-  ctx.residual.assign(constraints.begin(), constraints.end());
+// --- Memoized check cache. ---
 
-  // --- Phase 1: simplification + equality propagation to fixpoint.
-  // Loops while it either creates bindings or the substitution still
-  // changes constraints (binding chains resolve over several rounds). ---
-  for (size_t round = 0; round < options_.max_propagation_rounds; ++round) {
-    bool new_binding = false;
-    bool any_rewrite = false;
+uint64_t Solver::CacheKey(std::vector<const Expr*>* sorted_unique) {
+  std::sort(sorted_unique->begin(), sorted_unique->end(),
+            [](const Expr* x, const Expr* y) { return x->id < y->id; });
+  sorted_unique->erase(std::unique(sorted_unique->begin(), sorted_unique->end()),
+                       sorted_unique->end());
+  // Sorting makes the hash insensitive to the caller's constraint order.
+  uint64_t h = kFnvOffsetBasis;
+  for (const Expr* e : *sorted_unique) {
+    h = HashCombine(h, e->hash);
+  }
+  return h;
+}
+
+const SolveOutcome* Solver::CacheLookup(
+    uint64_t key, const std::vector<const Expr*>& sorted_unique) {
+  auto it = check_cache_.find(key);
+  if (it == check_cache_.end()) {
+    return nullptr;
+  }
+  for (const CacheEntry& entry : it->second) {
+    if (entry.key == sorted_unique) {
+      return &entry.outcome;
+    }
+  }
+  return nullptr;
+}
+
+void Solver::CacheStore(uint64_t key, std::vector<const Expr*> sorted_unique,
+                        const SolveOutcome& outcome) {
+  if (check_cache_entries_ >= options_.check_cache_max_entries) {
+    check_cache_.clear();
+    check_cache_entries_ = 0;
+  }
+  check_cache_[key].push_back(CacheEntry{std::move(sorted_unique), outcome});
+  ++check_cache_entries_;
+}
+
+// --- Phase 1: incremental equality propagation. ---
+
+void Solver::Propagate(SolverContext* ctx,
+                       const std::vector<const Expr*>& constraints) {
+  assert(ctx->absorbed_ <= constraints.size());
+  std::vector<const Expr*> pending(constraints.begin() + ctx->absorbed_,
+                                   constraints.end());
+  ctx->absorbed_ = constraints.size();
+  if (ctx->unsat_ || pending.empty()) {
+    return;
+  }
+
+  // Round 0 runs over the fresh suffix only: the cached residual is already
+  // at fixpoint under the cached bindings, so it is revisited below only if
+  // this round discovers new bindings.
+  bool new_binding = false;
+  {
+    ++stats_.propagation_rounds;
     std::vector<const Expr*> next;
-    next.reserve(ctx.residual.size());
-    for (const Expr* c : ctx.residual) {
-      const Expr* s = Substitute(pool_, c, ctx.bindings);
-      if (s != c) {
-        any_rewrite = true;
-      }
+    next.reserve(pending.size());
+    for (const Expr* c : pending) {
+      ++stats_.propagated_constraints;
+      const Expr* s = SubstituteFix(pool_, c, ctx->bindings_);
       if (s->is_const()) {
         if (s->value == 0) {
-          ctx.unsat = true;
-          break;
+          ctx->unsat_ = true;
+          return;
         }
         continue;  // satisfied; drop
       }
       if (s->kind == ExprKind::kBinary && s->bin_op == BinOp::kEq) {
         if (auto solved = SolveForVar(pool_, s->a, s->b)) {
-          auto it = ctx.bindings.find(solved->var);
-          if (it == ctx.bindings.end()) {
-            ctx.bindings[solved->var] = Substitute(pool_, solved->value, ctx.bindings);
+          auto it = ctx->bindings_.find(solved->var);
+          if (it == ctx->bindings_.end()) {
+            ctx->bindings_[solved->var] =
+                SubstituteFix(pool_, solved->value, ctx->bindings_);
             ++stats_.eq_bindings;
             new_binding = true;
             continue;
           }
-          // Already bound: keep as a residual equality between the two.
           next.push_back(pool_->Eq(it->second, solved->value));
           continue;
         }
       }
       next.push_back(s);
     }
-    if (ctx.unsat) {
-      break;
+    ctx->residual_.insert(ctx->residual_.end(), next.begin(), next.end());
+  }
+  if (!new_binding) {
+    return;
+  }
+
+  // New bindings may simplify older residual constraints (and vice versa):
+  // iterate the classic substitution fixpoint over the whole residual.
+  for (size_t round = 0; round + 1 < options_.max_propagation_rounds; ++round) {
+    ++stats_.propagation_rounds;
+    new_binding = false;
+    bool any_rewrite = false;
+    std::vector<const Expr*> next;
+    next.reserve(ctx->residual_.size());
+    for (const Expr* c : ctx->residual_) {
+      ++stats_.propagated_constraints;
+      const Expr* s = SubstituteFix(pool_, c, ctx->bindings_);
+      if (s != c) {
+        any_rewrite = true;
+      }
+      if (s->is_const()) {
+        if (s->value == 0) {
+          ctx->unsat_ = true;
+          return;
+        }
+        continue;
+      }
+      if (s->kind == ExprKind::kBinary && s->bin_op == BinOp::kEq) {
+        if (auto solved = SolveForVar(pool_, s->a, s->b)) {
+          auto it = ctx->bindings_.find(solved->var);
+          if (it == ctx->bindings_.end()) {
+            ctx->bindings_[solved->var] =
+                SubstituteFix(pool_, solved->value, ctx->bindings_);
+            ++stats_.eq_bindings;
+            new_binding = true;
+            continue;
+          }
+          next.push_back(pool_->Eq(it->second, solved->value));
+          continue;
+        }
+      }
+      next.push_back(s);
     }
-    ctx.residual = std::move(next);
+    ctx->residual_ = std::move(next);
     if (!new_binding && !any_rewrite) {
       break;
     }
   }
+}
 
+// --- Shared check core (phases 1-4 against a context). ---
+
+SolveOutcome Solver::CheckWith(SolverContext* ctx,
+                               const std::vector<const Expr*>& constraints) {
   SolveOutcome out;
+  if (ctx->unsat_) {
+    // Constraints are append-only, so a proven-UNSAT prefix stays UNSAT.
+    out.result = SatResult::kUnsat;
+    ++stats_.unsat;
+    return out;
+  }
+
+  // Fast path 1: the fresh suffix may already hold under the cached model
+  // (every absorbed constraint was verified against it when it was cached).
+  if (ctx->has_model_) {
+    bool model_ok = true;
+    for (size_t i = ctx->absorbed_; i < constraints.size(); ++i) {
+      if (EvalExpr(constraints[i], ctx->model_) == 0) {
+        model_ok = false;
+        break;
+      }
+    }
+    if (model_ok) {
+      ++stats_.model_reuse_hits;
+      // Still absorb the suffix so future UNSAT pruning keeps full power.
+      Propagate(ctx, constraints);
+      // A model verified against every constraint trumps any propagation
+      // verdict; the conjunction is SAT by construction.
+      ctx->unsat_ = false;
+      out.result = SatResult::kSat;
+      out.model = ctx->model_;
+      ++stats_.sat;
+      return out;
+    }
+  }
+
+  // Fast path 2: memoized outcome for this exact constraint set. Only cold
+  // contexts consult the cache: building the order-insensitive key copies
+  // and sorts the whole vector, which would cost O(n log n) per warm
+  // incremental check, and repeated identical sets in practice come from
+  // cold checks (re-enumeration after hypothesis forks), not warm chains.
+  const bool use_cache = ctx->absorbed_ == 0;
+  std::vector<const Expr*> cache_vec;
+  uint64_t cache_key = 0;
+  if (use_cache) {
+    cache_vec = constraints;
+    cache_key = CacheKey(&cache_vec);
+    if (const SolveOutcome* cached = CacheLookup(cache_key, cache_vec)) {
+      ++stats_.cache_hits;
+      if (cached->result == SatResult::kSat) {
+        ctx->model_ = cached->model;
+        ctx->has_model_ = true;
+        ++stats_.sat;
+      } else {
+        // Only definitive verdicts are stored, so this is kUnsat.
+        ctx->has_model_ = false;
+        ctx->unsat_ = true;
+        ++stats_.unsat;
+      }
+      return *cached;
+    }
+    ++stats_.cache_misses;
+  }
+
+  auto record = [&](const SolveOutcome& o) {
+    // kUnknown is a search failure, not a fact about the constraint set:
+    // a later check of the same set (fresh rng state, warmer context) may
+    // still decide it, so only definitive verdicts are memoized.
+    if (use_cache && o.result != SatResult::kUnknown) {
+      CacheStore(cache_key, std::move(cache_vec), o);
+    }
+    if (o.result == SatResult::kSat) {
+      ctx->model_ = o.model;
+      ctx->has_model_ = true;
+    } else {
+      ctx->has_model_ = false;
+      if (o.result == SatResult::kUnsat) {
+        ctx->unsat_ = true;
+      }
+    }
+  };
+
+  // --- Phase 1: simplification + equality propagation to fixpoint. ---
+  Propagate(ctx, constraints);
+
   auto finish_sat = [&](Assignment free_assignment) -> bool {
     // Complete the model: free vars from `free_assignment`, bound vars by
     // evaluating their binding expressions, then re-verify everything.
     Assignment model = std::move(free_assignment);
     // Bindings may reference other vars; iterate to fixpoint (bounded).
-    for (size_t round = 0; round < ctx.bindings.size() + 1; ++round) {
+    for (size_t round = 0; round < ctx->bindings_.size() + 1; ++round) {
       bool progress = false;
-      for (const auto& [var, expr] : ctx.bindings) {
+      for (const auto& [var, expr] : ctx->bindings_) {
         if (model.count(var) != 0) {
           continue;
         }
@@ -294,7 +459,7 @@ SolveOutcome Solver::Check(const std::vector<const Expr*>& constraints) {
         CollectVars(expr, &deps);
         bool ready = true;
         for (VarId d : deps) {
-          if (model.count(d) == 0 && ctx.bindings.count(d) != 0) {
+          if (model.count(d) == 0 && ctx->bindings_.count(d) != 0) {
             ready = false;
             break;
           }
@@ -308,7 +473,7 @@ SolveOutcome Solver::Check(const std::vector<const Expr*>& constraints) {
         break;
       }
     }
-    for (const auto& [var, expr] : ctx.bindings) {
+    for (const auto& [var, expr] : ctx->bindings_) {
       if (model.count(var) == 0) {
         model[var] = EvalExpr(expr, model);  // best effort on cycles
       }
@@ -324,13 +489,15 @@ SolveOutcome Solver::Check(const std::vector<const Expr*>& constraints) {
     return true;
   };
 
-  if (ctx.unsat) {
+  if (ctx->unsat_) {
     out.result = SatResult::kUnsat;
     ++stats_.unsat;
+    record(out);
     return out;
   }
-  if (ctx.residual.empty()) {
+  if (ctx->residual_.empty()) {
     if (finish_sat({})) {
+      record(out);
       return out;
     }
     // Verification failed (e.g. a binding cycle); fall through to search.
@@ -338,15 +505,17 @@ SolveOutcome Solver::Check(const std::vector<const Expr*>& constraints) {
 
   // --- Phase 2: interval propagation. ---
   std::unordered_set<VarId> free_vars;
-  for (const Expr* c : ctx.residual) {
+  for (const Expr* c : ctx->residual_) {
     CollectVars(c, &free_vars);
-    TightenFromComparison(&ctx, c, &stats_);
+    TightenFromComparison(&ctx->intervals_, c, &stats_);
   }
   for (VarId v : free_vars) {
-    auto it = ctx.intervals.find(v);
-    if (it != ctx.intervals.end() && it->second.empty()) {
+    auto it = ctx->intervals_.find(v);
+    if (it != ctx->intervals_.end() && it->second.empty()) {
+      ctx->unsat_ = true;
       out.result = SatResult::kUnsat;
       ++stats_.unsat;
+      record(out);
       return out;
     }
   }
@@ -357,8 +526,8 @@ SolveOutcome Solver::Check(const std::vector<const Expr*>& constraints) {
   bool enumerable = order.size() <= options_.max_enum_vars && !order.empty();
   uint64_t points = 1;
   for (VarId v : order) {
-    auto it = ctx.intervals.find(v);
-    if (it == ctx.intervals.end() || !it->second.finite()) {
+    auto it = ctx->intervals_.find(v);
+    if (it == ctx->intervals_.end() || !it->second.finite()) {
       enumerable = false;
       break;
     }
@@ -372,7 +541,7 @@ SolveOutcome Solver::Check(const std::vector<const Expr*>& constraints) {
   if (enumerable) {
     std::vector<int64_t> cursor(order.size());
     for (size_t i = 0; i < order.size(); ++i) {
-      cursor[i] = ctx.intervals[order[i]].lo;
+      cursor[i] = ctx->intervals_[order[i]].lo;
     }
     while (true) {
       ++stats_.enumerated_points;
@@ -381,22 +550,23 @@ SolveOutcome Solver::Check(const std::vector<const Expr*>& constraints) {
         candidate[order[i]] = cursor[i];
       }
       bool all_ok = true;
-      for (const Expr* c : ctx.residual) {
+      for (const Expr* c : ctx->residual_) {
         if (EvalExpr(c, candidate) == 0) {
           all_ok = false;
           break;
         }
       }
       if (all_ok && finish_sat(candidate)) {
+        record(out);
         return out;
       }
       // Advance odometer.
       size_t i = 0;
       for (; i < order.size(); ++i) {
-        if (cursor[i] < ctx.intervals[order[i]].hi) {
+        if (cursor[i] < ctx->intervals_[order[i]].hi) {
           ++cursor[i];
           for (size_t j = 0; j < i; ++j) {
-            cursor[j] = ctx.intervals[order[j]].lo;
+            cursor[j] = ctx->intervals_[order[j]].lo;
           }
           break;
         }
@@ -405,8 +575,10 @@ SolveOutcome Solver::Check(const std::vector<const Expr*>& constraints) {
         break;  // exhausted: complete enumeration proves UNSAT
       }
     }
+    ctx->unsat_ = true;
     out.result = SatResult::kUnsat;
     ++stats_.unsat;
+    record(out);
     return out;
   }
 
@@ -414,9 +586,9 @@ SolveOutcome Solver::Check(const std::vector<const Expr*>& constraints) {
   for (uint64_t restart = 0; restart < options_.search_restarts; ++restart) {
     Assignment candidate;
     for (VarId v : order) {
-      auto it = ctx.intervals.find(v);
+      auto it = ctx->intervals_.find(v);
       int64_t seed_value = 0;
-      if (it != ctx.intervals.end() && it->second.finite()) {
+      if (it != ctx->intervals_.end() && it->second.finite()) {
         seed_value = restart == 0
                          ? it->second.lo
                          : rng_.NextInRange(std::max<int64_t>(it->second.lo, -4096),
@@ -429,7 +601,7 @@ SolveOutcome Solver::Check(const std::vector<const Expr*>& constraints) {
     for (uint64_t step = 0; step < options_.search_steps; ++step) {
       ++stats_.search_steps;
       const Expr* violated = nullptr;
-      for (const Expr* c : ctx.residual) {
+      for (const Expr* c : ctx->residual_) {
         if (EvalExpr(c, candidate) == 0) {
           violated = c;
           break;
@@ -437,6 +609,7 @@ SolveOutcome Solver::Check(const std::vector<const Expr*>& constraints) {
       }
       if (violated == nullptr) {
         if (finish_sat(candidate)) {
+          record(out);
           return out;
         }
         break;
@@ -479,7 +652,23 @@ SolveOutcome Solver::Check(const std::vector<const Expr*>& constraints) {
 
   out.result = SatResult::kUnknown;
   ++stats_.unknown;
+  record(out);
   return out;
+}
+
+SolveOutcome Solver::Check(const std::vector<const Expr*>& constraints) {
+  ++stats_.checks;
+  SolverContext cold;
+  return CheckWith(&cold, constraints);
+}
+
+SolveOutcome Solver::CheckIncremental(SolverContext* ctx,
+                                      const std::vector<const Expr*>& constraints) {
+  ++stats_.checks;
+  if (ctx->absorbed_ > 0 || ctx->has_model_ || ctx->unsat_) {
+    ++stats_.incremental_checks;
+  }
+  return CheckWith(ctx, constraints);
 }
 
 std::vector<int64_t> Solver::EnumerateValues(
@@ -488,8 +677,12 @@ std::vector<int64_t> Solver::EnumerateValues(
   *complete = false;
   std::vector<int64_t> values;
   std::vector<const Expr*> work = constraints;
+  // The work vector is append-only (one exclusion constraint per found
+  // value), so one warm context serves the whole enumeration.
+  SolverContext ctx;
   for (size_t i = 0; i < limit + 1; ++i) {
-    SolveOutcome outcome = Check(work);
+    ++stats_.checks;
+    SolveOutcome outcome = CheckWith(&ctx, work);
     if (outcome.result == SatResult::kUnsat) {
       *complete = true;  // no further values exist
       return values;

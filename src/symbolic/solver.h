@@ -10,10 +10,21 @@
 // Pipeline: equality propagation + linear inversion -> interval propagation
 // -> exhaustive enumeration of small finite domains -> randomized local
 // search -> kUnknown.
+//
+// Incremental solving (the RES hot path): a SolverContext persists the
+// equality-propagation bindings, interval state, and simplified residual of
+// a hypothesis's constraint prefix, so CheckIncremental only propagates the
+// constraints appended since the previous check. Two fast paths run before
+// any propagation: re-evaluating the fresh constraints under the parent
+// hypothesis's cached SAT model, and a memoized check cache keyed by an
+// order-insensitive hash of the interned constraint-pointer set.
 #ifndef RES_SYMBOLIC_SOLVER_H_
 #define RES_SYMBOLIC_SOLVER_H_
 
 #include <cstdint>
+#include <limits>
+#include <map>
+#include <unordered_map>
 #include <vector>
 
 #include "src/support/rng.h"
@@ -30,12 +41,39 @@ struct SolveOutcome {
   Assignment model;  // meaningful iff result == kSat
 };
 
+// Closed interval over int64 with the usual lattice operations; empty when
+// lo > hi. Used by interval propagation and persisted per SolverContext.
+struct Interval {
+  int64_t lo = std::numeric_limits<int64_t>::min();
+  int64_t hi = std::numeric_limits<int64_t>::max();
+
+  bool empty() const { return lo > hi; }
+  bool finite() const {
+    return lo != std::numeric_limits<int64_t>::min() ||
+           hi != std::numeric_limits<int64_t>::max();
+  }
+  // Width as unsigned count of points; saturates.
+  uint64_t width() const {
+    if (empty()) {
+      return 0;
+    }
+    uint64_t w = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo);
+    return w == std::numeric_limits<uint64_t>::max() ? w : w + 1;
+  }
+};
+
 struct SolverStats {
   uint64_t checks = 0;
+  uint64_t incremental_checks = 0;   // checks that reused a warm context
   uint64_t eq_bindings = 0;
   uint64_t interval_cuts = 0;
   uint64_t enumerated_points = 0;
   uint64_t search_steps = 0;
+  uint64_t propagation_rounds = 0;   // phase-1 fixpoint iterations
+  uint64_t propagated_constraints = 0;  // per-constraint substitution visits
+  uint64_t model_reuse_hits = 0;     // SAT via the cached-model fast path
+  uint64_t cache_hits = 0;           // memoized check-cache hits
+  uint64_t cache_misses = 0;
   uint64_t sat = 0;
   uint64_t unsat = 0;
   uint64_t unknown = 0;
@@ -47,14 +85,47 @@ struct SolverOptions {
   uint64_t max_enum_points = 65536;  // exhaustive enumeration point cap
   uint64_t search_restarts = 8;
   uint64_t search_steps = 512;       // per restart
+  size_t check_cache_max_entries = 1 << 18;  // memo cache bound (then reset)
+};
+
+// Per-hypothesis persistent solving state. The reverse engine stores one per
+// hypothesis and copies it when a hypothesis forks; all cached facts are
+// monotone (constraints are only ever appended), so a child context remains
+// valid for every extension of the parent's constraint vector.
+class SolverContext {
+ public:
+  SolverContext() = default;
+
+  // Prefix of the constraint vector already absorbed into bindings/residual.
+  size_t absorbed() const { return absorbed_; }
+  bool known_unsat() const { return unsat_; }
+  bool has_model() const { return has_model_; }
+  const Assignment& model() const { return model_; }
+
+ private:
+  friend class Solver;
+
+  std::unordered_map<VarId, const Expr*> bindings_;
+  std::map<VarId, Interval> intervals_;
+  std::vector<const Expr*> residual_;  // simplified, non-constant survivors
+  size_t absorbed_ = 0;
+  Assignment model_;     // witness from the last SAT answer
+  bool has_model_ = false;
+  bool unsat_ = false;   // a previous check proved the prefix UNSAT
 };
 
 class Solver {
  public:
   explicit Solver(ExprPool* pool, uint64_t seed = 1, SolverOptions options = {});
 
-  // Is the conjunction of `constraints` satisfiable?
+  // Is the conjunction of `constraints` satisfiable? Monolithic entry point:
+  // propagates the whole vector against a cold context (still memoized).
   SolveOutcome Check(const std::vector<const Expr*>& constraints);
+
+  // Incremental entry point: `constraints` must extend the vector `ctx` last
+  // saw by appending only. Propagates just the suffix past ctx->absorbed().
+  SolveOutcome CheckIncremental(SolverContext* ctx,
+                                const std::vector<const Expr*>& constraints);
 
   // Distinct values `target` can take subject to `constraints` (up to
   // `limit`). `complete` is set true when the returned set is provably
@@ -67,10 +138,31 @@ class Solver {
   const SolverStats& stats() const { return stats_; }
 
  private:
+  struct CacheEntry {
+    std::vector<const Expr*> key;  // sorted, deduped constraint pointers
+    SolveOutcome outcome;
+  };
+
+  SolveOutcome CheckWith(SolverContext* ctx,
+                         const std::vector<const Expr*>& constraints);
+  // Phase 1: absorb constraints[ctx->absorbed_..) into the context
+  // (substitution + equality extraction to fixpoint).
+  void Propagate(SolverContext* ctx, const std::vector<const Expr*>& constraints);
+
+  // Memo cache keyed by an order-insensitive hash of the deduped interned
+  // constraint-pointer set (exact set compared on lookup).
+  static uint64_t CacheKey(std::vector<const Expr*>* sorted_unique);
+  const SolveOutcome* CacheLookup(uint64_t key,
+                                  const std::vector<const Expr*>& sorted_unique);
+  void CacheStore(uint64_t key, std::vector<const Expr*> sorted_unique,
+                  const SolveOutcome& outcome);
+
   ExprPool* pool_;
   Rng rng_;
   SolverOptions options_;
   SolverStats stats_;
+  std::unordered_map<uint64_t, std::vector<CacheEntry>> check_cache_;
+  size_t check_cache_entries_ = 0;
 };
 
 }  // namespace res

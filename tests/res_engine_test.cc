@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "src/res/res_api.h"
+#include "src/support/rng.h"
 #include "src/workloads/harness.h"
 #include "src/workloads/workloads.h"
 
@@ -67,6 +68,155 @@ TEST(SymSnapshotTest, HeapQueriesAndNewestLive) {
   ASSERT_NE(newest, nullptr);
   newest->state = SnapAllocState::kUnallocated;
   EXPECT_EQ(snap.NewestLiveAlloc(), nullptr);  // only one allocation here
+}
+
+TEST(SymSnapshotTest, CowOverlayMatchesPlainMapAcrossForks) {
+  // Differential oracle: a CowOverlay driven through a random write/fork
+  // sequence must read back exactly like an eagerly deep-copied
+  // unordered_map at every fork — the old snapshot semantics.
+  Rng rng(1234);
+  ExprPool pool;
+  std::vector<const Expr*> values;
+  for (int i = 0; i < 8; ++i) {
+    values.push_back(pool.Var("w" + std::to_string(i), VarOrigin::kHavocMem));
+  }
+  struct Branch {
+    CowOverlay cow;
+    std::unordered_map<uint64_t, const Expr*> oracle;
+  };
+  std::vector<Branch> branches(1);
+  for (int step = 0; step < 2000; ++step) {
+    Branch& b = branches[rng.NextBelow(branches.size())];
+    uint64_t addr = 8 * rng.NextBelow(64);
+    switch (rng.NextBelow(4)) {
+      case 0:  // fork (bounded fan-out)
+        if (branches.size() < 24) {
+          branches.push_back(b);
+          break;
+        }
+        [[fallthrough]];
+      case 1:
+      case 2: {  // write (shadows earlier layers)
+        const Expr* v = values[rng.NextBelow(values.size())];
+        b.cow.Set(addr, v);
+        b.oracle[addr] = v;
+        break;
+      }
+      default: {  // read
+        auto it = b.oracle.find(addr);
+        const Expr* expected = it == b.oracle.end() ? nullptr : it->second;
+        ASSERT_EQ(b.cow.Find(addr), expected) << "addr=" << addr;
+        break;
+      }
+    }
+  }
+  // Full sweep: every branch's overlay is bit-identical to its oracle.
+  for (const Branch& b : branches) {
+    ASSERT_EQ(b.cow.DistinctCount(), b.oracle.size());
+    size_t visited = 0;
+    b.cow.ForEach([&](uint64_t addr, const Expr* value) {
+      ++visited;
+      auto it = b.oracle.find(addr);
+      ASSERT_NE(it, b.oracle.end());
+      EXPECT_EQ(it->second, value);
+    });
+    EXPECT_EQ(visited, b.oracle.size());
+  }
+}
+
+TEST(SymSnapshotTest, ForkedSnapshotsAreIsolated) {
+  // Forked hypotheses share structure but must never observe each other's
+  // writes — overlay, heap table, and threads all included.
+  Module module = BuildUseAfterFree();
+  FailureRun failure = FailWorkload("use_after_free", module);
+  ExprPool pool;
+  SymSnapshot parent = SymSnapshot::FromCoredump(module, failure.dump, &pool);
+  const GlobalVar* g = module.globals().empty() ? nullptr : &module.globals()[0];
+  ASSERT_NE(g, nullptr);
+
+  SymSnapshot child = parent;  // the engine's fork
+  const Expr* parent_word = parent.ReadMem(&pool, g->address);
+  const Expr* havoc = pool.Var("havoc", VarOrigin::kHavocMem);
+  child.WriteMem(g->address, havoc);
+  EXPECT_EQ(child.ReadMem(&pool, g->address), havoc);
+  EXPECT_EQ(parent.ReadMem(&pool, g->address), parent_word);
+
+  // Heap: mutating the child clones the shared table, parent unaffected.
+  ASSERT_FALSE(child.heap().empty());
+  uint64_t base = child.heap().begin()->first;
+  SnapAllocState parent_state = parent.heap().at(base).state;
+  child.MutableHeap()[base].state = SnapAllocState::kUnallocated;
+  EXPECT_EQ(child.heap().at(base).state, SnapAllocState::kUnallocated);
+  EXPECT_EQ(parent.heap().at(base).state, parent_state);
+
+  // Deep write bursts push frozen layers; the parent still reads through to
+  // the dump image for untouched words.
+  for (uint64_t i = 0; i < 200; ++i) {
+    child.WriteMem(g->address + 8 * i, havoc);
+  }
+  EXPECT_EQ(parent.ReadMem(&pool, g->address), parent_word);
+  EXPECT_EQ(child.ReadMem(&pool, g->address + 8 * 199), havoc);
+}
+
+TEST(ResEngineTest, IncrementalEngineMatchesMonolithicEngine) {
+  // The tentpole invariant: incremental constraint solving + COW snapshots
+  // must be observationally identical to the classic monolithic engine —
+  // same StopReason, same suffix length, same root causes — across
+  // workload classes.
+  for (const char* name :
+       {"div_by_zero_input", "semantic_assert", "use_after_free",
+        "double_free", "racy_counter", "buffer_overflow"}) {
+    const WorkloadSpec& spec = WorkloadByName(name);
+    Module module = spec.build();
+    FailureRunOptions run_options;
+    run_options.require_live_peers = spec.requires_live_peers;
+    auto run = RunToFailure(module, spec, run_options);
+    ASSERT_TRUE(run.ok()) << name;
+
+    ResOptions incremental;
+    ResOptions monolithic;
+    monolithic.incremental_solving = false;
+    ResEngine engine_inc(module, run.value().dump, incremental);
+    ResEngine engine_mono(module, run.value().dump, monolithic);
+    ResResult inc = engine_inc.Run();
+    ResResult mono = engine_mono.Run();
+
+    EXPECT_EQ(inc.stop, mono.stop) << name;
+    ASSERT_EQ(inc.suffix.has_value(), mono.suffix.has_value()) << name;
+    if (inc.suffix.has_value()) {
+      EXPECT_EQ(inc.suffix->units.size(), mono.suffix->units.size()) << name;
+      EXPECT_EQ(inc.suffix->verified, mono.suffix->verified) << name;
+    }
+    ASSERT_EQ(inc.causes.size(), mono.causes.size()) << name;
+    for (size_t i = 0; i < inc.causes.size(); ++i) {
+      EXPECT_EQ(inc.causes[i].kind, mono.causes[i].kind) << name;
+      EXPECT_EQ(inc.causes[i].BucketSignature(module),
+                mono.causes[i].BucketSignature(module))
+          << name;
+    }
+    EXPECT_EQ(inc.stats.hypotheses_explored, mono.stats.hypotheses_explored)
+        << name;
+  }
+}
+
+TEST(ResEngineTest, IncrementalSolvingReportsReuseAndDedup) {
+  Module module = BuildRootCauseDistance(16);
+  WorkloadSpec spec = WorkloadByName("semantic_assert");
+  auto run = RunToFailure(module, spec, {});
+  ASSERT_TRUE(run.ok());
+  ResOptions options;
+  options.max_units = 64;
+  ResEngine engine(module, run.value().dump, options);
+  ResResult result = engine.Run();
+  ASSERT_TRUE(result.suffix.has_value());
+  // The deepening chain re-uses the parent hypothesis's solver state.
+  EXPECT_GT(result.stats.solver.incremental_checks, 0u);
+  EXPECT_GT(result.stats.solver.model_reuse_hits + result.stats.solver.cache_hits,
+            0u);
+  // Incremental propagation must visit far fewer constraints than the
+  // quadratic re-check (sum over checks of the full vector length).
+  EXPECT_LT(result.stats.solver.propagated_constraints,
+            result.stats.solver.checks * result.stats.solver.checks);
 }
 
 TEST(TrapConsistencyTest, GenuineDumpsAreConsistent) {

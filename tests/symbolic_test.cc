@@ -310,6 +310,153 @@ TEST_F(SolverTest, EnumerateValuesHitsLimit) {
   EXPECT_EQ(values.size(), 5u);
 }
 
+TEST_F(SolverTest, IncrementalAgreesWithMonolithicOnRandomSuites) {
+  // Differential property: feeding a constraint suite one batch at a time
+  // through a persistent SolverContext must agree with a fresh monolithic
+  // Check of each prefix. The generated constraints are linear equalities
+  // and bounds, which the solver decides completely (propagation +
+  // intervals + enumeration), so the verdicts must be *equal*, not merely
+  // non-contradictory.
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    Rng rng(seed);
+    ExprPool pool;
+    Solver incremental_solver(&pool, 1000 + seed);
+    Solver monolithic_solver(&pool, 2000 + seed);
+    SolverContext ctx;
+    std::vector<const Expr*> vars;
+    for (int i = 0; i < 4; ++i) {
+      vars.push_back(pool.Var("v" + std::to_string(i), VarOrigin::kUnknown));
+    }
+    // Box every variable into a small finite interval up front so the whole
+    // suite stays inside the solver's complete fragment (interval widths
+    // multiply to less than the enumeration cap) — no kUnknown verdicts.
+    std::vector<const Expr*> suite;
+    for (const Expr* v : vars) {
+      suite.push_back(pool.Binary(BinOp::kLeS, pool.Const(-4), v));
+      suite.push_back(pool.Binary(BinOp::kLeS, v, pool.Const(4)));
+    }
+    bool prefix_unsat = false;
+    for (int batch = 0; batch < 8; ++batch) {
+      for (int i = 0; i < 3; ++i) {
+        const Expr* v = vars[rng.NextBelow(vars.size())];
+        const Expr* w = vars[rng.NextBelow(vars.size())];
+        int64_t c = rng.NextInRange(-6, 6);
+        const Expr* cons = nullptr;
+        switch (rng.NextBelow(4)) {
+          case 0:
+            // v == w with an offset would be trivially UNSAT-by-wraparound
+            // (outside the complete fragment); keep the sides distinct.
+            cons = v != w ? pool.Eq(pool.Add(v, pool.Const(c)), w)
+                          : pool.Eq(v, pool.Const(c));
+            break;
+          case 1:
+            cons = pool.Binary(BinOp::kLeS, v, pool.Const(c));
+            break;
+          case 2:
+            cons = pool.Binary(BinOp::kLeS, pool.Const(c), v);
+            break;
+          default:
+            cons = pool.Eq(v, pool.Const(c));
+            break;
+        }
+        suite.push_back(cons);
+      }
+      SolveOutcome inc = incremental_solver.CheckIncremental(&ctx, suite);
+      SolveOutcome mono = monolithic_solver.Check(suite);
+      // Both paths are complete on this fragment; never disagree.
+      EXPECT_EQ(inc.result, mono.result)
+          << "seed=" << seed << " batch=" << batch;
+      ASSERT_NE(inc.result, SatResult::kUnknown);
+      if (inc.result == SatResult::kSat) {
+        for (const Expr* c : suite) {
+          EXPECT_NE(EvalExpr(c, inc.model), 0) << ExprToString(pool, c);
+        }
+      } else {
+        prefix_unsat = true;
+        // Monotonicity: every extension of an UNSAT prefix stays UNSAT.
+        suite.push_back(pool.Eq(vars[0], pool.Const(0)));
+        EXPECT_EQ(incremental_solver.CheckIncremental(&ctx, suite).result,
+                  SatResult::kUnsat);
+        break;
+      }
+    }
+    (void)prefix_unsat;
+  }
+}
+
+TEST_F(SolverTest, IncrementalModelReuseAndCacheStatsAdvance) {
+  const Expr* x = pool_.Var("x", VarOrigin::kUnknown);
+  const Expr* y = pool_.Var("y", VarOrigin::kUnknown);
+  SolverContext ctx;
+  std::vector<const Expr*> cs = {pool_.Eq(x, pool_.Const(4))};
+  ASSERT_EQ(solver_.CheckIncremental(&ctx, cs).result, SatResult::kSat);
+  // The cached model (x=4, y defaults to 0) satisfies the appended
+  // constraint, so this check must resolve via model reuse.
+  uint64_t reuse_before = solver_.stats().model_reuse_hits;
+  cs.push_back(pool_.Binary(BinOp::kLeS, y, pool_.Const(0)));
+  ASSERT_EQ(solver_.CheckIncremental(&ctx, cs).result, SatResult::kSat);
+  EXPECT_GT(solver_.stats().model_reuse_hits, reuse_before);
+
+  // A cold context over the same (permuted) set must hit the memo cache:
+  // the key is order-insensitive.
+  SolveOutcome direct = solver_.Check({pool_.Eq(y, pool_.Const(9)),
+                                       pool_.Eq(x, pool_.Const(1))});
+  ASSERT_EQ(direct.result, SatResult::kSat);
+  uint64_t hits_before = solver_.stats().cache_hits;
+  SolveOutcome again = solver_.Check({pool_.Eq(x, pool_.Const(1)),
+                                      pool_.Eq(y, pool_.Const(9))});
+  ASSERT_EQ(again.result, SatResult::kSat);
+  EXPECT_GT(solver_.stats().cache_hits, hits_before);
+}
+
+TEST_F(SolverTest, IncrementalResolvesStaleBindingChains) {
+  // Regression: binding values are never back-patched, so after absorbing
+  // a == b+1 (binding a -> b+1) and then b == 7, a fresh constraint
+  // mentioning `a` substitutes to an expression still containing the bound
+  // `b`. The incremental path must chase the chain to a fixpoint and prove
+  // UNSAT exactly like a cold monolithic check would.
+  const Expr* a = pool_.Var("a", VarOrigin::kUnknown);
+  const Expr* b = pool_.Var("b", VarOrigin::kUnknown);
+  SolverContext ctx;
+  std::vector<const Expr*> cs = {pool_.Eq(a, pool_.Add(b, pool_.Const(1)))};
+  ASSERT_EQ(solver_.CheckIncremental(&ctx, cs).result, SatResult::kSat);
+  cs.push_back(pool_.Eq(b, pool_.Const(7)));
+  ASSERT_EQ(solver_.CheckIncremental(&ctx, cs).result, SatResult::kSat);
+  // a == 8 here; a > 10 is a constant contradiction once the chain resolves.
+  cs.push_back(pool_.Binary(BinOp::kLtS, pool_.Const(10), a));
+  SolveOutcome inc = solver_.CheckIncremental(&ctx, cs);
+  Solver cold(&pool_, 5);
+  SolveOutcome mono = cold.Check(cs);
+  EXPECT_EQ(mono.result, SatResult::kUnsat);
+  EXPECT_EQ(inc.result, SatResult::kUnsat);
+}
+
+TEST_F(SolverTest, IncrementalContextForkMatchesIndependentChecks) {
+  // Fork a context the way the reverse engine forks hypotheses: two
+  // children extend the same parent prefix with conflicting constraints.
+  const Expr* x = pool_.Var("x", VarOrigin::kUnknown);
+  std::vector<const Expr*> parent = {pool_.Binary(BinOp::kLeS, pool_.Const(0), x),
+                                     pool_.Binary(BinOp::kLeS, x, pool_.Const(10))};
+  SolverContext parent_ctx;
+  ASSERT_EQ(solver_.CheckIncremental(&parent_ctx, parent).result, SatResult::kSat);
+
+  SolverContext left = parent_ctx;
+  SolverContext right = parent_ctx;
+  std::vector<const Expr*> left_cs = parent;
+  left_cs.push_back(pool_.Eq(x, pool_.Const(7)));
+  std::vector<const Expr*> right_cs = parent;
+  right_cs.push_back(pool_.Binary(BinOp::kLtS, pool_.Const(10), x));
+
+  SolveOutcome l = solver_.CheckIncremental(&left, left_cs);
+  SolveOutcome r = solver_.CheckIncremental(&right, right_cs);
+  ASSERT_EQ(l.result, SatResult::kSat);
+  EXPECT_EQ(EvalExpr(pool_.Eq(x, pool_.Const(7)), l.model), 1);
+  EXPECT_EQ(r.result, SatResult::kUnsat);
+  // The left fork must be unaffected by the right fork's contradiction.
+  left_cs.push_back(pool_.Binary(BinOp::kLeS, pool_.Const(0), x));
+  EXPECT_EQ(solver_.CheckIncremental(&left, left_cs).result, SatResult::kSat);
+}
+
 TEST_F(SolverTest, EnumerateDerivedExpression) {
   const Expr* x = pool_.Var("x", VarOrigin::kUnknown);
   std::vector<const Expr*> cs = {pool_.Eq(x, pool_.Const(5))};
