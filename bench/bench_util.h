@@ -57,7 +57,7 @@ class BenchJsonWriter {
 
   void Append(const std::string& name, double wall_ms,
               uint64_t hypotheses_explored, uint64_t solver_checks,
-              uint64_t cache_hits) {
+              uint64_t cache_hits, size_t num_threads = 1) {
     std::FILE* f = std::fopen(path_.c_str(), "a");
     if (f == nullptr) {
       return;  // perf records are best-effort; never fail the bench
@@ -65,11 +65,11 @@ class BenchJsonWriter {
     std::fprintf(f,
                  "{\"name\": \"%s\", \"wall_ms\": %.3f, "
                  "\"hypotheses_explored\": %llu, \"solver_checks\": %llu, "
-                 "\"cache_hits\": %llu}\n",
+                 "\"cache_hits\": %llu, \"num_threads\": %zu}\n",
                  name.c_str(), wall_ms,
                  static_cast<unsigned long long>(hypotheses_explored),
                  static_cast<unsigned long long>(solver_checks),
-                 static_cast<unsigned long long>(cache_hits));
+                 static_cast<unsigned long long>(cache_hits), num_threads);
     std::fclose(f);
   }
 

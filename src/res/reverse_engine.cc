@@ -2,11 +2,18 @@
 
 #include <algorithm>
 #include <cassert>
+#include <condition_variable>
 #include <limits>
 #include <map>
+#include <mutex>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
 
+#include "src/support/hash.h"
 #include "src/support/logging.h"
 #include "src/support/string_util.h"
+#include "src/support/thread_pool.h"
 
 namespace res {
 
@@ -86,7 +93,11 @@ std::string_view StopReasonName(StopReason r) {
   return "?";
 }
 
-// One node of the backward search tree.
+// One node of the backward search tree — the *exploration* state only.
+// Solver products (context, model, verified flag) live on the SpecNode that
+// wraps the hypothesis, because gating runs as a separate pipeline lane:
+// exploration of a child may start before its parent's solver verdict
+// exists, and the two lanes must not share mutable fields.
 struct ResEngine::Hypothesis {
   // Immutable suffix spine: each hypothesis appends one SuffixUnit and
   // shares the rest of the chain with its parent, so forking copies a
@@ -102,14 +113,9 @@ struct ResEngine::Hypothesis {
   std::vector<const Expr*> constraints;    // accumulated path/match condition
   // Interned members of `constraints`, for O(1) duplicate rejection.
   std::unordered_set<const Expr*> constraint_set;
-  // Persistent propagation state (bindings/intervals/residual) for the
-  // constraint prefix already checked; forked along with the hypothesis.
-  SolverContext solver_ctx;
   std::shared_ptr<const UnitNode> units_backward;  // see UnitNode
   std::vector<size_t> lbr_remaining;       // per thread, unconsumed LBR entries
   std::vector<size_t> errlog_remaining;    // per thread, unconsumed log entries
-  Assignment model;                        // witness from the last SAT check
-  bool verified = true;                    // last solver verdict was SAT
 
   void AppendUnit(SuffixUnit unit) {
     auto node = std::make_shared<UnitNode>();
@@ -120,6 +126,90 @@ struct ResEngine::Hypothesis {
   }
 
   size_t depth() const { return units_backward ? units_backward->depth : 0; }
+};
+
+// Per-task context: a deterministic fresh-variable namespace plus private
+// stats sinks. Every task derives its namespace from its position in the
+// search tree (never from global counters), so the variables it mints — and
+// therefore everything the solver decides about them — are identical
+// regardless of how tasks interleave across worker threads.
+struct ResEngine::TaskCtx {
+  uint64_t ns = 0;       // deterministic namespace for FreshVar
+  uint32_t var_seq = 0;  // per-task variable counter
+  ResStats stats;        // engine counters (merged at commit)
+  SolverStats sstats;    // solver counters (merged at commit)
+};
+
+// One speculation-tree node: a hypothesis plus the states/results of its
+// (up to three) tasks. Field ownership protocol: task-result fields are
+// written exclusively by the running task and read by the main thread only
+// after observing state == kDone under the scheduler mutex; tree fields
+// (children, parent) are main-thread-only.
+struct ResEngine::SpecNode {
+  enum class St : uint8_t { kIdle = 0, kRunning = 1, kDone = 2 };
+
+  Hypothesis h;
+  uint64_t ns = 0;
+  bool is_root = false;
+  bool all_at_birth = false;
+  // Set (under the scheduler mutex) when the committer discards this
+  // subtree: no further tasks may be launched for it. Any still-running
+  // task completes normally; its continuation sees the flag and stops.
+  bool abandoned = false;
+  // Kept until this node's gate has forked parent's solver context; cleared
+  // afterwards so ancestors free progressively (and to break parent<->child
+  // shared_ptr cycles).
+  std::shared_ptr<SpecNode> parent;
+  SpecNode* parent_raw = nullptr;
+
+  // Gate lane: solver verdict over h.constraints, context forked from the
+  // parent's post-gate context (the incremental chain dependency).
+  St gate_state = St::kIdle;
+  bool gate_passed = false;
+  bool verified = false;
+  SolverContext ctx;
+  Assignment model;
+  ResStats gate_stats;
+  SolverStats gate_sstats;
+
+  // Explore lane: ungated children (independent of the gate verdict).
+  St explore_state = St::kIdle;
+  std::vector<Hypothesis> explore_out;
+  ResStats explore_stats;
+  SolverStats explore_sstats;
+  std::vector<std::shared_ptr<SpecNode>> children;
+  bool children_built = false;
+
+  // Complete-start lane (all-at-birth nodes only; runs after the gate).
+  St complete_state = St::kIdle;
+  bool complete_ok = false;
+  bool complete_verified = false;
+  Hypothesis complete_h;
+  Assignment complete_model;
+  ResStats complete_stats;
+  SolverStats complete_sstats;
+
+  // Detect lane (verified nodes when stop_at_root_cause; runs after gate).
+  St detect_state = St::kIdle;
+  SynthesizedSuffix det_suffix;
+  std::vector<RootCause> det_causes;
+};
+
+// Scheduler shared state: guards every SpecNode task-state field once a
+// worker pool exists, and carries the completion signal.
+struct ResEngine::Sched {
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t outstanding = 0;  // submitted but not yet completed tasks
+  // Set when Run has its result: completing tasks stop launching
+  // successors, so `outstanding` drains promptly instead of cascading
+  // through the remaining speculation tree.
+  bool stopping = false;
+  // Per-run task-execution telemetry (RES_SCHED_DEBUG only; merged under
+  // `mu` by the completion handler).
+  bool debug = false;
+  double lane_exec_ms[4] = {0, 0, 0, 0};
+  uint64_t lane_runs[4] = {0, 0, 0, 0};
 };
 
 ResEngine::ResEngine(const Module& module, const Coredump& dump, ResOptions options)
@@ -141,10 +231,41 @@ ResEngine::ResEngine(const Module& module, const Coredump& dump, ResOptions opti
   log_was_full_ = dump.error_log.size() >= 64;
 }
 
-const Expr* ResEngine::FreshVar(const char* tag, VarOrigin origin) {
-  return pool_.Var(StrFormat("%s_%llu", tag,
-                             static_cast<unsigned long long>(var_counter_++)),
-                   origin);
+const Expr* ResEngine::FreshVar(TaskCtx* tctx, const char* tag, VarOrigin origin) {
+  uint64_t uid = HashCombine(tctx->ns, tctx->var_seq);
+  std::string name =
+      StrFormat("%s_%llx_%u", tag, static_cast<unsigned long long>(tctx->ns),
+                tctx->var_seq);
+  ++tctx->var_seq;
+  return pool_.Var(name, origin, uid);
+}
+
+void ResEngine::MergeStats(const ResStats& d, const SolverStats& sd) {
+  stats_.expansions += d.expansions;
+  stats_.pruned_unsat += d.pruned_unsat;
+  stats_.pruned_structural += d.pruned_structural;
+  stats_.pruned_lbr += d.pruned_lbr;
+  stats_.pruned_errlog += d.pruned_errlog;
+  stats_.address_forks += d.address_forks;
+  stats_.address_unresolved += d.address_unresolved;
+  stats_.unknown_kept += d.unknown_kept;
+  stats_.duplicate_constraints += d.duplicate_constraints;
+
+  SolverStats& s = stats_.solver;
+  s.checks += sd.checks;
+  s.incremental_checks += sd.incremental_checks;
+  s.eq_bindings += sd.eq_bindings;
+  s.interval_cuts += sd.interval_cuts;
+  s.enumerated_points += sd.enumerated_points;
+  s.search_steps += sd.search_steps;
+  s.propagation_rounds += sd.propagation_rounds;
+  s.propagated_constraints += sd.propagated_constraints;
+  s.model_reuse_hits += sd.model_reuse_hits;
+  s.cache_hits += sd.cache_hits;
+  s.cache_misses += sd.cache_misses;
+  s.sat += sd.sat;
+  s.unsat += sd.unsat;
+  s.unknown += sd.unknown;
 }
 
 ResEngine::Hypothesis ResEngine::MakeInitialHypothesis() {
@@ -301,11 +422,12 @@ bool ResEngine::LbrAllowsEdge(const Hypothesis& h, uint32_t tid,
   return rec.source == branch_source && rec.dest == branch_dest;
 }
 
-bool ResEngine::CheckAndCommit(Hypothesis* h, std::vector<const Expr*> fresh) {
+bool ResEngine::CommitFresh(Hypothesis* h, std::vector<const Expr*> fresh,
+                            TaskCtx* tctx) {
   for (const Expr* c : fresh) {
     if (c->is_const()) {
       if (c->value == 0) {
-        ++stats_.pruned_unsat;
+        ++tctx->stats.pruned_unsat;
         return false;
       }
       continue;  // trivially true
@@ -313,29 +435,45 @@ bool ResEngine::CheckAndCommit(Hypothesis* h, std::vector<const Expr*> fresh) {
     if (!h->constraint_set.insert(c).second) {
       // Already asserted on this hypothesis (interning makes structural
       // duplicates pointer-equal); re-checking a conjunct is a no-op.
-      ++stats_.duplicate_constraints;
+      ++tctx->stats.duplicate_constraints;
       continue;
     }
     h->constraints.push_back(c);
   }
-  SolveOutcome outcome =
-      options_.incremental_solving
-          ? solver_.CheckIncremental(&h->solver_ctx, h->constraints)
-          : solver_.Check(h->constraints);
+  return true;
+}
+
+// The solver half of the old CheckAndCommit, as a standalone pipeline lane:
+// forks the parent's post-gate context and checks this node's constraint
+// vector. Runs after the parent's gate (the incremental-context chain) but
+// independently of — typically concurrently with — deeper exploration.
+void ResEngine::GateNode(SpecNode* n) {
+  // Unknown verdicts keep the parent's witness, mirroring the sequential
+  // engine where the forked hypothesis retained the inherited model.
+  n->model = n->parent_raw != nullptr ? n->parent_raw->model : Assignment{};
+  SolveOutcome outcome;
+  if (options_.incremental_solving) {
+    n->ctx = n->parent_raw != nullptr ? n->parent_raw->ctx : SolverContext{};
+    outcome = solver_.CheckIncremental(&n->ctx, n->h.constraints, &n->gate_sstats);
+  } else {
+    outcome = solver_.Check(n->h.constraints, &n->gate_sstats);
+  }
   switch (outcome.result) {
     case SatResult::kUnsat:
-      ++stats_.pruned_unsat;
-      return false;
+      n->gate_passed = false;
+      ++n->gate_stats.pruned_unsat;
+      return;
     case SatResult::kSat:
-      h->model = std::move(outcome.model);
-      h->verified = true;
-      return true;
+      n->gate_passed = true;
+      n->verified = true;
+      n->model = std::move(outcome.model);
+      return;
     case SatResult::kUnknown:
-      h->verified = false;
-      ++stats_.unknown_kept;
-      return true;
+      n->gate_passed = true;
+      n->verified = false;
+      ++n->gate_stats.unknown_kept;
+      return;
   }
-  return false;
 }
 
 // ---------------------------------------------------------------------------
@@ -344,7 +482,7 @@ bool ResEngine::CheckAndCommit(Hypothesis* h, std::vector<const Expr*> fresh) {
 
 void ResEngine::ExecuteUnit(Hypothesis h, const UnitPlan& plan,
                             const std::vector<int64_t>& forced_choices,
-                            std::vector<Hypothesis>* out) {
+                            TaskCtx* tctx, std::vector<Hypothesis>* out) {
   const Hypothesis pristine = h;  // fork base
   SymThread& st = h.state.threads()[plan.tid];
   assert(!st.frames.empty());
@@ -375,7 +513,7 @@ void ResEngine::ExecuteUnit(Hypothesis h, const UnitPlan& plan,
   if (plan.check_frame_post) {
     for (RegId r = 0; r < fn.num_regs; ++r) {
       if (wset[r]) {
-        pre_regs[r] = FreshVar("reg", VarOrigin::kHavocReg);
+        pre_regs[r] = FreshVar(tctx, "reg", VarOrigin::kHavocReg);
       }
     }
   }
@@ -429,11 +567,11 @@ void ResEngine::ExecuteUnit(Hypothesis h, const UnitPlan& plan,
       infeasible = true;
       return std::nullopt;
     }
-    stats_.address_forks += options.size();
+    tctx->stats.address_forks += options.size();
     for (int64_t c : options) {
       std::vector<int64_t> child = forced_choices;
       child.push_back(c);
-      ExecuteUnit(pristine, plan, child, out);
+      ExecuteUnit(pristine, plan, child, tctx, out);
     }
     forked = true;
     return std::nullopt;
@@ -462,7 +600,8 @@ void ResEngine::ExecuteUnit(Hypothesis h, const UnitPlan& plan,
     }
     bool complete = false;
     std::vector<int64_t> values =
-        solver_.EnumerateValues(e, context, options_.address_fork_limit, &complete);
+        solver_.EnumerateValues(e, context, options_.address_fork_limit, &complete,
+                                &tctx->sstats);
     if (values.empty()) {
       // The bias may have over-constrained; retry with the sound context.
       std::vector<const Expr*> plain = h.constraints;
@@ -470,11 +609,11 @@ void ResEngine::ExecuteUnit(Hypothesis h, const UnitPlan& plan,
         plain.push_back(c);
       }
       values = solver_.EnumerateValues(e, plain, options_.address_fork_limit,
-                                       &complete);
+                                       &complete, &tctx->sstats);
     }
     if (values.empty()) {
       if (!complete) {
-        ++stats_.address_unresolved;
+        ++tctx->stats.address_unresolved;
       }
       infeasible = true;
       return std::nullopt;
@@ -493,7 +632,7 @@ void ResEngine::ExecuteUnit(Hypothesis h, const UnitPlan& plan,
       return cell.written;
     }
     if (cell.preread_var == nullptr) {
-      cell.preread_var = FreshVar("mem", VarOrigin::kHavocMem);
+      cell.preread_var = FreshVar(tctx, "mem", VarOrigin::kHavocMem);
     }
     return cell.preread_var;
   };
@@ -644,7 +783,7 @@ void ResEngine::ExecuteUnit(Hypothesis h, const UnitPlan& plan,
         break;
       }
       case Opcode::kInput: {
-        const Expr* v = FreshVar("in", VarOrigin::kInput);
+        const Expr* v = FreshVar(tctx, "in", VarOrigin::kInput);
         env[inst.rd] = v;
         UnitEvent ev;
         ev.kind = UnitEventKind::kInput;
@@ -802,7 +941,7 @@ void ResEngine::ExecuteUnit(Hypothesis h, const UnitPlan& plan,
   }
   if (forked || infeasible) {
     if (infeasible) {
-      ++stats_.pruned_structural;
+      ++tctx->stats.pruned_structural;
     }
     return;
   }
@@ -811,7 +950,7 @@ void ResEngine::ExecuteUnit(Hypothesis h, const UnitPlan& plan,
   for (const HeapAccess& acc : heap_accesses) {
     const SnapAlloc* a = h.state.FindAlloc(acc.addr);
     if (a == nullptr || a->state == SnapAllocState::kUnallocated) {
-      ++stats_.pruned_structural;
+      ++tctx->stats.pruned_structural;
       return;  // the word does not exist at this point in time
     }
     bool claimed_here = false;
@@ -831,15 +970,15 @@ void ResEngine::ExecuteUnit(Hypothesis h, const UnitPlan& plan,
       }
     }
     if (claimed_here && acc.pos < alloc_pos) {
-      ++stats_.pruned_structural;
+      ++tctx->stats.pruned_structural;
       return;  // access before the allocation existed
     }
     if (freed_here && acc.pos > free_pos) {
-      ++stats_.pruned_structural;
+      ++tctx->stats.pruned_structural;
       return;  // access to memory this very unit freed
     }
     if (!freed_here && a->state == SnapAllocState::kFreed) {
-      ++stats_.pruned_structural;
+      ++tctx->stats.pruned_structural;
       return;  // freed before the unit ran
     }
   }
@@ -851,7 +990,7 @@ void ResEngine::ExecuteUnit(Hypothesis h, const UnitPlan& plan,
     if (post == nullptr && !minidump) {
       // Touching a word that never existed would have trapped before the
       // recorded failure — infeasible.
-      ++stats_.pruned_structural;
+      ++tctx->stats.pruned_structural;
       return;
     }
     if (cell.written != nullptr) {
@@ -860,7 +999,7 @@ void ResEngine::ExecuteUnit(Hypothesis h, const UnitPlan& plan,
       }
       const Expr* pre = cell.preread_var != nullptr
                             ? cell.preread_var
-                            : FreshVar("mem", VarOrigin::kHavocMem);
+                            : FreshVar(tctx, "mem", VarOrigin::kHavocMem);
       h.state.WriteMem(addr, pre);
     } else if (cell.preread_var != nullptr) {
       // Read but never written: the pre-value equals the post-value.
@@ -897,14 +1036,14 @@ void ResEngine::ExecuteUnit(Hypothesis h, const UnitPlan& plan,
     size_t matched = std::min(rem, k);
     if (k > rem && !log_was_full_) {
       // The complete log is missing outputs this unit would have produced.
-      ++stats_.pruned_errlog;
+      ++tctx->stats.pruned_errlog;
       return;
     }
     for (size_t j = 0; j < matched; ++j) {
       const ErrorLogEntry& entry = tlog[rem - matched + j];
       const auto& [opc, oval] = outputs[k - matched + j];
       if (entry.pc != opc) {
-        ++stats_.pruned_errlog;
+        ++tctx->stats.pruned_errlog;
         return;
       }
       cons.push_back(pool_.Eq(oval, pool_.Const(entry.value)));
@@ -919,7 +1058,9 @@ void ResEngine::ExecuteUnit(Hypothesis h, const UnitPlan& plan,
 
   h.AppendUnit(std::move(unit));
 
-  if (!CheckAndCommit(&h, std::move(cons))) {
+  // Commit the unit's constraints (dedup + literal-false pruning). The
+  // solver gate itself runs later, as the child SpecNode's gate task.
+  if (!CommitFresh(&h, std::move(cons), tctx)) {
     return;
   }
   out->push_back(std::move(h));
@@ -930,7 +1071,8 @@ void ResEngine::ExecuteUnit(Hypothesis h, const UnitPlan& plan,
 // ---------------------------------------------------------------------------
 
 std::vector<ResEngine::Hypothesis> ResEngine::TryReversePartial(const Hypothesis& h,
-                                                                uint32_t tid) {
+                                                                uint32_t tid,
+                                                                TaskCtx* tctx) {
   const SymThread& st = h.state.threads()[tid];
   const SymFrame& top = st.frames.back();
   std::vector<Hypothesis> out;
@@ -941,7 +1083,7 @@ std::vector<ResEngine::Hypothesis> ResEngine::TryReversePartial(const Hypothesis
   plan.includes_terminator = false;
   plan.check_frame_post = true;
   plan.consumes_lbr = false;
-  ExecuteUnit(h, plan, {}, &out);
+  ExecuteUnit(h, plan, {}, tctx, &out);
   for (Hypothesis& h2 : out) {
     h2.state.threads()[tid].partial_done = true;
   }
@@ -950,7 +1092,8 @@ std::vector<ResEngine::Hypothesis> ResEngine::TryReversePartial(const Hypothesis
 
 std::vector<ResEngine::Hypothesis> ResEngine::TryReverseLocal(const Hypothesis& h,
                                                               uint32_t tid,
-                                                              const PredEdge& edge) {
+                                                              const PredEdge& edge,
+                                                              TaskCtx* tctx) {
   const SymThread& st = h.state.threads()[tid];
   const SymFrame& top = st.frames.back();
   const Function& fn = module_.function(edge.pred.func);
@@ -959,7 +1102,7 @@ std::vector<ResEngine::Hypothesis> ResEngine::TryReverseLocal(const Hypothesis& 
                   static_cast<uint32_t>(pred_bb.instructions.size() - 1)};
   const Pc dest{top.func, top.block, 0};
   if (!LbrAllowsEdge(h, tid, source, dest)) {
-    ++stats_.pruned_lbr;
+    ++tctx->stats.pruned_lbr;
     return {};
   }
   std::vector<Hypothesis> out;
@@ -971,12 +1114,12 @@ std::vector<ResEngine::Hypothesis> ResEngine::TryReverseLocal(const Hypothesis& 
   plan.check_frame_post = true;
   plan.branch_cond_edge = edge.cond_edge;
   plan.consumes_lbr = true;
-  ExecuteUnit(h, plan, {}, &out);
+  ExecuteUnit(h, plan, {}, tctx, &out);
   return out;
 }
 
 std::vector<ResEngine::Hypothesis> ResEngine::TryReverseCallEntry(
-    const Hypothesis& h, uint32_t tid, const PredEdge& edge) {
+    const Hypothesis& h, uint32_t tid, const PredEdge& edge, TaskCtx* tctx) {
   const SymThread& st = h.state.threads()[tid];
   if (st.frames.size() < 2) {
     return {};
@@ -989,14 +1132,14 @@ std::vector<ResEngine::Hypothesis> ResEngine::TryReverseCallEntry(
   // The frame below must be suspended at this call's continuation.
   if (below.func != edge.pred.func || below.block != call.target0 ||
       below.index != 0 || top.caller_result_reg != call.rd) {
-    ++stats_.pruned_structural;
+    ++tctx->stats.pruned_structural;
     return {};
   }
   const Pc source{edge.pred.func, edge.pred.block,
                   static_cast<uint32_t>(site_bb.instructions.size() - 1)};
   const Pc dest{top.func, 0, 0};
   if (!LbrAllowsEdge(h, tid, source, dest)) {
-    ++stats_.pruned_lbr;
+    ++tctx->stats.pruned_lbr;
     return {};
   }
 
@@ -1024,13 +1167,14 @@ std::vector<ResEngine::Hypothesis> ResEngine::TryReverseCallEntry(
   st2.frames.pop_back();
 
   std::vector<Hypothesis> out;
-  ExecuteUnit(std::move(h2), plan, {}, &out);
+  ExecuteUnit(std::move(h2), plan, {}, tctx, &out);
   return out;
 }
 
 std::vector<ResEngine::Hypothesis> ResEngine::TryReverseReturn(const Hypothesis& h,
                                                                uint32_t tid,
-                                                               const PredEdge& edge) {
+                                                               const PredEdge& edge,
+                                                               TaskCtx* tctx) {
   const SymThread& st = h.state.threads()[tid];
   const SymFrame& top = st.frames.back();
   const Function& callee_fn = module_.function(edge.pred.func);
@@ -1042,7 +1186,7 @@ std::vector<ResEngine::Hypothesis> ResEngine::TryReverseReturn(const Hypothesis&
                   static_cast<uint32_t>(ret_bb.instructions.size() - 1)};
   const Pc dest{top.func, top.block, 0};
   if (!LbrAllowsEdge(h, tid, source, dest)) {
-    ++stats_.pruned_lbr;
+    ++tctx->stats.pruned_lbr;
     return {};
   }
 
@@ -1060,7 +1204,7 @@ std::vector<ResEngine::Hypothesis> ResEngine::TryReverseReturn(const Hypothesis&
   if (call.rd != kNoReg) {
     plan.ret_must_equal = caller.regs[call.rd];
     // Before the return, the caller's result register held arbitrary data.
-    caller.regs[call.rd] = FreshVar("reg", VarOrigin::kHavocReg);
+    caller.regs[call.rd] = FreshVar(tctx, "reg", VarOrigin::kHavocReg);
   }
 
   SymFrame callee;
@@ -1070,18 +1214,19 @@ std::vector<ResEngine::Hypothesis> ResEngine::TryReverseReturn(const Hypothesis&
   callee.caller_result_reg = call.rd;
   callee.regs.reserve(callee_fn.num_regs);
   for (uint16_t r = 0; r < callee_fn.num_regs; ++r) {
-    callee.regs.push_back(FreshVar("reg", VarOrigin::kHavocReg));
+    callee.regs.push_back(FreshVar(tctx, "reg", VarOrigin::kHavocReg));
   }
   st2.frames.push_back(std::move(callee));
 
   std::vector<Hypothesis> out;
-  ExecuteUnit(std::move(h2), plan, {}, &out);
+  ExecuteUnit(std::move(h2), plan, {}, tctx, &out);
   return out;
 }
 
 std::vector<ResEngine::Hypothesis> ResEngine::TryMarkBirth(const Hypothesis& h,
                                                            uint32_t tid,
-                                                           const PredEdge* spawn_edge) {
+                                                           const PredEdge* spawn_edge,
+                                                           TaskCtx* tctx) {
   const SymThread& st = h.state.threads()[tid];
   const SymFrame& top = st.frames.back();
   const Function& fn = module_.function(top.func);
@@ -1098,25 +1243,28 @@ std::vector<ResEngine::Hypothesis> ResEngine::TryMarkBirth(const Hypothesis& h,
     // main(): thread id must be 0 and LBR must be fully consumed if the ring
     // never wrapped (the program's very first block has no incoming branch).
     if (tid != 0) {
-      ++stats_.pruned_structural;
+      ++tctx->stats.pruned_structural;
       return {};
     }
   }
-  if (!CheckAndCommit(&h2, std::move(cons))) {
+  if (!CommitFresh(&h2, std::move(cons), tctx)) {
     return {};
   }
   return {std::move(h2)};
 }
 
-std::vector<ResEngine::Hypothesis> ResEngine::TryCompleteStart(const Hypothesis& h) {
-  // All threads are at birth; the snapshot must now equal the program's
-  // initial state: globals at their initializers and an empty heap.
-  for (const auto& [base, a] : h.state.heap()) {
+// All-at-birth completion: the snapshot must equal the program's initial
+// state (globals at their initializers, empty heap). Runs as a gate-lane
+// task: it needs the node's post-gate solver context, and its own solver
+// check is the final gate of the synthesized full execution.
+void ResEngine::CompleteStartNode(SpecNode* n) {
+  n->complete_ok = false;
+  for (const auto& [base, a] : n->h.state.heap()) {
     if (a.state != SnapAllocState::kUnallocated) {
-      return {};
+      return;
     }
   }
-  Hypothesis h2 = h;
+  Hypothesis h2 = n->h;
   std::vector<const Expr*> cons;
   for (const GlobalVar& g : module_.globals()) {
     for (uint64_t w = 0; w < g.size_words; ++w) {
@@ -1126,15 +1274,42 @@ std::vector<ResEngine::Hypothesis> ResEngine::TryCompleteStart(const Hypothesis&
         if (options_.treat_as_minidump) {
           continue;
         }
-        return {};
+        return;
       }
       cons.push_back(pool_.Eq(value, pool_.Const(g.init[w])));
     }
   }
-  if (!CheckAndCommit(&h2, std::move(cons))) {
-    return {};
+  TaskCtx tctx;
+  tctx.stats = ResStats{};
+  if (!CommitFresh(&h2, std::move(cons), &tctx)) {
+    n->complete_stats = tctx.stats;
+    return;
   }
-  return {std::move(h2)};
+  SolverContext cctx = n->ctx;  // fork this node's post-gate context
+  SolveOutcome outcome =
+      options_.incremental_solving
+          ? solver_.CheckIncremental(&cctx, h2.constraints, &tctx.sstats)
+          : solver_.Check(h2.constraints, &tctx.sstats);
+  switch (outcome.result) {
+    case SatResult::kUnsat:
+      ++tctx.stats.pruned_unsat;
+      break;
+    case SatResult::kSat:
+      n->complete_ok = true;
+      n->complete_verified = true;
+      n->complete_model = std::move(outcome.model);
+      n->complete_h = std::move(h2);
+      break;
+    case SatResult::kUnknown:
+      n->complete_ok = true;
+      n->complete_verified = false;
+      n->complete_model = n->model;  // inherited witness, as in GateNode
+      ++tctx.stats.unknown_kept;
+      n->complete_h = std::move(h2);
+      break;
+  }
+  n->complete_stats = tctx.stats;
+  n->complete_sstats = tctx.sstats;
 }
 
 bool ResEngine::AllThreadsAtBirth(const Hypothesis& h) const {
@@ -1146,7 +1321,8 @@ bool ResEngine::AllThreadsAtBirth(const Hypothesis& h) const {
   return true;
 }
 
-std::vector<ResEngine::Hypothesis> ResEngine::Expand(const Hypothesis& h) {
+std::vector<ResEngine::Hypothesis> ResEngine::Expand(const Hypothesis& h,
+                                                     TaskCtx* tctx) {
   std::vector<Hypothesis> out;
   // Thread order heuristic: the faulting thread's history first.
   std::vector<uint32_t> order;
@@ -1162,7 +1338,7 @@ std::vector<ResEngine::Hypothesis> ResEngine::Expand(const Hypothesis& h) {
       continue;
     }
     if (!st.partial_done) {
-      for (Hypothesis& h2 : TryReversePartial(h, tid)) {
+      for (Hypothesis& h2 : TryReversePartial(h, tid, tctx)) {
         out.push_back(std::move(h2));
       }
       continue;
@@ -1174,17 +1350,17 @@ std::vector<ResEngine::Hypothesis> ResEngine::Expand(const Hypothesis& h) {
     for (const PredEdge& edge : cfg_.Predecessors(here)) {
       switch (edge.kind) {
         case PredKind::kLocalBranch:
-          for (Hypothesis& h2 : TryReverseLocal(h, tid, edge)) {
+          for (Hypothesis& h2 : TryReverseLocal(h, tid, edge, tctx)) {
             out.push_back(std::move(h2));
           }
           break;
         case PredKind::kCallEntry:
-          for (Hypothesis& h2 : TryReverseCallEntry(h, tid, edge)) {
+          for (Hypothesis& h2 : TryReverseCallEntry(h, tid, edge, tctx)) {
             out.push_back(std::move(h2));
           }
           break;
         case PredKind::kReturn:
-          for (Hypothesis& h2 : TryReverseReturn(h, tid, edge)) {
+          for (Hypothesis& h2 : TryReverseReturn(h, tid, edge, tctx)) {
             out.push_back(std::move(h2));
           }
           break;
@@ -1196,7 +1372,7 @@ std::vector<ResEngine::Hypothesis> ResEngine::Expand(const Hypothesis& h) {
     // Birth options apply only at a base frame sitting at the entry head.
     if (st.frames.size() == 1 && top.block == 0) {
       if (top.func == module_.entry() && tid == 0) {
-        for (Hypothesis& h2 : TryMarkBirth(h, tid, nullptr)) {
+        for (Hypothesis& h2 : TryMarkBirth(h, tid, nullptr, tctx)) {
           out.push_back(std::move(h2));
         }
       } else if (saw_spawn_edge) {
@@ -1207,17 +1383,30 @@ std::vector<ResEngine::Hypothesis> ResEngine::Expand(const Hypothesis& h) {
             break;
           }
         }
-        for (Hypothesis& h2 : TryMarkBirth(h, tid, edge)) {
+        for (Hypothesis& h2 : TryMarkBirth(h, tid, edge, tctx)) {
           out.push_back(std::move(h2));
         }
       }
     }
   }
-  stats_.expansions += out.size();
   return out;
 }
 
-SynthesizedSuffix ResEngine::Finalize(const Hypothesis& h) const {
+void ResEngine::ExploreNode(SpecNode* n) {
+  TaskCtx tctx;
+  tctx.ns = n->ns;
+  n->explore_out = Expand(n->h, &tctx);
+  n->explore_stats = tctx.stats;
+  n->explore_sstats = tctx.sstats;
+}
+
+void ResEngine::DetectNode(SpecNode* n) {
+  n->det_suffix = Finalize(n->h, n->model, n->verified);
+  n->det_causes = DetectRootCauses(module_, dump_, n->det_suffix, &pool_);
+}
+
+SynthesizedSuffix ResEngine::Finalize(const Hypothesis& h, const Assignment& model,
+                                      bool verified) const {
   SynthesizedSuffix s;
   // The chain head is the deepest unit, i.e. the first in execution order.
   s.units.reserve(h.depth());
@@ -1226,9 +1415,9 @@ SynthesizedSuffix ResEngine::Finalize(const Hypothesis& h) const {
     s.units.push_back(n->unit);
   }
   s.initial_state = h.state;
-  s.model = h.model;
+  s.model = model;
   s.constraints = h.constraints;
-  s.verified = h.verified;
+  s.verified = verified;
   // Initial lock owners: evaluate every mutex word touched by suffix lock
   // ops (plus blocked-thread targets) at suffix start.
   std::set<uint64_t> mutexes;
@@ -1248,7 +1437,7 @@ SynthesizedSuffix ResEngine::Finalize(const Hypothesis& h) const {
     if (value == nullptr) {
       continue;
     }
-    int64_t owner = EvalExpr(value, h.model);
+    int64_t owner = EvalExpr(value, model);
     if (owner > 0 && static_cast<uint64_t>(owner) <= kMaxThreads) {
       s.initial_lock_owners[m] = static_cast<uint32_t>(owner - 1);
     }
@@ -1268,8 +1457,337 @@ ResResult ResEngine::Run() {
     return result;
   }
 
-  std::vector<Hypothesis> stack;
-  stack.push_back(MakeInitialHypothesis());
+  // --- The deterministic task scheduler. ---
+  //
+  // Every popped hypothesis is a SpecNode with up to three tasks:
+  //   explore  — symbolic execution of all backward extensions (no gate);
+  //              depends only on the node's own exploration state, so it can
+  //              run before the node's solver verdict exists.
+  //   gate     — solver verdict over the node's constraint vector, with the
+  //              incremental context forked from the parent's post-gate
+  //              context (the chain dependency of PR 1's solver design).
+  //   detect   — Finalize + root-cause detection (after the gate: needs the
+  //              model). For all-at-birth nodes a complete-start task takes
+  //              the place of explore/detect.
+  //
+  // With num_threads == 1 every task runs inline, exactly reproducing the
+  // classic sequential engine. With num_threads > 1 tasks run on a worker
+  // pool and are *speculated* down the DFS order, but the main thread
+  // commits results in the exact single-threaded pop order and replays the
+  // exact sequential termination logic, so StopReason / suffix / causes are
+  // byte-identical to num_threads=1; speculative work past a termination
+  // point is simply discarded (its stats are never merged).
+  const size_t workers = options_.num_threads > 1 ? options_.num_threads : 0;
+  std::unique_ptr<ThreadPool> pool =
+      workers > 0 ? std::make_unique<ThreadPool>(workers) : nullptr;
+  Sched sched;
+
+  auto root = std::make_shared<SpecNode>();
+  root->h = MakeInitialHypothesis();
+  root->ns = HashCombine(0x9e5u, 1);
+  root->is_root = true;
+  root->all_at_birth = AllThreadsAtBirth(root->h);
+  root->gate_state = SpecNode::St::kDone;  // the base case needs no gate
+  root->gate_passed = true;
+  root->verified = true;
+
+  std::vector<std::shared_ptr<SpecNode>> stack;
+  stack.push_back(root);
+
+  // Builds SpecNode children from a completed explore task, assigning each
+  // the deterministic namespace derived from (parent namespace, index).
+  auto build_children = [this](const std::shared_ptr<SpecNode>& n) {
+    n->children.reserve(n->explore_out.size());
+    for (size_t i = 0; i < n->explore_out.size(); ++i) {
+      auto child = std::make_shared<SpecNode>();
+      child->h = std::move(n->explore_out[i]);
+      child->ns = HashCombine(n->ns, i + 1);
+      child->all_at_birth = AllThreadsAtBirth(child->h);
+      child->parent = n;
+      child->parent_raw = n.get();
+      n->children.push_back(std::move(child));
+    }
+    n->explore_out.clear();
+    n->children_built = true;
+  };
+
+  enum class Task : uint8_t { kGate, kExplore, kDetect, kComplete };
+  auto task_state = [](SpecNode* n, Task t) -> SpecNode::St& {
+    switch (t) {
+      case Task::kGate: return n->gate_state;
+      case Task::kExplore: return n->explore_state;
+      case Task::kDetect: return n->detect_state;
+      default: return n->complete_state;
+    }
+  };
+  sched.debug = std::getenv("RES_SCHED_DEBUG") != nullptr;
+  // Returns the task's execution time in ms (0 unless debugging).
+  auto run_task_body = [this, &sched](SpecNode* n, Task t) -> double {
+    std::chrono::steady_clock::time_point tt0;
+    if (sched.debug) {
+      tt0 = std::chrono::steady_clock::now();
+    }
+    switch (t) {
+      case Task::kGate: GateNode(n); break;
+      case Task::kExplore: ExploreNode(n); break;
+      case Task::kDetect: DetectNode(n); break;
+      case Task::kComplete: CompleteStartNode(n); break;
+    }
+    if (!sched.debug) {
+      return 0;
+    }
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - tt0)
+        .count();
+  };
+  const bool detecting = options_.stop_at_root_cause;
+  // Eligibility predicates (pure functions of node-creation state).
+  auto wants_explore = [this](const SpecNode* n) {
+    return !n->all_at_birth && n->h.depth() < options_.max_units;
+  };
+
+  const size_t max_outstanding = workers * 4 + 4;
+
+  // Launch on the pool. Caller must hold sched.mu and have checked kIdle.
+  // Declared as std::function so task continuations can reference it
+  // recursively (a completing worker launches its successors itself —
+  // keeping the gate->detect chain off the main thread's wakeup latency).
+  std::function<void(const std::shared_ptr<SpecNode>&, Task)> launch_locked;
+  // Launches every now-runnable idle task of `n` (no recursion). Holding
+  // sched.mu. Safe to call from main or from a completing worker.
+  auto schedule_node_locked = [&](const std::shared_ptr<SpecNode>& n) {
+    if (sched.stopping || n->abandoned ||
+        sched.outstanding >= max_outstanding) {
+      return;
+    }
+    if (n->gate_state == SpecNode::St::kDone && !n->gate_passed) {
+      return;  // pruned: this subtree will be discarded, don't feed it
+    }
+    // Launch the gate once the parent's verdict exists (and only for
+    // survivors — a failed parent's subtree is doomed, don't gate it).
+    // parent_raw is only dereferenced while the gate is idle, when the
+    // parent shared_ptr is still held and the pointee alive.
+    if (n->gate_state == SpecNode::St::kIdle &&
+        (n->parent_raw == nullptr ||
+         (n->parent_raw->gate_state == SpecNode::St::kDone &&
+          n->parent_raw->gate_passed))) {
+      launch_locked(n, Task::kGate);
+    }
+    if (n->explore_state == SpecNode::St::kIdle && wants_explore(n.get()) &&
+        sched.outstanding < max_outstanding) {
+      launch_locked(n, Task::kExplore);
+    }
+    if (n->gate_state == SpecNode::St::kDone) {
+      if (n->parent) {
+        n->parent.reset();  // ancestor chain may now free progressively
+      }
+      if (n->gate_passed) {
+        if (detecting && n->verified && n->detect_state == SpecNode::St::kIdle &&
+            sched.outstanding < max_outstanding) {
+          launch_locked(n, Task::kDetect);
+        }
+        if (n->all_at_birth && n->complete_state == SpecNode::St::kIdle &&
+            sched.outstanding < max_outstanding) {
+          launch_locked(n, Task::kComplete);
+        }
+      }
+    }
+    if (n->explore_state == SpecNode::St::kDone && !n->children_built) {
+      build_children(n);
+    }
+  };
+  // Completion continuation: advance this node and its direct children.
+  // Deeper descendants advance when their own parents' tasks complete, so
+  // the per-completion cost stays O(children) while the lane chains
+  // (gate->child gate, explore->child explore) self-propagate at worker
+  // speed instead of main-thread wakeup speed.
+  auto on_task_done_locked = [&](const std::shared_ptr<SpecNode>& n) {
+    if (sched.stopping || n->abandoned) {
+      return;
+    }
+    schedule_node_locked(n);
+    if (n->gate_state == SpecNode::St::kDone && !n->gate_passed) {
+      return;  // the committer will discard the children unseen
+    }
+    for (const auto& child : n->children) {
+      schedule_node_locked(child);
+    }
+  };
+  launch_locked = [&](const std::shared_ptr<SpecNode>& n, Task t) {
+    task_state(n.get(), t) = SpecNode::St::kRunning;
+    ++sched.outstanding;
+    // The shared_ptr capture keeps the node (and via parent, the gate's
+    // context source) alive for the task's duration even if the scheduler
+    // discards the tree early.
+    pool->Submit([&sched, &on_task_done_locked, n, t, run_task_body, task_state] {
+      double exec_ms = run_task_body(n.get(), t);
+      {
+        std::lock_guard<std::mutex> lock(sched.mu);
+        task_state(n.get(), t) = SpecNode::St::kDone;
+        --sched.outstanding;
+        sched.lane_exec_ms[static_cast<int>(t)] += exec_ms;
+        ++sched.lane_runs[static_cast<int>(t)];
+        on_task_done_locked(n);
+      }
+      sched.cv.notify_all();
+    });
+  };
+
+  // Speculation pump: walks the virtual DFS order (commit stack top first,
+  // descending into already-materialized children) and launches every
+  // runnable idle task within the lookahead window. Holding sched.mu. This
+  // is the recovery path for work the completion continuations skipped
+  // (outstanding cap, or subtrees that only became relevant later).
+  const size_t max_visits = workers * 4 + 16;
+  std::function<void(const std::shared_ptr<SpecNode>&, size_t&)> visit =
+      [&](const std::shared_ptr<SpecNode>& n, size_t& visits) {
+        if (visits == 0) {
+          return;
+        }
+        --visits;
+        if (sched.outstanding >= max_outstanding) {
+          return;
+        }
+        schedule_node_locked(n);
+        for (const auto& child : n->children) {
+          if (visits == 0 || sched.outstanding >= max_outstanding) {
+            return;
+          }
+          visit(child, visits);
+        }
+      };
+  // The node currently being committed: already popped, but its subtree is
+  // exactly where the next work lives (on a linear chain the stack is empty
+  // during a commit — without this the pump would speculate nothing).
+  std::shared_ptr<SpecNode> committing;
+  auto pump_locked = [&] {
+    size_t visits = max_visits;
+    if (committing != nullptr) {
+      visit(committing, visits);
+    }
+    for (auto it = stack.rbegin(); it != stack.rend() && visits > 0; ++it) {
+      if (sched.outstanding >= max_outstanding) {
+        break;
+      }
+      visit(*it, visits);
+    }
+  };
+
+  // Blocks until `n`'s task `t` has completed. Inline mode runs the body on
+  // the calling thread; pool mode pumps speculation while waiting.
+  double wait_ms[4] = {0, 0, 0, 0};
+  uint64_t pre_done[4] = {0, 0, 0, 0};
+  uint64_t waited[4] = {0, 0, 0, 0};
+  auto ensure_done = [&](const std::shared_ptr<SpecNode>& n, Task t) {
+    auto t0 = std::chrono::steady_clock::now();
+    struct Timer {
+      std::chrono::steady_clock::time_point t0;
+      double* sink;
+      ~Timer() {
+        *sink += std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+      }
+    } timer{t0, &wait_ms[static_cast<int>(t)]};
+    if (pool == nullptr) {
+      if (task_state(n.get(), t) == SpecNode::St::kDone) {
+        ++pre_done[static_cast<int>(t)];
+      } else {
+        ++waited[static_cast<int>(t)];
+      }
+      SpecNode::St& st = task_state(n.get(), t);
+      if (st == SpecNode::St::kIdle) {
+        st = SpecNode::St::kRunning;
+        run_task_body(n.get(), t);
+        st = SpecNode::St::kDone;
+      }
+      if (t == Task::kGate && n->parent) {
+        n->parent.reset();
+      }
+      if (t == Task::kExplore && !n->children_built) {
+        build_children(n);
+      }
+      return;
+    }
+    std::unique_lock<std::mutex> lock(sched.mu);
+    if (task_state(n.get(), t) == SpecNode::St::kDone) {
+      ++pre_done[static_cast<int>(t)];
+    } else {
+      ++waited[static_cast<int>(t)];
+    }
+    // The pump only walks the stack, so tasks of already-popped nodes (the
+    // detect/complete/explore of the node being committed) must be launched
+    // here; their dependencies hold by commit-order construction.
+    if (task_state(n.get(), t) == SpecNode::St::kIdle) {
+      launch_locked(n, t);
+    }
+    pump_locked();
+    while (task_state(n.get(), t) != SpecNode::St::kDone) {
+      sched.cv.wait(lock);
+      pump_locked();
+    }
+    if (t == Task::kExplore && !n->children_built) {
+      build_children(n);
+    }
+  };
+
+  // Subtrees discarded while one of their tasks is still running are
+  // parked here: the nodes stay alive for the in-flight task, and their
+  // parent<->child shared_ptr cycles are broken at shutdown, once the pool
+  // is quiescent. Quiescent subtrees (always the case in inline mode) are
+  // released immediately instead, matching the sequential engine's
+  // free-on-prune memory profile.
+  std::vector<std::shared_ptr<SpecNode>> discarded;
+  std::function<void(SpecNode*)> release_tree = [&](SpecNode* n) {
+    for (const auto& child : n->children) {
+      release_tree(child.get());
+      child->parent.reset();
+    }
+    n->children.clear();
+  };
+  // Marks a subtree off-limits for new launches and reports whether any of
+  // its tasks is still running. Caller holds sched.mu (pool mode).
+  std::function<bool(SpecNode*)> abandon_tree = [&](SpecNode* n) {
+    n->abandoned = true;
+    bool running = n->gate_state == SpecNode::St::kRunning ||
+                   n->explore_state == SpecNode::St::kRunning ||
+                   n->detect_state == SpecNode::St::kRunning ||
+                   n->complete_state == SpecNode::St::kRunning;
+    for (const auto& child : n->children) {
+      running = abandon_tree(child.get()) || running;
+    }
+    return running;
+  };
+  // Discards a subtree the commit loop will never consume.
+  auto discard_subtree = [&](std::shared_ptr<SpecNode> n) {
+    if (pool == nullptr) {
+      release_tree(n.get());
+      return;
+    }
+    std::lock_guard<std::mutex> lock(sched.mu);
+    if (abandon_tree(n.get())) {
+      discarded.push_back(std::move(n));  // a task still references it
+    } else {
+      release_tree(n.get());
+    }
+  };
+  auto shutdown = [&] {
+    if (pool != nullptr) {
+      std::unique_lock<std::mutex> lock(sched.mu);
+      sched.stopping = true;
+      sched.cv.wait(lock, [&] { return sched.outstanding == 0; });
+    }
+    pool.reset();
+    for (const auto& n : stack) {
+      release_tree(n.get());
+    }
+    for (const auto& n : discarded) {
+      release_tree(n.get());
+    }
+    discarded.clear();
+  };
+
+  // --- The commit loop: byte-for-byte the sequential engine's semantics. ---
 
   // Root-cause candidate under refinement (see below).
   std::optional<SynthesizedSuffix> candidate;
@@ -1277,43 +1795,84 @@ ResResult ResEngine::Run() {
   int candidate_strength = 0;
   uint64_t refine_deadline = 0;
 
-  std::optional<Hypothesis> best;
-  auto consider_best = [&best](const Hypothesis& h) {
-    if (!best.has_value()) {
-      best = h;
-      return;
+  struct BestHyp {
+    Hypothesis h;
+    Assignment model;
+    bool verified = false;
+    bool has = false;
+  };
+  BestHyp best;
+  auto consider_best = [&best](const SpecNode& n) {
+    bool better = !best.has || n.h.depth() > best.h.depth() ||
+                  (n.h.depth() == best.h.depth() && n.verified && !best.verified);
+    if (better) {
+      best.h = n.h;
+      best.model = n.model;
+      best.verified = n.verified;
+      best.has = true;
     }
-    bool deeper = h.depth() > best->depth();
-    bool same_depth_better = h.depth() == best->depth() && h.verified && !best->verified;
-    if (deeper || same_depth_better) {
-      best = h;
+  };
+
+  auto finish = [&](ResResult&& r) {
+    shutdown();
+    if (sched.debug) {
+      std::fprintf(stderr,
+                   "[sched] exec gate=%.2fms/%llu explore=%.2fms/%llu "
+                   "detect=%.2fms/%llu complete=%.2fms/%llu\n",
+                   sched.lane_exec_ms[0], (unsigned long long)sched.lane_runs[0],
+                   sched.lane_exec_ms[1], (unsigned long long)sched.lane_runs[1],
+                   sched.lane_exec_ms[2], (unsigned long long)sched.lane_runs[2],
+                   sched.lane_exec_ms[3], (unsigned long long)sched.lane_runs[3]);
+      std::fprintf(stderr,
+                   "[sched] gate: %.2fms (pre %llu wait %llu) explore: %.2fms "
+                   "(pre %llu wait %llu) detect: %.2fms (pre %llu wait %llu) "
+                   "complete: %.2fms\n",
+                   wait_ms[0], (unsigned long long)pre_done[0],
+                   (unsigned long long)waited[0], wait_ms[1],
+                   (unsigned long long)pre_done[1], (unsigned long long)waited[1],
+                   wait_ms[2], (unsigned long long)pre_done[2],
+                   (unsigned long long)waited[2], wait_ms[3]);
     }
+    r.stats = stats_;
+    return std::move(r);
   };
 
   bool budget_hit = false;
   while (!stack.empty()) {
+    std::shared_ptr<SpecNode> n = stack.back();
+    committing = n;
+    ensure_done(n, Task::kGate);
+    if (!n->gate_passed) {
+      // The sequential engine pruned this child inside its parent's Expand;
+      // it never reached the frontier, so it consumes no budget.
+      MergeStats(n->gate_stats, n->gate_sstats);
+      stack.pop_back();
+      discard_subtree(std::move(n));
+      continue;
+    }
     if (stats_.hypotheses_explored >= options_.max_hypotheses) {
       budget_hit = true;
       break;
     }
-    Hypothesis h = std::move(stack.back());
     stack.pop_back();
+    MergeStats(n->gate_stats, n->gate_sstats);
     ++stats_.hypotheses_explored;
-    stats_.max_depth = std::max(stats_.max_depth, h.depth());
-    if (h.verified) {
-      stats_.max_sat_depth = std::max(stats_.max_sat_depth, h.depth());
+    if (!n->is_root) {
+      ++stats_.expansions;
     }
-    consider_best(h);
+    stats_.max_depth = std::max(stats_.max_depth, n->h.depth());
+    if (n->verified) {
+      stats_.max_sat_depth = std::max(stats_.max_sat_depth, n->h.depth());
+    }
+    consider_best(*n);
 
-    if (h.verified && options_.stop_at_root_cause) {
-      SynthesizedSuffix suffix = Finalize(h);
-      std::vector<RootCause> causes =
-          DetectRootCauses(module_, dump_, suffix, &pool_);
-      if (!causes.empty()) {
-        int strength = CauseStrength(causes.front());
+    if (n->verified && detecting) {
+      ensure_done(n, Task::kDetect);
+      if (!n->det_causes.empty()) {
+        int strength = CauseStrength(n->det_causes.front());
         if (!candidate.has_value() || strength > candidate_strength) {
-          candidate = std::move(suffix);
-          candidate_causes = std::move(causes);
+          candidate = std::move(n->det_suffix);
+          candidate_causes = std::move(n->det_causes);
           candidate_strength = strength;
           refine_deadline = stats_.hypotheses_explored + kRefineBudget;
         }
@@ -1324,9 +1883,7 @@ ResResult ResEngine::Run() {
           result.stop = StopReason::kRootCauseFound;
           result.suffix = std::move(candidate);
           result.causes = std::move(candidate_causes);
-          result.stats = stats_;
-          result.stats.solver = solver_.stats();
-          return result;
+          return finish(std::move(result));
         }
       }
     }
@@ -1334,16 +1891,16 @@ ResResult ResEngine::Run() {
       result.stop = StopReason::kRootCauseFound;
       result.suffix = std::move(candidate);
       result.causes = std::move(candidate_causes);
-      result.stats = stats_;
-      result.stats.solver = solver_.stats();
-      return result;
+      return finish(std::move(result));
     }
 
-    if (AllThreadsAtBirth(h)) {
-      std::vector<Hypothesis> done = TryCompleteStart(h);
-      if (!done.empty()) {
+    if (n->all_at_birth) {
+      ensure_done(n, Task::kComplete);
+      MergeStats(n->complete_stats, n->complete_sstats);
+      if (n->complete_ok) {
         result.stop = StopReason::kReachedStart;
-        result.suffix = Finalize(done.front());
+        result.suffix =
+            Finalize(n->complete_h, n->complete_model, n->complete_verified);
         result.causes = DetectRootCauses(module_, dump_, *result.suffix, &pool_);
         if (result.causes.empty() && candidate.has_value()) {
           // A shallower suffix explained the failure better than the full
@@ -1352,19 +1909,27 @@ ResResult ResEngine::Run() {
           result.suffix = std::move(candidate);
           result.causes = std::move(candidate_causes);
         }
-        result.stats = stats_;
-        result.stats.solver = solver_.stats();
-        return result;
+        return finish(std::move(result));
       }
       continue;
     }
 
-    if (h.depth() >= options_.max_units) {
+    if (n->h.depth() >= options_.max_units) {
       continue;
     }
-    std::vector<Hypothesis> expansions = Expand(h);
-    for (auto it = expansions.rbegin(); it != expansions.rend(); ++it) {
-      stack.push_back(std::move(*it));
+    ensure_done(n, Task::kExplore);
+    MergeStats(n->explore_stats, n->explore_sstats);
+    {
+      // Workers mutate the children vector (build_children continuation)
+      // under sched.mu; move it out under the same lock.
+      std::unique_lock<std::mutex> lock(sched.mu, std::defer_lock);
+      if (pool != nullptr) {
+        lock.lock();
+      }
+      for (auto it = n->children.rbegin(); it != n->children.rend(); ++it) {
+        stack.push_back(std::move(*it));
+      }
+      n->children.clear();
     }
   }
 
@@ -1372,16 +1937,14 @@ ResResult ResEngine::Run() {
     result.stop = StopReason::kRootCauseFound;
     result.suffix = std::move(candidate);
     result.causes = std::move(candidate_causes);
-    result.stats = stats_;
-    result.stats.solver = solver_.stats();
-    return result;
+    return finish(std::move(result));
   }
   result.stop = budget_hit ? StopReason::kBudget : StopReason::kFrontierExhausted;
-  if (best.has_value() && best->depth() > 0) {
-    if (best->depth() >= options_.max_units) {
+  if (best.has && best.h.depth() > 0) {
+    if (best.h.depth() >= options_.max_units) {
       result.stop = StopReason::kMaxDepth;
     }
-    result.suffix = Finalize(*best);
+    result.suffix = Finalize(best.h, best.model, best.verified);
     result.causes = DetectRootCauses(module_, dump_, *result.suffix, &pool_);
   }
   // Hardware verdict: the search space was exhausted and no feasible suffix
@@ -1390,9 +1953,7 @@ ResResult ResEngine::Run() {
   if (!budget_hit && stats_.max_sat_depth < options_.hw_confidence_depth) {
     result.hardware_error_suspected = true;
   }
-  result.stats = stats_;
-  result.stats.solver = solver_.stats();
-  return result;
+  return finish(std::move(result));
 }
 
 }  // namespace res

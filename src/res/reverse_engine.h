@@ -19,6 +19,7 @@
 #define RES_RES_REVERSE_ENGINE_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -42,7 +43,7 @@ struct ResOptions {
   bool use_error_log = true;         // consume error-log breadcrumbs
   bool stop_at_root_cause = true;    // stop once a detector fires
   bool treat_as_minidump = false;    // ablation: ignore the memory image
-  // Ablation: when false, every CheckAndCommit re-solves the hypothesis's
+  // Ablation: when false, every solver gate re-solves the hypothesis's
   // whole constraint vector monolithically instead of reusing its
   // SolverContext. Exists so differential tests can pin the incremental
   // path to the classic one.
@@ -54,6 +55,15 @@ struct ResOptions {
   // satisfiable (it merely re-reads dump state), so the default requires one
   // genuine backward step to survive matching.
   size_t hw_confidence_depth = 2;
+  // Worker threads for hypothesis processing. 1 = fully inline,
+  // single-threaded execution — the differential-testing oracle. N > 1
+  // pipelines the three independent per-hypothesis lanes (symbolic
+  // exploration, incremental solver gating, root-cause detection) across a
+  // worker pool while the main thread commits results in the exact
+  // single-threaded order, so StopReason, suffix, and root causes are
+  // byte-identical to num_threads=1 by construction; only wall-clock time
+  // (and scheduling-dependent solver cache/timing counters) changes.
+  size_t num_threads = 1;
 };
 
 enum class StopReason : uint8_t {
@@ -67,6 +77,11 @@ enum class StopReason : uint8_t {
 
 std::string_view StopReasonName(StopReason r);
 
+// Aggregated per-worker and merged in deterministic commit order. The
+// counters below are identical across num_threads settings, EXCEPT the
+// solver cache counters (cache_hits/cache_misses/model_reuse_hits and the
+// work counters they gate), which depend on which speculative task warmed
+// the shared check cache first.
 struct ResStats {
   uint64_t hypotheses_explored = 0;
   uint64_t expansions = 0;
@@ -94,6 +109,16 @@ struct ResResult {
   ResStats stats;
 };
 
+// Thread-safety: a ResEngine instance is driven from one thread (Run is not
+// reentrant); with options.num_threads > 1 it spawns its own worker pool
+// internally and joins it before Run returns. The shared substrate the
+// workers touch concurrently — ExprPool interning, the Solver check cache,
+// CowOverlay frozen layers — is individually thread-safe (see those
+// headers); everything else a worker task reads (parent hypotheses, the
+// module, the dump) is frozen for the task's duration, and everything it
+// writes (its own hypothesis copy, its stats delta) is task-private until
+// the main thread merges it in deterministic commit order. pool() and
+// stats() must only be called while no Run is in flight.
 class ResEngine {
  public:
   // `module` and `dump` must outlive the engine AND any SynthesizedSuffix it
@@ -113,22 +138,28 @@ class ResEngine {
 
  private:
   struct Hypothesis;
-  struct ExecOutcome;
+  struct SpecNode;
+  struct TaskCtx;
+  struct Sched;
 
   Hypothesis MakeInitialHypothesis();
   // All single-unit extensions of `h` (one per thread × predecessor edge ×
-  // pointer concretization, minus everything pruned).
-  std::vector<Hypothesis> Expand(const Hypothesis& h);
+  // pointer concretization, minus everything structurally pruned). Children
+  // are returned UNGATED: their fresh constraints are committed to the
+  // constraint vector but not yet solver-checked (the gate runs as its own
+  // task so exploration can pipeline ahead of verification).
+  std::vector<Hypothesis> Expand(const Hypothesis& h, TaskCtx* tctx);
 
-  std::vector<Hypothesis> TryReversePartial(const Hypothesis& h, uint32_t tid);
+  std::vector<Hypothesis> TryReversePartial(const Hypothesis& h, uint32_t tid,
+                                            TaskCtx* tctx);
   std::vector<Hypothesis> TryReverseLocal(const Hypothesis& h, uint32_t tid,
-                                          const PredEdge& edge);
+                                          const PredEdge& edge, TaskCtx* tctx);
   std::vector<Hypothesis> TryReverseCallEntry(const Hypothesis& h, uint32_t tid,
-                                              const PredEdge& edge);
+                                              const PredEdge& edge, TaskCtx* tctx);
   std::vector<Hypothesis> TryReverseReturn(const Hypothesis& h, uint32_t tid,
-                                           const PredEdge& edge);
+                                           const PredEdge& edge, TaskCtx* tctx);
   std::vector<Hypothesis> TryMarkBirth(const Hypothesis& h, uint32_t tid,
-                                       const PredEdge* spawn_edge);
+                                       const PredEdge* spawn_edge, TaskCtx* tctx);
 
   // Executes instructions [0, end_index) of `block` on thread `tid`'s top
   // frame, havocking its write set, collecting matching constraints, and —
@@ -155,21 +186,31 @@ class ResEngine {
     bool consumes_lbr = false;
   };
   void ExecuteUnit(Hypothesis h, const UnitPlan& plan,
-                   const std::vector<int64_t>& forced_choices,
+                   const std::vector<int64_t>& forced_choices, TaskCtx* tctx,
                    std::vector<Hypothesis>* out);
 
-  // Solver gate: appends `fresh` to h.constraints, checks, updates model /
-  // verified flag. Returns false (and counts the prune) on UNSAT.
-  bool CheckAndCommit(Hypothesis* h, std::vector<const Expr*> fresh);
+  // Deduplicates `fresh` against h's constraint set and appends the
+  // survivors. Returns false (counting the prune) when a constraint is
+  // literally false. The solver half of the old CheckAndCommit lives in
+  // GateNode so it can run as a separate pipeline lane.
+  bool CommitFresh(Hypothesis* h, std::vector<const Expr*> fresh, TaskCtx* tctx);
+
+  // --- Per-hypothesis task bodies (run inline or on the worker pool). ---
+  void GateNode(SpecNode* n);          // solver verdict for n's constraints
+  void DetectNode(SpecNode* n);        // Finalize + DetectRootCauses
+  void CompleteStartNode(SpecNode* n); // all-at-birth initial-state match
+  void ExploreNode(SpecNode* n);       // Expand into ungated children
 
   bool LbrAllowsEdge(const Hypothesis& h, uint32_t tid, const Pc& branch_source,
                      const Pc& branch_dest) const;
 
-  SynthesizedSuffix Finalize(const Hypothesis& h) const;
+  SynthesizedSuffix Finalize(const Hypothesis& h, const Assignment& model,
+                             bool verified) const;
   bool AllThreadsAtBirth(const Hypothesis& h) const;
-  std::vector<Hypothesis> TryCompleteStart(const Hypothesis& h);
 
-  const Expr* FreshVar(const char* tag, VarOrigin origin);
+  const Expr* FreshVar(TaskCtx* tctx, const char* tag, VarOrigin origin);
+
+  void MergeStats(const ResStats& delta, const SolverStats& solver_delta);
 
   const Module& module_;
   const Coredump& dump_;
@@ -181,7 +222,6 @@ class ResEngine {
   // Per-thread error-log entries (oldest first), split from the global log.
   std::vector<std::vector<ErrorLogEntry>> thread_logs_;
   bool log_was_full_ = false;
-  uint64_t var_counter_ = 0;
 };
 
 }  // namespace res

@@ -77,6 +77,15 @@ struct SnapAlloc {
 // Copying a CowOverlay therefore costs O(delta) — at most the freeze
 // threshold — instead of O(total overlay), which is what makes hypothesis
 // fan-out in the reverse engine cheap at depth.
+//
+// Thread-safety: frozen layers are immutable and reference-counted through
+// std::shared_ptr, whose control-block refcount updates are atomic — so any
+// number of threads may concurrently copy overlays that share layers, read
+// through them (Find/ForEach), and drop copies. The private `delta_` is NOT
+// synchronized: Set/Freeze require that the writing thread exclusively owns
+// this particular CowOverlay copy (the reverse engine guarantees it — each
+// worker task mutates only the hypothesis it owns; shared ancestors are
+// frozen and read-only).
 class CowOverlay {
  public:
   // Value stored for `addr`, or nullptr when the address is absent.
@@ -165,6 +174,12 @@ class SymSnapshot {
 
   // Heap metadata. Reads share the table across snapshot copies; the
   // mutable accessor clones it first if any other snapshot still shares it.
+  //
+  // Thread-safety: safe under the engine's ownership protocol — the shared
+  // table itself is never mutated (a writer clones first), concurrent
+  // cloners only read it, and use_count() can only report a stale value in
+  // benign directions (a false "shared" triggers a redundant clone; a false
+  // "exclusive" is impossible while other owners exist).
   const HeapMap& heap() const { return *heap_; }
   HeapMap& MutableHeap() {
     if (heap_.use_count() != 1) {

@@ -1,0 +1,83 @@
+// Minimal fixed-size worker pool for the reverse engine's task scheduler.
+//
+// Deliberately tiny: a mutex-protected FIFO of std::function tasks and N
+// worker threads. Completion signalling, dependency tracking, and result
+// ordering are the *caller's* job (the engine commits task results in a
+// deterministic order regardless of which worker ran them, which is what
+// makes parallel runs byte-identical to single-threaded ones).
+//
+// Thread-safety: Submit may be called from any thread. The destructor
+// drains nothing — callers must wait for their own completion signals
+// before destroying the pool (the engine tracks an outstanding-task count).
+#ifndef RES_SUPPORT_THREAD_POOL_H_
+#define RES_SUPPORT_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace res {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads) {
+    workers_.reserve(num_threads);
+    for (size_t i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& w : workers_) {
+      w.join();
+    }
+  }
+
+  void Submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+  size_t size() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) {
+          return;  // stopping_ and drained
+        }
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace res
+
+#endif  // RES_SUPPORT_THREAD_POOL_H_

@@ -108,6 +108,29 @@ bool ExprPool::NodeEq::operator()(const Expr* x, const Expr* y) const {
          x->var == y->var && x->a == y->a && x->b == y->b && x->c == y->c;
 }
 
+int DetExprCompare(const Expr* x, const Expr* y) {
+  if (x == y) {
+    return 0;
+  }
+  auto cmp = [](auto a, auto b) { return a < b ? -1 : (a > b ? 1 : 0); };
+  if (int c = cmp(x->det_hash, y->det_hash)) return c;
+  if (int c = cmp(x->kind, y->kind)) return c;
+  if (int c = cmp(x->bin_op, y->bin_op)) return c;
+  if (int c = cmp(x->value, y->value)) return c;  // const value / var uid
+  auto child = [&cmp](const Expr* a, const Expr* b) {
+    if (a == b) return 0;
+    if (a == nullptr || b == nullptr) return cmp(a != nullptr, b != nullptr);
+    return DetExprCompare(a, b);
+  };
+  if (int c = child(x->a, y->a)) return c;
+  if (int c = child(x->b, y->b)) return c;
+  if (int c = child(x->c, y->c)) return c;
+  // Distinct interned nodes that compare structurally equal can only be two
+  // variables whose uids collided; fall back to the (run-local) VarId so the
+  // order is at least a consistent strict-weak order within this run.
+  return cmp(x->var, y->var);
+}
+
 ExprPool::ExprPool() = default;
 
 const Expr* ExprPool::Intern(Expr node) {
@@ -119,19 +142,33 @@ const Expr* ExprPool::Intern(Expr node) {
   h = HashCombine(h, reinterpret_cast<uintptr_t>(node.b));
   h = HashCombine(h, reinterpret_cast<uintptr_t>(node.c));
   node.hash = h;
-  auto it = interned_.find(&node);
-  if (it != interned_.end()) {
+  // Content hash: pure function of structure + var uids (never of VarIds,
+  // node ids, or pointers), so it is identical across runs/thread counts.
+  uint64_t d = HashCombine(HashU64(static_cast<uint64_t>(node.kind)),
+                           HashU64(static_cast<uint64_t>(node.bin_op)));
+  d = HashCombine(d, HashU64(static_cast<uint64_t>(node.value)));
+  if (node.a != nullptr) d = HashCombine(d, node.a->det_hash);
+  if (node.b != nullptr) d = HashCombine(d, node.b->det_hash);
+  if (node.c != nullptr) d = HashCombine(d, node.c->det_hash);
+  node.det_hash = d;
+
+  Shard& shard = shards_[d % kShardCount];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.interned.find(&node);
+  if (it != shard.interned.end()) {
     return *it;
   }
-  size_t slot = node_count_ % kArenaChunkNodes;
+  size_t slot = shard.count % kArenaChunkNodes;
   if (slot == 0) {
-    arena_.push_back(std::make_unique<Expr[]>(kArenaChunkNodes));
+    shard.arena.push_back(std::make_unique<Expr[]>(kArenaChunkNodes));
   }
-  node.id = static_cast<uint32_t>(node_count_);
-  Expr* stored = &arena_.back()[slot];
+  // Unique across shards (interleaved), but assignment order — and hence the
+  // id value — depends on scheduling; never use ids for semantic decisions.
+  node.id = static_cast<uint32_t>(shard.count * kShardCount + (d % kShardCount));
+  Expr* stored = &shard.arena.back()[slot];
   *stored = node;
-  ++node_count_;
-  interned_.insert(stored);
+  ++shard.count;
+  shard.interned.insert(stored);
   return stored;
 }
 
@@ -143,15 +180,48 @@ const Expr* ExprPool::Const(int64_t value) {
 }
 
 const Expr* ExprPool::Var(const std::string& name, VarOrigin origin) {
+  uint64_t uid;
+  {
+    std::lock_guard<std::mutex> lock(vars_mu_);
+    uid = HashCombine(FnvHashString(name), vars_.size());
+  }
+  return Var(name, origin, uid);
+}
+
+const Expr* ExprPool::Var(const std::string& name, VarOrigin origin, uint64_t uid) {
   VarInfo info;
-  info.id = static_cast<VarId>(vars_.size());
   info.name = name;
   info.origin = origin;
-  vars_.push_back(info);
+  info.uid = uid;
+  {
+    std::lock_guard<std::mutex> lock(vars_mu_);
+    info.id = static_cast<VarId>(vars_.size());
+    vars_.push_back(info);
+  }
   Expr node;
   node.kind = ExprKind::kVar;
   node.var = info.id;
+  node.value = static_cast<int64_t>(uid);  // see Expr::value
   return Intern(node);
+}
+
+VarInfo ExprPool::var_info(VarId id) const {
+  std::lock_guard<std::mutex> lock(vars_mu_);
+  return vars_[id];
+}
+
+size_t ExprPool::var_count() const {
+  std::lock_guard<std::mutex> lock(vars_mu_);
+  return vars_.size();
+}
+
+size_t ExprPool::node_count() const {
+  size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n += shard.count;
+  }
+  return n;
 }
 
 const Expr* ExprPool::Binary(BinOp op, const Expr* a, const Expr* b) {

@@ -8,8 +8,11 @@
 #ifndef RES_SYMBOLIC_EXPR_H_
 #define RES_SYMBOLIC_EXPR_H_
 
+#include <array>
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -41,20 +44,48 @@ bool BinOpIsComparison(BinOp op);
 BinOp BinOpFromOpcode(Opcode op);
 
 // Immutable interned node. Never construct directly; use ExprPool.
+//
+// Thread-safety: nodes are immutable after interning, so any number of
+// threads may read a node concurrently without synchronization (they must
+// have received the pointer through a synchronized edge, which interning
+// under the shard mutex provides).
 struct Expr {
   ExprKind kind;
   BinOp bin_op = BinOp::kAdd;
-  int64_t value = 0;          // kConst
+  // kConst: the constant. kVar: the variable's deterministic uid (see
+  // VarInfo::uid) — stored here so content-based ordering and hashing need
+  // no pool lookup. Code must check kind before interpreting `value` as a
+  // constant (is_const() guards every such use).
+  int64_t value = 0;
   VarId var = 0;              // kVar
   const Expr* a = nullptr;    // kBinary lhs / kSelect cond
   const Expr* b = nullptr;    // kBinary rhs / kSelect if-true
   const Expr* c = nullptr;    // kSelect if-false
-  uint64_t hash = 0;
-  uint32_t id = 0;            // pool-assigned, for stable ordering
+  uint64_t hash = 0;          // identity hash (mixes child pointers)
+  // Content hash: a pure function of the expression's structure (and var
+  // uids), identical across runs and thread counts. The basis for every
+  // ordering decision that must be deterministic under parallel interning.
+  uint64_t det_hash = 0;
+  uint32_t id = 0;            // pool-assigned, unique (NOT deterministic)
 
   bool is_const() const { return kind == ExprKind::kConst; }
   bool is_var() const { return kind == ExprKind::kVar; }
 };
+
+// Deterministic strict-weak order on interned expressions: compares content
+// hashes, breaking the (astronomically rare) collisions structurally. Unlike
+// ordering by `id` or by pointer, the result is identical across runs and
+// thread counts, which keeps canonicalized solver decisions reproducible.
+int DetExprCompare(const Expr* x, const Expr* y);
+inline bool DetExprLess(const Expr* x, const Expr* y) {
+  if (x == y) {
+    return false;
+  }
+  if (x->det_hash != y->det_hash) {
+    return x->det_hash < y->det_hash;
+  }
+  return DetExprCompare(x, y) < 0;
+}
 
 // Metadata about a symbolic variable (why it exists).
 enum class VarOrigin : uint8_t {
@@ -68,6 +99,11 @@ struct VarInfo {
   VarId id = 0;
   std::string name;
   VarOrigin origin = VarOrigin::kUnknown;
+  // Deterministic ordering key. VarIds are assigned in interning-arrival
+  // order, which varies across thread counts; uids are derived from the
+  // creator's deterministic namespace (reverse engine) or from the name
+  // (legacy callers), so semantic decisions sort by uid instead of id.
+  uint64_t uid = 0;
 };
 
 // Owning, interning factory. Smart constructors simplify aggressively:
@@ -77,6 +113,13 @@ struct VarInfo {
 // Nodes live in bump-allocated arena chunks: interning probes the hash set
 // with a stack-constructed candidate first and only claims an arena slot on
 // a miss, so the hot intern path performs no per-node heap allocation.
+//
+// Thread-safety: fully thread-safe. The intern table and arenas are striped
+// into kShardCount independently locked shards (selected by content hash),
+// so concurrent interning from reverse-engine worker threads contends only
+// on same-shard collisions. The variable registry has its own mutex; it is
+// a deque, so VarInfo storage is stable and var_info() can return a copy
+// taken under the lock. Interned node *reads* take no lock (see Expr).
 class ExprPool {
  public:
   ExprPool();
@@ -86,7 +129,14 @@ class ExprPool {
   const Expr* Const(int64_t value);
   const Expr* True() { return Const(1); }
   const Expr* False() { return Const(0); }
+  // Registers a fresh variable (same name twice yields two distinct vars).
+  // The two-argument form derives the deterministic uid from the name and
+  // registration order — fine for single-threaded callers. Concurrent
+  // callers must pass an explicit collision-free uid (the reverse engine
+  // derives one from its per-task namespace) or sort order becomes
+  // schedule-dependent.
   const Expr* Var(const std::string& name, VarOrigin origin);
+  const Expr* Var(const std::string& name, VarOrigin origin, uint64_t uid);
   const Expr* Binary(BinOp op, const Expr* a, const Expr* b);
   const Expr* Select(const Expr* cond, const Expr* if_true, const Expr* if_false);
 
@@ -97,12 +147,13 @@ class ExprPool {
   // Boolean negation of a 0/1 expression (or any expression, != 0 semantics).
   const Expr* Not(const Expr* e);
 
-  const VarInfo& var_info(VarId id) const { return vars_[id]; }
-  size_t var_count() const { return vars_.size(); }
-  size_t node_count() const { return node_count_; }
+  VarInfo var_info(VarId id) const;
+  size_t var_count() const;
+  size_t node_count() const;
 
  private:
   static constexpr size_t kArenaChunkNodes = 1024;
+  static constexpr size_t kShardCount = 16;
 
   const Expr* Intern(Expr node);
 
@@ -113,10 +164,16 @@ class ExprPool {
     bool operator()(const Expr* x, const Expr* y) const;
   };
 
-  std::vector<std::unique_ptr<Expr[]>> arena_;  // fixed-size chunks, bump-filled
-  size_t node_count_ = 0;
-  std::unordered_set<const Expr*, NodeHash, NodeEq> interned_;
-  std::vector<VarInfo> vars_;
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<std::unique_ptr<Expr[]>> arena;  // fixed-size, bump-filled
+    size_t count = 0;
+    std::unordered_set<const Expr*, NodeHash, NodeEq> interned;
+  };
+
+  std::array<Shard, kShardCount> shards_;
+  mutable std::mutex vars_mu_;
+  std::deque<VarInfo> vars_;  // deque: stable storage under growth
 };
 
 // Concrete evaluation under a variable assignment (missing vars read as 0).

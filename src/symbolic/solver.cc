@@ -222,55 +222,65 @@ std::string_view SatResultName(SatResult r) {
 }
 
 Solver::Solver(ExprPool* pool, uint64_t seed, SolverOptions options)
-    : pool_(pool), rng_(seed), options_(options) {}
+    : pool_(pool), seed_(seed), options_(options) {}
 
-// --- Memoized check cache. ---
+// --- Memoized check cache (striped; shared across engine worker threads). ---
 
 uint64_t Solver::CacheKey(std::vector<const Expr*>* sorted_unique) {
-  std::sort(sorted_unique->begin(), sorted_unique->end(),
-            [](const Expr* x, const Expr* y) { return x->id < y->id; });
+  // DetExprLess (content order) rather than id order: the canonical order —
+  // which also becomes the cold-check propagation order — must be identical
+  // across runs and thread counts so that cached outcomes are a pure
+  // function of the constraint set.
+  std::sort(sorted_unique->begin(), sorted_unique->end(), DetExprLess);
   sorted_unique->erase(std::unique(sorted_unique->begin(), sorted_unique->end()),
                        sorted_unique->end());
-  // Sorting makes the hash insensitive to the caller's constraint order.
   uint64_t h = kFnvOffsetBasis;
   for (const Expr* e : *sorted_unique) {
-    h = HashCombine(h, e->hash);
+    h = HashCombine(h, e->det_hash);
   }
   return h;
 }
 
-const SolveOutcome* Solver::CacheLookup(
-    uint64_t key, const std::vector<const Expr*>& sorted_unique) {
-  auto it = check_cache_.find(key);
-  if (it == check_cache_.end()) {
-    return nullptr;
+bool Solver::CacheLookup(uint64_t key,
+                         const std::vector<const Expr*>& sorted_unique,
+                         SolveOutcome* out) {
+  CacheShard& shard = check_cache_[key % kCacheShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    return false;
   }
   for (const CacheEntry& entry : it->second) {
     if (entry.key == sorted_unique) {
-      return &entry.outcome;
+      *out = entry.outcome;  // copy out: the slot may be cleared concurrently
+      return true;
     }
   }
-  return nullptr;
+  return false;
 }
 
 void Solver::CacheStore(uint64_t key, std::vector<const Expr*> sorted_unique,
                         const SolveOutcome& outcome) {
-  if (check_cache_entries_ >= options_.check_cache_max_entries) {
-    check_cache_.clear();
-    check_cache_entries_ = 0;
+  CacheShard& shard = check_cache_[key % kCacheShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.entries >= options_.check_cache_max_entries / kCacheShards) {
+    shard.map.clear();
+    shard.entries = 0;
   }
-  check_cache_[key].push_back(CacheEntry{std::move(sorted_unique), outcome});
-  ++check_cache_entries_;
+  shard.map[key].push_back(CacheEntry{std::move(sorted_unique), outcome});
+  ++shard.entries;
 }
 
 // --- Phase 1: incremental equality propagation. ---
 
-void Solver::Propagate(SolverContext* ctx,
-                       const std::vector<const Expr*>& constraints) {
-  assert(ctx->absorbed_ <= constraints.size());
-  std::vector<const Expr*> pending(constraints.begin() + ctx->absorbed_,
-                                   constraints.end());
-  ctx->absorbed_ = constraints.size();
+void Solver::Propagate(SolverContext* ctx, const std::vector<const Expr*>& fresh,
+                       size_t new_absorbed, SolverStats* stats) {
+  assert(ctx->absorbed_ <= new_absorbed);
+  const std::vector<const Expr*>& pending = fresh;
+  ctx->absorbed_ = new_absorbed;
+  for (const Expr* c : pending) {
+    ctx->det_set_hash_ ^= c->det_hash;
+  }
   if (ctx->unsat_ || pending.empty()) {
     return;
   }
@@ -280,11 +290,11 @@ void Solver::Propagate(SolverContext* ctx,
   // this round discovers new bindings.
   bool new_binding = false;
   {
-    ++stats_.propagation_rounds;
+    ++stats->propagation_rounds;
     std::vector<const Expr*> next;
     next.reserve(pending.size());
     for (const Expr* c : pending) {
-      ++stats_.propagated_constraints;
+      ++stats->propagated_constraints;
       const Expr* s = SubstituteFix(pool_, c, ctx->bindings_);
       if (s->is_const()) {
         if (s->value == 0) {
@@ -299,7 +309,7 @@ void Solver::Propagate(SolverContext* ctx,
           if (it == ctx->bindings_.end()) {
             ctx->bindings_[solved->var] =
                 SubstituteFix(pool_, solved->value, ctx->bindings_);
-            ++stats_.eq_bindings;
+            ++stats->eq_bindings;
             new_binding = true;
             continue;
           }
@@ -318,13 +328,13 @@ void Solver::Propagate(SolverContext* ctx,
   // New bindings may simplify older residual constraints (and vice versa):
   // iterate the classic substitution fixpoint over the whole residual.
   for (size_t round = 0; round + 1 < options_.max_propagation_rounds; ++round) {
-    ++stats_.propagation_rounds;
+    ++stats->propagation_rounds;
     new_binding = false;
     bool any_rewrite = false;
     std::vector<const Expr*> next;
     next.reserve(ctx->residual_.size());
     for (const Expr* c : ctx->residual_) {
-      ++stats_.propagated_constraints;
+      ++stats->propagated_constraints;
       const Expr* s = SubstituteFix(pool_, c, ctx->bindings_);
       if (s != c) {
         any_rewrite = true;
@@ -342,7 +352,7 @@ void Solver::Propagate(SolverContext* ctx,
           if (it == ctx->bindings_.end()) {
             ctx->bindings_[solved->var] =
                 SubstituteFix(pool_, solved->value, ctx->bindings_);
-            ++stats_.eq_bindings;
+            ++stats->eq_bindings;
             new_binding = true;
             continue;
           }
@@ -362,12 +372,13 @@ void Solver::Propagate(SolverContext* ctx,
 // --- Shared check core (phases 1-4 against a context). ---
 
 SolveOutcome Solver::CheckWith(SolverContext* ctx,
-                               const std::vector<const Expr*>& constraints) {
+                               const std::vector<const Expr*>& constraints,
+                               SolverStats* stats) {
   SolveOutcome out;
   if (ctx->unsat_) {
     // Constraints are append-only, so a proven-UNSAT prefix stays UNSAT.
     out.result = SatResult::kUnsat;
-    ++stats_.unsat;
+    ++stats->unsat;
     return out;
   }
 
@@ -382,15 +393,17 @@ SolveOutcome Solver::CheckWith(SolverContext* ctx,
       }
     }
     if (model_ok) {
-      ++stats_.model_reuse_hits;
+      ++stats->model_reuse_hits;
       // Still absorb the suffix so future UNSAT pruning keeps full power.
-      Propagate(ctx, constraints);
+      std::vector<const Expr*> fresh(constraints.begin() + ctx->absorbed_,
+                                     constraints.end());
+      Propagate(ctx, fresh, constraints.size(), stats);
       // A model verified against every constraint trumps any propagation
       // verdict; the conjunction is SAT by construction.
       ctx->unsat_ = false;
       out.result = SatResult::kSat;
       out.model = ctx->model_;
-      ++stats_.sat;
+      ++stats->sat;
       return out;
     }
   }
@@ -400,27 +413,36 @@ SolveOutcome Solver::CheckWith(SolverContext* ctx,
   // and sorts the whole vector, which would cost O(n log n) per warm
   // incremental check, and repeated identical sets in practice come from
   // cold checks (re-enumeration after hypothesis forks), not warm chains.
+  //
+  // Determinism: cold checks absorb the *canonical* (DetExprLess-sorted,
+  // deduped) vector, on hits and misses alike, so the context's binding /
+  // residual evolution — and with it every later check on this context — is
+  // a pure function of the constraint set, never of which thread populated
+  // the cache first.
   const bool use_cache = ctx->absorbed_ == 0;
   std::vector<const Expr*> cache_vec;
   uint64_t cache_key = 0;
   if (use_cache) {
     cache_vec = constraints;
     cache_key = CacheKey(&cache_vec);
-    if (const SolveOutcome* cached = CacheLookup(cache_key, cache_vec)) {
-      ++stats_.cache_hits;
-      if (cached->result == SatResult::kSat) {
-        ctx->model_ = cached->model;
+    SolveOutcome cached;
+    if (CacheLookup(cache_key, cache_vec, &cached)) {
+      ++stats->cache_hits;
+      Propagate(ctx, cache_vec, constraints.size(), stats);
+      if (cached.result == SatResult::kSat) {
+        ctx->model_ = cached.model;
         ctx->has_model_ = true;
-        ++stats_.sat;
+        ctx->unsat_ = false;
+        ++stats->sat;
       } else {
         // Only definitive verdicts are stored, so this is kUnsat.
         ctx->has_model_ = false;
         ctx->unsat_ = true;
-        ++stats_.unsat;
+        ++stats->unsat;
       }
-      return *cached;
+      return cached;
     }
-    ++stats_.cache_misses;
+    ++stats->cache_misses;
   }
 
   auto record = [&](const SolveOutcome& o) {
@@ -442,7 +464,13 @@ SolveOutcome Solver::CheckWith(SolverContext* ctx,
   };
 
   // --- Phase 1: simplification + equality propagation to fixpoint. ---
-  Propagate(ctx, constraints);
+  if (use_cache) {
+    Propagate(ctx, cache_vec, constraints.size(), stats);
+  } else {
+    std::vector<const Expr*> fresh(constraints.begin() + ctx->absorbed_,
+                                   constraints.end());
+    Propagate(ctx, fresh, constraints.size(), stats);
+  }
 
   auto finish_sat = [&](Assignment free_assignment) -> bool {
     // Complete the model: free vars from `free_assignment`, bound vars by
@@ -485,13 +513,13 @@ SolveOutcome Solver::CheckWith(SolverContext* ctx,
     }
     out.result = SatResult::kSat;
     out.model = std::move(model);
-    ++stats_.sat;
+    ++stats->sat;
     return true;
   };
 
   if (ctx->unsat_) {
     out.result = SatResult::kUnsat;
-    ++stats_.unsat;
+    ++stats->unsat;
     record(out);
     return out;
   }
@@ -507,22 +535,36 @@ SolveOutcome Solver::CheckWith(SolverContext* ctx,
   std::unordered_set<VarId> free_vars;
   for (const Expr* c : ctx->residual_) {
     CollectVars(c, &free_vars);
-    TightenFromComparison(&ctx->intervals_, c, &stats_);
+    TightenFromComparison(&ctx->intervals_, c, stats);
   }
   for (VarId v : free_vars) {
     auto it = ctx->intervals_.find(v);
     if (it != ctx->intervals_.end() && it->second.empty()) {
       ctx->unsat_ = true;
       out.result = SatResult::kUnsat;
-      ++stats_.unsat;
+      ++stats->unsat;
       record(out);
       return out;
     }
   }
 
   // --- Phase 3: exhaustive enumeration of small finite domains. ---
-  std::vector<VarId> order(free_vars.begin(), free_vars.end());
-  std::sort(order.begin(), order.end());
+  // Order by the deterministic var uid, NOT by VarId: VarIds are assigned in
+  // interning-arrival order, which varies with thread count, and the
+  // enumeration order decides which model is found first.
+  std::vector<VarId> order;
+  {
+    std::vector<std::pair<uint64_t, VarId>> keyed;
+    keyed.reserve(free_vars.size());
+    for (VarId v : free_vars) {
+      keyed.emplace_back(pool_->var_info(v).uid, v);
+    }
+    std::sort(keyed.begin(), keyed.end());
+    order.reserve(keyed.size());
+    for (const auto& [uid, v] : keyed) {
+      order.push_back(v);
+    }
+  }
   bool enumerable = order.size() <= options_.max_enum_vars && !order.empty();
   uint64_t points = 1;
   for (VarId v : order) {
@@ -544,7 +586,7 @@ SolveOutcome Solver::CheckWith(SolverContext* ctx,
       cursor[i] = ctx->intervals_[order[i]].lo;
     }
     while (true) {
-      ++stats_.enumerated_points;
+      ++stats->enumerated_points;
       Assignment candidate;
       for (size_t i = 0; i < order.size(); ++i) {
         candidate[order[i]] = cursor[i];
@@ -577,12 +619,17 @@ SolveOutcome Solver::CheckWith(SolverContext* ctx,
     }
     ctx->unsat_ = true;
     out.result = SatResult::kUnsat;
-    ++stats_.unsat;
+    ++stats->unsat;
     record(out);
     return out;
   }
 
   // --- Phase 4: randomized local search (sound for SAT only). ---
+  // The RNG is seeded from the constraint set's content hash, so the search
+  // trajectory — and hence the model found (or the failure to find one) —
+  // is a pure function of the constraint set: identical across runs, thread
+  // counts, and regardless of which other checks ran before this one.
+  Rng rng(HashCombine(seed_, ctx->det_set_hash_));
   for (uint64_t restart = 0; restart < options_.search_restarts; ++restart) {
     Assignment candidate;
     for (VarId v : order) {
@@ -591,15 +638,15 @@ SolveOutcome Solver::CheckWith(SolverContext* ctx,
       if (it != ctx->intervals_.end() && it->second.finite()) {
         seed_value = restart == 0
                          ? it->second.lo
-                         : rng_.NextInRange(std::max<int64_t>(it->second.lo, -4096),
-                                            std::min<int64_t>(it->second.hi, 4096));
+                         : rng.NextInRange(std::max<int64_t>(it->second.lo, -4096),
+                                           std::min<int64_t>(it->second.hi, 4096));
       } else if (restart > 0) {
-        seed_value = static_cast<int64_t>(rng_.NextBelow(257)) - 128;
+        seed_value = static_cast<int64_t>(rng.NextBelow(257)) - 128;
       }
       candidate[v] = seed_value;
     }
     for (uint64_t step = 0; step < options_.search_steps; ++step) {
-      ++stats_.search_steps;
+      ++stats->search_steps;
       const Expr* violated = nullptr;
       for (const Expr* c : ctx->residual_) {
         if (EvalExpr(c, candidate) == 0) {
@@ -619,15 +666,21 @@ SolveOutcome Solver::CheckWith(SolverContext* ctx,
       if (involved.empty()) {
         break;
       }
-      std::vector<VarId> vs(involved.begin(), involved.end());
-      VarId v = vs[rng_.NextBelow(vs.size())];
+      // Deterministic pick order (uid, not VarId — see phase 3).
+      std::vector<std::pair<uint64_t, VarId>> vs;
+      vs.reserve(involved.size());
+      for (VarId iv : involved) {
+        vs.emplace_back(pool_->var_info(iv).uid, iv);
+      }
+      std::sort(vs.begin(), vs.end());
+      VarId v = vs[rng.NextBelow(vs.size())].second;
       int64_t old = candidate[v];
-      switch (rng_.NextBelow(6)) {
+      switch (rng.NextBelow(6)) {
         case 0: candidate[v] = old + 1; break;
         case 1: candidate[v] = old - 1; break;
         case 2: candidate[v] = 0; break;
-        case 3: candidate[v] = old + static_cast<int64_t>(rng_.NextBelow(64)) - 32; break;
-        case 4: candidate[v] = static_cast<int64_t>(rng_.Next()); break;
+        case 3: candidate[v] = old + static_cast<int64_t>(rng.NextBelow(64)) - 32; break;
+        case 4: candidate[v] = static_cast<int64_t>(rng.Next()); break;
         default: {
           // Try to satisfy an equality directly: v := value making both
           // sides equal if the other side is evaluable.
@@ -639,10 +692,10 @@ SolveOutcome Solver::CheckWith(SolverContext* ctx,
             } else if (violated->b->is_var() && violated->b->var == v) {
               candidate[v] = EvalExpr(violated->a, probe);
             } else {
-              candidate[v] = old ^ static_cast<int64_t>(1ULL << rng_.NextBelow(16));
+              candidate[v] = old ^ static_cast<int64_t>(1ULL << rng.NextBelow(16));
             }
           } else {
-            candidate[v] = old ^ static_cast<int64_t>(1ULL << rng_.NextBelow(16));
+            candidate[v] = old ^ static_cast<int64_t>(1ULL << rng.NextBelow(16));
           }
           break;
         }
@@ -651,29 +704,34 @@ SolveOutcome Solver::CheckWith(SolverContext* ctx,
   }
 
   out.result = SatResult::kUnknown;
-  ++stats_.unknown;
+  ++stats->unknown;
   record(out);
   return out;
 }
 
-SolveOutcome Solver::Check(const std::vector<const Expr*>& constraints) {
-  ++stats_.checks;
+SolveOutcome Solver::Check(const std::vector<const Expr*>& constraints,
+                           SolverStats* stats) {
+  SolverStats* st = stats != nullptr ? stats : &stats_;
+  ++st->checks;
   SolverContext cold;
-  return CheckWith(&cold, constraints);
+  return CheckWith(&cold, constraints, st);
 }
 
 SolveOutcome Solver::CheckIncremental(SolverContext* ctx,
-                                      const std::vector<const Expr*>& constraints) {
-  ++stats_.checks;
+                                      const std::vector<const Expr*>& constraints,
+                                      SolverStats* stats) {
+  SolverStats* st = stats != nullptr ? stats : &stats_;
+  ++st->checks;
   if (ctx->absorbed_ > 0 || ctx->has_model_ || ctx->unsat_) {
-    ++stats_.incremental_checks;
+    ++st->incremental_checks;
   }
-  return CheckWith(ctx, constraints);
+  return CheckWith(ctx, constraints, st);
 }
 
 std::vector<int64_t> Solver::EnumerateValues(
     const Expr* target, const std::vector<const Expr*>& constraints, size_t limit,
-    bool* complete) {
+    bool* complete, SolverStats* stats) {
+  SolverStats* st = stats != nullptr ? stats : &stats_;
   *complete = false;
   std::vector<int64_t> values;
   std::vector<const Expr*> work = constraints;
@@ -681,8 +739,8 @@ std::vector<int64_t> Solver::EnumerateValues(
   // value), so one warm context serves the whole enumeration.
   SolverContext ctx;
   for (size_t i = 0; i < limit + 1; ++i) {
-    ++stats_.checks;
-    SolveOutcome outcome = CheckWith(&ctx, work);
+    ++st->checks;
+    SolveOutcome outcome = CheckWith(&ctx, work, st);
     if (outcome.result == SatResult::kUnsat) {
       *complete = true;  // no further values exist
       return values;

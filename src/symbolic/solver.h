@@ -21,9 +21,11 @@
 #ifndef RES_SYMBOLIC_SOLVER_H_
 #define RES_SYMBOLIC_SOLVER_H_
 
+#include <array>
 #include <cstdint>
 #include <limits>
 #include <map>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -92,6 +94,11 @@ struct SolverOptions {
 // hypothesis and copies it when a hypothesis forks; all cached facts are
 // monotone (constraints are only ever appended), so a child context remains
 // valid for every extension of the parent's constraint vector.
+//
+// Thread-safety: a SolverContext belongs to exactly one hypothesis and must
+// only be passed to one check at a time (it is mutable per-chain state).
+// Copy-forking a context that no thread is currently checking is safe from
+// any thread.
 class SolverContext {
  public:
   SolverContext() = default;
@@ -109,23 +116,40 @@ class SolverContext {
   std::map<VarId, Interval> intervals_;
   std::vector<const Expr*> residual_;  // simplified, non-constant survivors
   size_t absorbed_ = 0;
+  // Order-insensitive content hash (XOR of det_hash) of the absorbed set;
+  // seeds the local-search RNG so every check's randomness is a pure
+  // function of the constraint set rather than of global call order.
+  uint64_t det_set_hash_ = 0;
   Assignment model_;     // witness from the last SAT answer
   bool has_model_ = false;
   bool unsat_ = false;   // a previous check proved the prefix UNSAT
 };
 
+// Thread-safety: Check / CheckIncremental / EnumerateValues may be called
+// concurrently from any number of threads PROVIDED each concurrent call (a)
+// passes a distinct SolverContext (or none) and (b) passes a distinct
+// `stats` sink — passing nullptr routes counters to the solver's internal
+// stats, which is only safe single-threaded. The memoized check cache is
+// striped across independently locked shards and is shared by all callers;
+// this is sound because every cold-check outcome is a pure function of the
+// constraint *set* (cold checks canonicalize their propagation order by
+// DetExprLess and derive their local-search RNG seed from the set's content
+// hash), so whichever thread computes a set first stores the same verdict
+// and model any other thread would have.
 class Solver {
  public:
   explicit Solver(ExprPool* pool, uint64_t seed = 1, SolverOptions options = {});
 
   // Is the conjunction of `constraints` satisfiable? Monolithic entry point:
   // propagates the whole vector against a cold context (still memoized).
-  SolveOutcome Check(const std::vector<const Expr*>& constraints);
+  SolveOutcome Check(const std::vector<const Expr*>& constraints,
+                     SolverStats* stats = nullptr);
 
   // Incremental entry point: `constraints` must extend the vector `ctx` last
   // saw by appending only. Propagates just the suffix past ctx->absorbed().
   SolveOutcome CheckIncremental(SolverContext* ctx,
-                                const std::vector<const Expr*>& constraints);
+                                const std::vector<const Expr*>& constraints,
+                                SolverStats* stats = nullptr);
 
   // Distinct values `target` can take subject to `constraints` (up to
   // `limit`). `complete` is set true when the returned set is provably
@@ -133,7 +157,8 @@ class Solver {
   // "symbolic addresses" case).
   std::vector<int64_t> EnumerateValues(const Expr* target,
                                        const std::vector<const Expr*>& constraints,
-                                       size_t limit, bool* complete);
+                                       size_t limit, bool* complete,
+                                       SolverStats* stats = nullptr);
 
   const SolverStats& stats() const { return stats_; }
 
@@ -144,25 +169,35 @@ class Solver {
   };
 
   SolveOutcome CheckWith(SolverContext* ctx,
-                         const std::vector<const Expr*>& constraints);
-  // Phase 1: absorb constraints[ctx->absorbed_..) into the context
-  // (substitution + equality extraction to fixpoint).
-  void Propagate(SolverContext* ctx, const std::vector<const Expr*>& constraints);
+                         const std::vector<const Expr*>& constraints,
+                         SolverStats* stats);
+  // Phase 1: absorb `fresh` (the constraints not yet seen by `ctx`) into the
+  // context (substitution + equality extraction to fixpoint) and advance
+  // ctx->absorbed_ to `new_absorbed` (the caller's full vector length —
+  // `fresh` may be a deduplicated/canonicalized copy of that suffix).
+  void Propagate(SolverContext* ctx, const std::vector<const Expr*>& fresh,
+                 size_t new_absorbed, SolverStats* stats);
 
-  // Memo cache keyed by an order-insensitive hash of the deduped interned
-  // constraint-pointer set (exact set compared on lookup).
+  // Memo cache keyed by an order-insensitive content hash of the deduped
+  // interned constraint-pointer set (exact set compared on lookup).
   static uint64_t CacheKey(std::vector<const Expr*>* sorted_unique);
-  const SolveOutcome* CacheLookup(uint64_t key,
-                                  const std::vector<const Expr*>& sorted_unique);
+  bool CacheLookup(uint64_t key, const std::vector<const Expr*>& sorted_unique,
+                   SolveOutcome* out);
   void CacheStore(uint64_t key, std::vector<const Expr*> sorted_unique,
                   const SolveOutcome& outcome);
 
+  static constexpr size_t kCacheShards = 16;
+  struct CacheShard {
+    std::mutex mu;
+    std::unordered_map<uint64_t, std::vector<CacheEntry>> map;
+    size_t entries = 0;
+  };
+
   ExprPool* pool_;
-  Rng rng_;
+  uint64_t seed_;
   SolverOptions options_;
-  SolverStats stats_;
-  std::unordered_map<uint64_t, std::vector<CacheEntry>> check_cache_;
-  size_t check_cache_entries_ = 0;
+  SolverStats stats_;  // sink for callers that pass no explicit stats
+  std::array<CacheShard, kCacheShards> check_cache_;
 };
 
 }  // namespace res

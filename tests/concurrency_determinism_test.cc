@@ -1,0 +1,134 @@
+// Parallel frontier expansion must be observationally invisible: for any
+// num_threads, the engine's StopReason, synthesized suffix, root causes,
+// hardware verdict, and commit-order counters must be byte-identical to the
+// single-threaded engine (the differential oracle). This is the tentpole
+// invariant of the threading model — see docs/ARCHITECTURE.md.
+//
+// Run under -DRES_SANITIZE=thread to also validate the data-race freedom of
+// the shared substrate (ExprPool interning, the solver check cache,
+// CowOverlay layer sharing).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/res/res_api.h"
+#include "src/support/string_util.h"
+#include "src/workloads/harness.h"
+#include "src/workloads/workloads.h"
+
+namespace res {
+namespace {
+
+// Everything observable about an engine run, rendered to one string so a
+// mismatch diff shows exactly which facet diverged. Deliberately includes
+// the constraint vector (rendered through the deterministic variable names)
+// and the per-unit schedule, not just coarse outcomes.
+std::string RunSignature(const Module& module, const Coredump& dump,
+                         ResOptions options, size_t num_threads) {
+  options.num_threads = num_threads;
+  ResEngine engine(module, dump, options);
+  ResResult result = engine.Run();
+
+  std::string sig;
+  sig += StrFormat("stop=%s hw=%d inconsistent=%d explored=%llu\n",
+                   std::string(StopReasonName(result.stop)).c_str(),
+                   result.hardware_error_suspected ? 1 : 0,
+                   result.dump_inconsistent_at_trap ? 1 : 0,
+                   static_cast<unsigned long long>(
+                       result.stats.hypotheses_explored));
+  if (result.suffix.has_value()) {
+    const SynthesizedSuffix& s = *result.suffix;
+    sig += StrFormat("suffix units=%zu verified=%d\n", s.units.size(),
+                     s.verified ? 1 : 0);
+    sig += SuffixToString(module, s);
+    sig += "constraints:\n";
+    for (const Expr* c : s.constraints) {
+      sig += ExprToString(*engine.pool(), c);
+      sig += "\n";
+    }
+  } else {
+    sig += "suffix none\n";
+  }
+  sig += StrFormat("causes=%zu\n", result.causes.size());
+  for (const RootCause& cause : result.causes) {
+    sig += StrFormat("  %s | %s | %s\n",
+                     std::string(RootCauseKindName(cause.kind)).c_str(),
+                     cause.BucketSignature(module).c_str(),
+                     cause.description.c_str());
+  }
+  return sig;
+}
+
+void ExpectThreadCountInvariant(const char* label, const Module& module,
+                                const Coredump& dump, ResOptions options) {
+  std::string oracle = RunSignature(module, dump, options, 1);
+  for (size_t threads : {2u, 8u}) {
+    std::string parallel = RunSignature(module, dump, options, threads);
+    EXPECT_EQ(oracle, parallel)
+        << label << ": num_threads=" << threads
+        << " diverged from the single-threaded oracle";
+  }
+}
+
+TEST(ConcurrencyDeterminismTest, WorkloadCorpusIsThreadCountInvariant) {
+  for (const char* name :
+       {"div_by_zero_input", "semantic_assert", "use_after_free", "double_free",
+        "racy_counter", "buffer_overflow", "atomicity_violation",
+        "order_violation"}) {
+    const WorkloadSpec& spec = WorkloadByName(name);
+    Module module = spec.build();
+    FailureRunOptions run_options;
+    run_options.require_live_peers = spec.requires_live_peers;
+    auto run = RunToFailure(module, spec, run_options);
+    ASSERT_TRUE(run.ok()) << name;
+    ExpectThreadCountInvariant(name, module, run.value().dump, ResOptions{});
+  }
+}
+
+TEST(ConcurrencyDeterminismTest, DeepSuffixChainIsThreadCountInvariant) {
+  // The depth-scaling workload: a long linear chain stresses the pipelined
+  // gate lane (incremental solver contexts forked down a deep chain).
+  Module module = BuildRootCauseDistance(48);
+  WorkloadSpec spec = WorkloadByName("semantic_assert");
+  auto run = RunToFailure(module, spec, {});
+  ASSERT_TRUE(run.ok());
+  ResOptions options;
+  options.max_units = 128;
+  ExpectThreadCountInvariant("root_cause_distance_48", module,
+                             run.value().dump, options);
+}
+
+TEST(ConcurrencyDeterminismTest, FullSynthesisIsThreadCountInvariant) {
+  // stop_at_root_cause=false exercises the complete-start lane (reach back
+  // to program start) instead of the detect lane.
+  Module module = BuildDivByZeroInput();
+  const WorkloadSpec& spec = WorkloadByName("div_by_zero_input");
+  FailureRunOptions run_options;
+  run_options.require_live_peers = spec.requires_live_peers;
+  auto run = RunToFailure(module, spec, run_options);
+  ASSERT_TRUE(run.ok());
+  ResOptions options;
+  options.stop_at_root_cause = false;
+  ExpectThreadCountInvariant("full_synthesis", module, run.value().dump,
+                             options);
+}
+
+TEST(ConcurrencyDeterminismTest, RepeatedParallelRunsAreStable) {
+  // Re-running the same parallel configuration must be self-identical:
+  // catches schedule-dependent divergence that happens to agree with the
+  // oracle on one lucky interleaving.
+  Module module = BuildRootCauseDistance(24);
+  WorkloadSpec spec = WorkloadByName("semantic_assert");
+  auto run = RunToFailure(module, spec, {});
+  ASSERT_TRUE(run.ok());
+  ResOptions options;
+  options.max_units = 64;
+  std::string first = RunSignature(module, run.value().dump, options, 4);
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_EQ(first, RunSignature(module, run.value().dump, options, 4))
+        << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace res

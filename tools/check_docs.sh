@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Docs link/path checker: fails if README.md or docs/ARCHITECTURE.md
+# reference repository paths that do not exist.
+#
+# Checked references:
+#   - markdown links pointing into the repo:  [text](path)
+#   - inline code spans that look like paths: `src/res/reverse_engine.h`
+#
+# Usage: tools/check_docs.sh   (from the repository root)
+set -u
+
+fail=0
+
+check_path() {
+  local doc="$1" ref="$2"
+  # Strip anchors and trailing slashes.
+  local path="${ref%%#*}"
+  path="${path%/}"
+  [ -z "$path" ] && return 0
+  # Resolve relative to the doc's directory, then fall back to repo root.
+  local base
+  base="$(dirname "$doc")"
+  if [ -e "$base/$path" ] || [ -e "$path" ]; then
+    return 0
+  fi
+  echo "ERROR: $doc references missing path: $ref"
+  fail=1
+}
+
+check_doc() {
+  local doc="$1"
+  if [ ! -f "$doc" ]; then
+    echo "ERROR: required doc missing: $doc"
+    fail=1
+    return
+  fi
+
+  # Markdown links: capture the (target); skip URLs.
+  while IFS= read -r ref; do
+    case "$ref" in
+      http://*|https://*|mailto:*) continue ;;
+    esac
+    check_path "$doc" "$ref"
+  done < <(grep -oE '\]\([^)]+\)' "$doc" | sed -E 's/^\]\(//; s/\)$//')
+
+  # Inline code spans that look like repo paths: contain a '/' and consist
+  # of path characters only. Skip flags, globs, and templated examples.
+  while IFS= read -r ref; do
+    case "$ref" in
+      -*|*\**|*\<*|*..*) continue ;;
+    esac
+    check_path "$doc" "$ref"
+  done < <(grep -oE '`[A-Za-z0-9_./-]+`' "$doc" | tr -d '`' | grep '/')
+}
+
+check_doc README.md
+check_doc docs/ARCHITECTURE.md
+
+if [ "$fail" -ne 0 ]; then
+  echo "docs check FAILED"
+  exit 1
+fi
+echo "docs check OK"
