@@ -20,9 +20,10 @@ int main() {
     std::string res_bucket;
   };
   std::vector<Report> reports;
+  BenchJsonWriter json;
 
-  auto collect = [&reports](const char* name, std::vector<int64_t> inputs,
-                            uint64_t first_seed, int copies) {
+  auto collect = [&reports, &json](const char* name, std::vector<int64_t> inputs,
+                                   uint64_t first_seed, int copies) {
     WorkloadSpec spec = WorkloadByName(name);
     if (!inputs.empty()) {
       spec.channel0_inputs = inputs;
@@ -34,6 +35,12 @@ int main() {
     options.require_live_peers = spec.requires_live_peers;
     options.first_seed = first_seed;
     int got = 0;
+    // Per-workload perf record: RES-bucketing wall time and engine counters
+    // summed over this workload's reports (bench/README.md schema).
+    double res_ms = 0;
+    uint64_t hypotheses = 0;
+    uint64_t solver_checks = 0;
+    uint64_t cache_hits = 0;
     for (int i = 0; i < copies * 50 && got < copies; ++i) {
       options.first_seed = first_seed + static_cast<uint64_t>(i) * 131;
       auto run = RunToFailure(module, spec, options);
@@ -43,12 +50,23 @@ int main() {
       Report r;
       r.bug = name;
       r.stack_bucket = std::string(name) + "|" + stack.BucketFor(run.value().dump);
-      r.res_bucket = std::string(name) + "|" + res.BucketFor(run.value().dump);
+      WallTimer res_timer;
+      ResStats stats;
+      r.res_bucket =
+          std::string(name) + "|" + res.BucketFor(run.value().dump, &stats);
+      res_ms += res_timer.ElapsedMs();
+      hypotheses += stats.hypotheses_explored;
+      solver_checks += stats.solver.checks;
+      cache_hits += stats.solver.cache_hits;
       // (The workload prefix models "same program component" — different
       // modules cannot collide in either scheme; accuracy is judged on how
       // a scheme groups reports *within* a program.)
       reports.push_back(std::move(r));
       ++got;
+    }
+    if (got > 0) {
+      json.Append(StrFormat("table2_triage/bug=%s/reports=%d", name, got),
+                  res_ms, hypotheses, solver_checks, cache_hits);
     }
   };
 

@@ -16,6 +16,7 @@ int main() {
   rows.push_back({"workload", "replays", "identical dumps", "suffix instrs",
                   "focus words", "dump words"});
 
+  BenchJsonWriter json;
   const int kReplays = 5;
   for (const char* name :
        {"div_by_zero_input", "semantic_assert", "buffer_overflow",
@@ -28,8 +29,12 @@ int main() {
     if (!run.ok()) {
       continue;
     }
+    WallTimer timer;
     ResEngine engine(module, run.value().dump);
     ResResult result = engine.Run();
+    json.Append(StrFormat("table6_replay/workload=%s", name), timer.ElapsedMs(),
+                result.stats.hypotheses_explored, result.stats.solver.checks,
+                result.stats.solver.cache_hits);
     if (!result.suffix.has_value() || !result.suffix->verified) {
       rows.push_back({name, "-", "unverified suffix", "-", "-", "-"});
       continue;

@@ -12,6 +12,7 @@
 
 #include "src/support/hash.h"
 #include "src/support/logging.h"
+#include "src/support/persistent.h"
 #include "src/support/string_util.h"
 #include "src/support/thread_pool.h"
 
@@ -98,31 +99,31 @@ std::string_view StopReasonName(StopReason r) {
 // wraps the hypothesis, because gating runs as a separate pipeline lane:
 // exploration of a child may start before its parent's solver verdict
 // exists, and the two lanes must not share mutable fields.
+//
+// Forking copies O(delta) plus small bounded aggregates, never the
+// accumulated bulk: the snapshot is COW, the suffix spine (SuffixChainNode)
+// and the constraint vector/set are structurally shared persistent
+// containers, and the root-cause context is shared chains plus aggregates
+// bounded by the trap operand's live def-use frontier and the distinct
+// mutex/address population (not by suffix depth).
 struct ResEngine::Hypothesis {
-  // Immutable suffix spine: each hypothesis appends one SuffixUnit and
-  // shares the rest of the chain with its parent, so forking copies a
-  // shared_ptr instead of the whole unit vector. head = deepest unit
-  // (furthest from the crash); walking prev reaches the crash.
-  struct UnitNode {
-    SuffixUnit unit;
-    std::shared_ptr<const UnitNode> prev;
-    size_t depth = 1;  // chain length including this node
-  };
-
   SymSnapshot state;                       // machine state at suffix start
-  std::vector<const Expr*> constraints;    // accumulated path/match condition
-  // Interned members of `constraints`, for O(1) duplicate rejection.
-  std::unordered_set<const Expr*> constraint_set;
-  std::shared_ptr<const UnitNode> units_backward;  // see UnitNode
+  // Accumulated path/match condition (append-only, structure-shared).
+  PersistentVector<const Expr*> constraints;
+  // Interned members of `constraints`, for near-O(1) duplicate rejection.
+  PersistentSet<const Expr*> constraint_set;
+  // Immutable suffix spine: each hypothesis appends one SuffixUnit and
+  // shares the rest of the chain with its parent. head = deepest unit
+  // (furthest from the crash); walking prev reaches the crash.
+  SuffixChainPtr units_backward;
+  // Per-hypothesis incremental detector state, folded one unit at a time
+  // alongside the chain (mirrors how SolverContext threads solver state).
+  RootCauseContext rc_ctx;
   std::vector<size_t> lbr_remaining;       // per thread, unconsumed LBR entries
   std::vector<size_t> errlog_remaining;    // per thread, unconsumed log entries
 
   void AppendUnit(SuffixUnit unit) {
-    auto node = std::make_shared<UnitNode>();
-    node->unit = std::move(unit);
-    node->prev = units_backward;
-    node->depth = units_backward ? units_backward->depth + 1 : 1;
-    units_backward = std::move(node);
+    units_backward = ExtendSuffixChain(std::move(units_backward), std::move(unit));
   }
 
   size_t depth() const { return units_backward ? units_backward->depth : 0; }
@@ -193,6 +194,7 @@ struct ResEngine::SpecNode {
   St detect_state = St::kIdle;
   SynthesizedSuffix det_suffix;
   std::vector<RootCause> det_causes;
+  DetectorStats det_dstats;
 };
 
 // Scheduler shared state: guards every SpecNode task-state field once a
@@ -220,6 +222,9 @@ ResEngine::ResEngine(const Module& module, const Coredump& dump, ResOptions opti
       solver_(&pool_, options.solver_seed) {
   if (!dump.has_memory) {
     options_.treat_as_minidump = true;
+  }
+  if (options_.incremental_root_causes) {
+    rc_setup_ = MakeRootCauseSetup(module, dump);
   }
   thread_logs_.resize(dump.threads.size());
   for (const ErrorLogEntry& e : dump.error_log) {
@@ -250,6 +255,8 @@ void ResEngine::MergeStats(const ResStats& d, const SolverStats& sd) {
   stats_.address_unresolved += d.address_unresolved;
   stats_.unknown_kept += d.unknown_kept;
   stats_.duplicate_constraints += d.duplicate_constraints;
+  stats_.detector_units_scanned += d.detector_units_scanned;
+  stats_.detector_rescans_avoided += d.detector_rescans_avoided;
 
   SolverStats& s = stats_.solver;
   s.checks += sd.checks;
@@ -432,7 +439,7 @@ bool ResEngine::CommitFresh(Hypothesis* h, std::vector<const Expr*> fresh,
       }
       continue;  // trivially true
     }
-    if (!h->constraint_set.insert(c).second) {
+    if (!h->constraint_set.insert(c)) {
       // Already asserted on this hypothesis (interning makes structural
       // duplicates pointer-equal); re-checking a conjunct is a no-op.
       ++tctx->stats.duplicate_constraints;
@@ -586,7 +593,9 @@ void ResEngine::ExecuteUnit(Hypothesis h, const UnitPlan& plan,
     if (e->is_const()) {
       return static_cast<uint64_t>(e->value);
     }
-    std::vector<const Expr*> context = h.constraints;
+    std::vector<const Expr*> context;
+    context.reserve(h.constraints.size() + cons.size());
+    h.constraints.AppendTo(&context);
     for (const Expr* c : cons) {
       context.push_back(c);
     }
@@ -604,7 +613,9 @@ void ResEngine::ExecuteUnit(Hypothesis h, const UnitPlan& plan,
                                 &tctx->sstats);
     if (values.empty()) {
       // The bias may have over-constrained; retry with the sound context.
-      std::vector<const Expr*> plain = h.constraints;
+      std::vector<const Expr*> plain;
+      plain.reserve(h.constraints.size() + cons.size());
+      h.constraints.AppendTo(&plain);
       for (const Expr* c : cons) {
         plain.push_back(c);
       }
@@ -1058,6 +1069,13 @@ void ResEngine::ExecuteUnit(Hypothesis h, const UnitPlan& plan,
 
   h.AppendUnit(std::move(unit));
 
+  // Fold the new unit into the hypothesis's detector context: O(|unit|) at
+  // append time buys Finalize-time detection that never re-walks the chain.
+  if (options_.incremental_root_causes && options_.stop_at_root_cause) {
+    h.rc_ctx.AppendUnit(rc_setup_, module_, dump_, h.units_backward);
+    ++tctx->stats.detector_units_scanned;
+  }
+
   // Commit the unit's constraints (dedup + literal-false pruning). The
   // solver gate itself runs later, as the child SpecNode's gate task.
   if (!CommitFresh(&h, std::move(cons), tctx)) {
@@ -1401,8 +1419,52 @@ void ResEngine::ExploreNode(SpecNode* n) {
 }
 
 void ResEngine::DetectNode(SpecNode* n) {
-  n->det_suffix = Finalize(n->h, n->model, n->verified);
-  n->det_causes = DetectRootCauses(module_, dump_, n->det_suffix, &pool_);
+  if (!options_.incremental_root_causes) {
+    // The full-rescan oracle: materialize the suffix and run every detector
+    // pass over it.
+    n->det_suffix = Finalize(n->h, n->model, n->verified);
+    n->det_causes =
+        DetectRootCauses(module_, dump_, n->det_suffix, &pool_, &n->det_dstats);
+    return;
+  }
+  // Incremental path: detection consumes the context folded along the
+  // chain; the suffix is materialized only when a cause actually fired (the
+  // committer never reads det_suffix otherwise).
+  std::map<uint64_t, uint32_t> owners;
+  if (n->h.rc_ctx.conc_candidate) {
+    // The lockset scan will run; seed it with exactly the initial lock
+    // owners Finalize would publish.
+    std::set<uint64_t> mutexes(n->h.rc_ctx.lock_mutexes.begin(),
+                               n->h.rc_ctx.lock_mutexes.end());
+    mutexes.insert(rc_setup_.blocked_mutexes.begin(),
+                   rc_setup_.blocked_mutexes.end());
+    owners = InitialLockOwners(n->h, n->model, mutexes);
+  }
+  n->det_causes = DetectRootCausesIncremental(module_, dump_, rc_setup_,
+                                              n->h.rc_ctx,
+                                              n->h.units_backward.get(), owners,
+                                              &n->det_dstats);
+  if (!n->det_causes.empty()) {
+    n->det_suffix = Finalize(n->h, n->model, n->verified);
+  }
+}
+
+std::map<uint64_t, uint32_t> ResEngine::InitialLockOwners(
+    const Hypothesis& h, const Assignment& model,
+    const std::set<uint64_t>& mutexes) const {
+  std::map<uint64_t, uint32_t> owners;
+  ExprPool* pool = const_cast<ExprPool*>(&pool_);
+  for (uint64_t m : mutexes) {
+    const Expr* value = h.state.ReadMem(pool, m);
+    if (value == nullptr) {
+      continue;
+    }
+    int64_t owner = EvalExpr(value, model);
+    if (owner > 0 && static_cast<uint64_t>(owner) <= kMaxThreads) {
+      owners[m] = static_cast<uint32_t>(owner - 1);
+    }
+  }
+  return owners;
 }
 
 SynthesizedSuffix ResEngine::Finalize(const Hypothesis& h, const Assignment& model,
@@ -1410,13 +1472,13 @@ SynthesizedSuffix ResEngine::Finalize(const Hypothesis& h, const Assignment& mod
   SynthesizedSuffix s;
   // The chain head is the deepest unit, i.e. the first in execution order.
   s.units.reserve(h.depth());
-  for (const Hypothesis::UnitNode* n = h.units_backward.get(); n != nullptr;
+  for (const SuffixChainNode* n = h.units_backward.get(); n != nullptr;
        n = n->prev.get()) {
     s.units.push_back(n->unit);
   }
   s.initial_state = h.state;
   s.model = model;
-  s.constraints = h.constraints;
+  s.constraints = h.constraints.Materialize();
   s.verified = verified;
   // Initial lock owners: evaluate every mutex word touched by suffix lock
   // ops (plus blocked-thread targets) at suffix start.
@@ -1431,17 +1493,7 @@ SynthesizedSuffix ResEngine::Finalize(const Hypothesis& h, const Assignment& mod
       mutexes.insert(t.blocked_on);
     }
   }
-  ExprPool* pool = const_cast<ExprPool*>(&pool_);
-  for (uint64_t m : mutexes) {
-    const Expr* value = h.state.ReadMem(pool, m);
-    if (value == nullptr) {
-      continue;
-    }
-    int64_t owner = EvalExpr(value, model);
-    if (owner > 0 && static_cast<uint64_t>(owner) <= kMaxThreads) {
-      s.initial_lock_owners[m] = static_cast<uint32_t>(owner - 1);
-    }
-  }
+  s.initial_lock_owners = InitialLockOwners(h, model, mutexes);
   return s;
 }
 
@@ -1778,6 +1830,14 @@ ResResult ResEngine::Run() {
       sched.cv.wait(lock, [&] { return sched.outstanding == 0; });
     }
     pool.reset();
+    // The node being committed was already popped off the stack; on an
+    // early return (cause found, reached start) its speculatively built
+    // subtree still holds parent<->child shared_ptr cycles — break them
+    // like every other tree, or the whole subtree leaks.
+    if (committing != nullptr) {
+      release_tree(committing.get());
+      committing.reset();
+    }
     for (const auto& n : stack) {
       release_tree(n.get());
     }
@@ -1868,6 +1928,8 @@ ResResult ResEngine::Run() {
 
     if (n->verified && detecting) {
       ensure_done(n, Task::kDetect);
+      stats_.detector_units_scanned += n->det_dstats.units_scanned;
+      stats_.detector_rescans_avoided += n->det_dstats.rescans_avoided;
       if (!n->det_causes.empty()) {
         int strength = CauseStrength(n->det_causes.front());
         if (!candidate.has_value() || strength > candidate_strength) {
@@ -1901,7 +1963,11 @@ ResResult ResEngine::Run() {
         result.stop = StopReason::kReachedStart;
         result.suffix =
             Finalize(n->complete_h, n->complete_model, n->complete_verified);
-        result.causes = DetectRootCauses(module_, dump_, *result.suffix, &pool_);
+        DetectorStats dstats;
+        result.causes =
+            DetectRootCauses(module_, dump_, *result.suffix, &pool_, &dstats);
+        stats_.detector_units_scanned += dstats.units_scanned;
+        stats_.detector_rescans_avoided += dstats.rescans_avoided;
         if (result.causes.empty() && candidate.has_value()) {
           // A shallower suffix explained the failure better than the full
           // path (e.g. the racing window); prefer that explanation.
@@ -1945,7 +2011,11 @@ ResResult ResEngine::Run() {
       result.stop = StopReason::kMaxDepth;
     }
     result.suffix = Finalize(best.h, best.model, best.verified);
-    result.causes = DetectRootCauses(module_, dump_, *result.suffix, &pool_);
+    DetectorStats dstats;
+    result.causes =
+        DetectRootCauses(module_, dump_, *result.suffix, &pool_, &dstats);
+    stats_.detector_units_scanned += dstats.units_scanned;
+    stats_.detector_rescans_avoided += dstats.rescans_avoided;
   }
   // Hardware verdict: the search space was exhausted and no feasible suffix
   // of the required confidence depth exists — no execution of P can have

@@ -48,6 +48,14 @@ struct ResOptions {
   // SolverContext. Exists so differential tests can pin the incremental
   // path to the classic one.
   bool incremental_solving = true;
+  // When true (default), root-cause detection consumes the per-hypothesis
+  // RootCauseContext folded along the suffix chain (O(delta) per appended
+  // unit) instead of re-scanning the whole materialized suffix per verified
+  // hypothesis. When false, every detect runs the full-rescan oracle
+  // (DetectRootCauses) — kept so differential tests can pin the incremental
+  // detector to the monolithic one. Output is byte-identical either way;
+  // only the ResStats detector counters differ.
+  bool incremental_root_causes = true;
   uint64_t solver_seed = 7;
   // A feasible suffix of at least this many units must exist for the dump to
   // be considered software-explainable; otherwise Run reports a suspected
@@ -95,6 +103,14 @@ struct ResStats {
   // Pointer-identical constraints dropped before reaching the solver
   // (interning makes structural duplicates pointer-equal).
   uint64_t duplicate_constraints = 0;
+  // Detector work economy (see DetectorStats in root_cause.h): units visited
+  // by any root-cause detector pass, and whole-suffix passes answered from
+  // the incremental context instead of a rescan. With
+  // incremental_root_causes the scan count grows with the number of
+  // appended units (O(1) per hypothesis step); in rescan mode it grows with
+  // (verified hypotheses x suffix depth).
+  uint64_t detector_units_scanned = 0;
+  uint64_t detector_rescans_avoided = 0;
   size_t max_depth = 0;
   size_t max_sat_depth = 0;
   SolverStats solver;
@@ -206,6 +222,12 @@ class ResEngine {
 
   SynthesizedSuffix Finalize(const Hypothesis& h, const Assignment& model,
                              bool verified) const;
+  // Owner (tid) of every mutex word in `mutexes` at suffix start, evaluated
+  // under `model` — the shared core of Finalize's initial_lock_owners and
+  // the incremental detector's lockset seeding.
+  std::map<uint64_t, uint32_t> InitialLockOwners(
+      const Hypothesis& h, const Assignment& model,
+      const std::set<uint64_t>& mutexes) const;
   bool AllThreadsAtBirth(const Hypothesis& h) const;
 
   const Expr* FreshVar(TaskCtx* tctx, const char* tag, VarOrigin origin);
@@ -219,6 +241,8 @@ class ResEngine {
   ExprPool pool_;
   Solver solver_;
   ResStats stats_;
+  // Per-engine immutable detector precomputation (incremental mode only).
+  RootCauseSetup rc_setup_;
   // Per-thread error-log entries (oldest first), split from the global log.
   std::vector<std::vector<ErrorLogEntry>> thread_logs_;
   bool log_was_full_ = false;

@@ -10,6 +10,22 @@ namespace res {
 
 namespace {
 
+// Borrowed execution-order view of a suffix: the shared substrate for the
+// monolithic oracle (built from SynthesizedSuffix::units) and the
+// incremental fallback scans (built from the suffix chain). Keeping every
+// detector pass expressed over this one view is what makes the two paths
+// byte-identical by construction.
+using UnitsView = std::vector<const SuffixUnit*>;
+
+UnitsView ViewOf(const SynthesizedSuffix& suffix) {
+  UnitsView view;
+  view.reserve(suffix.units.size());
+  for (const SuffixUnit& u : suffix.units) {
+    view.push_back(&u);
+  }
+  return view;
+}
+
 // Symbolizes a memory address against the module's globals / segments.
 std::string SymbolizeAddress(const Module& module, uint64_t addr) {
   for (const GlobalVar& g : module.globals()) {
@@ -35,14 +51,16 @@ struct AccessWithLockset {
   std::set<uint64_t> lockset;
 };
 
-std::vector<AccessWithLockset> ComputeLocksets(const SynthesizedSuffix& suffix) {
+std::vector<AccessWithLockset> ComputeLocksets(
+    const UnitsView& units,
+    const std::map<uint64_t, uint32_t>& initial_lock_owners) {
   std::map<uint32_t, std::set<uint64_t>> held;
-  for (const auto& [mutex, owner] : suffix.initial_lock_owners) {
+  for (const auto& [mutex, owner] : initial_lock_owners) {
     held[owner].insert(mutex);
   }
   std::vector<AccessWithLockset> out;
-  for (size_t i = 0; i < suffix.units.size(); ++i) {
-    const SuffixUnit& u = suffix.units[i];
+  for (size_t i = 0; i < units.size(); ++i) {
+    const SuffixUnit& u = *units[i];
     // Merge the unit's lock operations and accesses by instruction index so
     // the lockset at each access reflects the true acquisition order.
     size_t next_op = 0;
@@ -81,9 +99,11 @@ bool LocksetsDisjoint(const std::set<uint64_t>& a, const std::set<uint64_t>& b) 
 }
 
 // The concurrency-bug detectors (§4 evaluates RES on exactly these classes).
-void DetectConcurrencyBugs(const Module& module, const SynthesizedSuffix& suffix,
+void DetectConcurrencyBugs(const Module& module, const UnitsView& units,
+                           const std::map<uint64_t, uint32_t>& initial_lock_owners,
                            std::vector<RootCause>* out) {
-  std::vector<AccessWithLockset> accesses = ComputeLocksets(suffix);
+  std::vector<AccessWithLockset> accesses =
+      ComputeLocksets(units, initial_lock_owners);
 
   // Atomicity violation: thread T reads X, another thread writes X, T writes
   // (or re-reads) X — the interleaved read-modify-write pattern.
@@ -182,6 +202,192 @@ const Instruction* InstructionAt(const Module& module, const Pc& pc) {
   return &fn.blocks[pc.block].instructions[pc.index];
 }
 
+// View-based origin track: the shared core of TrackRegisterOrigin and the
+// incremental taint fallback. Counts visited units into `stats` when given.
+ValueOrigin TrackRegisterOriginView(const Module& module, const UnitsView& units,
+                                    uint32_t tid, RegId reg, size_t from_unit,
+                                    uint32_t before_index, DetectorStats* stats) {
+  OriginFold fold;
+  fold.live_regs.insert(reg);
+  if (units.empty()) {
+    ValueOrigin origin;
+    origin.reaches_before_suffix = true;
+    return origin;
+  }
+  size_t start = std::min(from_unit, units.size() - 1);
+  for (size_t ui = start + 1; ui-- > 0;) {
+    if (fold.stopped) {
+      break;
+    }
+    const SuffixUnit& u = *units[ui];
+    uint32_t scan_end = u.end_index;
+    if (ui == start && before_index != UINT32_MAX) {
+      scan_end = std::min(scan_end, before_index);
+    }
+    if (stats != nullptr) {
+      ++stats->units_scanned;
+    }
+    fold.ProcessUnit(module, u, tid, scan_end);
+  }
+  return fold.Finish();
+}
+
+// Buffer-overflow witness check for one access: the symbolic base object
+// differs from the object the concrete address landed in. Fills `cause`
+// (complete except the def-use taint refinement) and reports whether that
+// refinement is still needed.
+bool OverflowWitnessForAccess(const Module& module, const Coredump& dump,
+                              const MemAccess& a, RootCause* cause,
+                              bool* needs_taint, RegId* value_reg) {
+  if (!a.is_write || !a.address_was_symbolic || a.symbolic_base == 0) {
+    return false;
+  }
+  auto object_of = [&module](uint64_t addr) -> std::pair<uint64_t, uint64_t> {
+    for (const GlobalVar& g : module.globals()) {
+      if (addr >= g.address && addr < g.address + g.size_words * kWordSize) {
+        return {g.address, g.size_words * kWordSize};
+      }
+    }
+    return {0, 0};
+  };
+  auto [base_obj, base_size] = object_of(a.symbolic_base);
+  auto [land_obj, land_size] = object_of(a.addr);
+  (void)land_size;
+  bool out_of_object =
+      base_obj != 0 && (land_obj != base_obj ||
+                        a.addr >= base_obj + base_size);
+  if (!out_of_object && base_obj == 0 && IsHeapAddress(a.symbolic_base)) {
+    // Heap variant: landed outside the allocation containing the base.
+    out_of_object = !(a.addr >= a.symbolic_base &&
+                      IsHeapAddress(a.addr));
+  }
+  if (!out_of_object) {
+    return false;
+  }
+  cause->kind = RootCauseKind::kBufferOverflow;
+  cause->site_a = a.pc;
+  cause->site_b = dump.trap.pc;
+  cause->thread_a = a.tid;
+  cause->thread_b = dump.trap.thread;
+  cause->address = a.addr;
+  cause->input_tainted = a.address_input_tainted;
+  // The address was concretized through memory: chase the index's def-use
+  // chain for an external-input source (exploitability §3.1).
+  const Instruction* winst = InstructionAt(module, a.pc);
+  *needs_taint = !cause->input_tainted && winst != nullptr &&
+                 winst->op == Opcode::kStore;
+  *value_reg = *needs_taint ? winst->ra : kNoReg;
+  cause->description = StrFormat(
+      "out-of-bounds write at %s: base object %s, landed at %s%s",
+      module.PcToString(a.pc).c_str(),
+      SymbolizeAddress(module, a.symbolic_base).c_str(),
+      SymbolizeAddress(module, a.addr).c_str(),
+      a.address_input_tainted ? " (index from external input)" : "");
+  return true;
+}
+
+// Use-after-free / double-free matching for one unit's kFree events against
+// the dump's trap (pure per-event; shared by oracle and free-chain walks).
+void AppendFreeMatchCauses(const Module& module, const Coredump& dump,
+                           const SuffixUnit& u, std::vector<RootCause>* out) {
+  for (const UnitEvent& e : u.events) {
+    if (e.kind != UnitEventKind::kFree) {
+      continue;
+    }
+    bool matches;
+    if (dump.trap.kind == TrapKind::kDoubleFree) {
+      matches = e.value == dump.trap.address;
+    } else {
+      // The free that poisoned the accessed allocation.
+      matches = dump.trap.address >= e.value;
+      for (const Allocation& a : dump.heap_allocations) {
+        if (a.base == e.value) {
+          matches = dump.trap.address >= a.base &&
+                    dump.trap.address < a.base + a.size_words * kWordSize;
+        }
+      }
+    }
+    if (matches) {
+      RootCause cause;
+      cause.kind = dump.trap.kind == TrapKind::kDoubleFree
+                       ? RootCauseKind::kDoubleFree
+                       : RootCauseKind::kUseAfterFree;
+      cause.site_a = e.pc;
+      cause.site_b = dump.trap.pc;
+      cause.thread_a = u.tid;
+      cause.thread_b = dump.trap.thread;
+      cause.address = dump.trap.address;
+      cause.description = StrFormat(
+          "%s: freed at %s, %s at %s",
+          std::string(RootCauseKindName(cause.kind)).c_str(),
+          module.PcToString(e.pc).c_str(),
+          dump.trap.kind == TrapKind::kDoubleFree ? "freed again" : "accessed",
+          module.PcToString(dump.trap.pc).c_str());
+      out->push_back(std::move(cause));
+    }
+  }
+}
+
+// The div/assert/fault explanation from a tracked operand origin (shared by
+// the oracle's walk and the incremental origin fold).
+void AppendOriginTrapCause(const Module& module, const Coredump& dump,
+                           const ValueOrigin& origin,
+                           std::vector<RootCause>* out) {
+  RootCauseKind kind = dump.trap.kind == TrapKind::kDivByZero
+                           ? RootCauseKind::kDivByZero
+                           : (dump.trap.kind == TrapKind::kMemoryFault
+                                  ? RootCauseKind::kWildPointer
+                                  : RootCauseKind::kSemanticBug);
+  if (!origin.input_pcs.empty()) {
+    RootCause cause;
+    cause.kind = kind;
+    cause.site_a = origin.input_pcs.front();
+    cause.site_b = dump.trap.pc;
+    cause.thread_a = dump.trap.thread;
+    cause.thread_b = dump.trap.thread;
+    cause.input_tainted = true;
+    cause.description = StrFormat(
+        "%s at %s fed by unvalidated input at %s",
+        std::string(RootCauseKindName(cause.kind)).c_str(),
+        module.PcToString(dump.trap.pc).c_str(),
+        module.PcToString(cause.site_a).c_str());
+    out->push_back(std::move(cause));
+  } else if (!origin.writer_pcs.empty()) {
+    RootCause cause;
+    cause.kind = kind;
+    cause.site_a = origin.writer_pcs.front();
+    cause.site_b = dump.trap.pc;
+    cause.thread_a = dump.trap.thread;
+    cause.thread_b = dump.trap.thread;
+    cause.description = StrFormat(
+        "%s at %s; offending value written at %s",
+        std::string(RootCauseKindName(cause.kind)).c_str(),
+        module.PcToString(dump.trap.pc).c_str(),
+        module.PcToString(cause.site_a).c_str());
+    out->push_back(std::move(cause));
+  }
+}
+
+// Which register the trap-kind origin pass would track for this dump.
+RegId OriginOperandForTrap(const Module& module, const Coredump& dump) {
+  if (dump.trap.kind != TrapKind::kDivByZero &&
+      dump.trap.kind != TrapKind::kAssertFailure &&
+      dump.trap.kind != TrapKind::kMemoryFault) {
+    return kNoReg;
+  }
+  const Instruction* inst = InstructionAt(module, dump.trap.pc);
+  if (inst == nullptr) {
+    return kNoReg;
+  }
+  if (dump.trap.kind == TrapKind::kDivByZero) {
+    return inst->rb;
+  }
+  if (dump.trap.kind == TrapKind::kAssertFailure) {
+    return inst->rc;
+  }
+  return inst->ra;  // faulting address base
+}
+
 }  // namespace
 
 std::string_view RootCauseKindName(RootCauseKind kind) {
@@ -236,86 +442,76 @@ std::string RootCause::BucketSignature(const Module& module) const {
   return "unknown";
 }
 
-ValueOrigin TrackRegisterOrigin(const Module& module, const SynthesizedSuffix& suffix,
-                                uint32_t tid, RegId reg, size_t from_unit,
-                                uint32_t before_index) {
-  ValueOrigin origin;
-  std::set<RegId> live_regs = {reg};
-  std::set<uint64_t> live_addrs;
-
-  // Walk the thread's units backward, skipping units of other threads;
-  // stop at frame-changing units (call/ret reversal) — register identity
-  // does not survive frame boundaries.
-  size_t start = std::min(from_unit, suffix.units.size() - 1);
-  if (suffix.units.empty()) {
-    origin.reaches_before_suffix = true;
-    return origin;
+void OriginFold::ProcessUnit(const Module& module, const SuffixUnit& u,
+                             uint32_t tid, uint32_t scan_end) {
+  if (stopped) {
+    return;
   }
-  for (size_t ui = start + 1; ui-- > 0;) {
-    const SuffixUnit& u = suffix.units[ui];
-    if (u.tid != tid) {
-      // A foreign write to a live address feeds the value.
-      for (const MemAccess& a : u.accesses) {
-        if (a.is_write && live_addrs.count(a.addr) != 0) {
-          origin.writer_pcs.push_back(a.pc);
-          live_addrs.erase(a.addr);
+  if (u.tid != tid) {
+    // A foreign write to a live address feeds the value.
+    for (const MemAccess& a : u.accesses) {
+      if (a.is_write && live_addrs.count(a.addr) != 0) {
+        writer_pcs.push_back(a.pc);
+        live_addrs.erase(a.addr);
+      }
+    }
+    return;
+  }
+  const Function& fn = module.function(u.block.func);
+  const BasicBlock& bb = fn.blocks[u.block.block];
+  if (!bb.instructions.empty() &&
+      (bb.terminator().op == Opcode::kCall || bb.terminator().op == Opcode::kRet) &&
+      u.includes_terminator) {
+    // Frame boundary: register identity does not survive it.
+    stopped = true;
+    return;
+  }
+  for (uint32_t i = scan_end; i-- > 0;) {
+    const Instruction& inst = bb.instructions[i];
+    auto written = InstructionWrittenReg(inst);
+    if (!written || live_regs.count(*written) == 0) {
+      if (inst.op == Opcode::kStore) {
+        // A same-thread store to a live address.
+        for (const MemAccess& a : u.accesses) {
+          if (a.is_write && a.pc.index == i && live_addrs.count(a.addr) != 0) {
+            writer_pcs.push_back(a.pc);
+            live_addrs.erase(a.addr);
+            live_regs.insert(inst.rb);
+          }
         }
       }
       continue;
     }
-    const Function& fn = module.function(u.block.func);
-    const BasicBlock& bb = fn.blocks[u.block.block];
-    if (!bb.instructions.empty() &&
-        (bb.terminator().op == Opcode::kCall || bb.terminator().op == Opcode::kRet) &&
-        u.includes_terminator) {
-      break;  // frame boundary
-    }
-    uint32_t scan_end = u.end_index;
-    if (ui == start && before_index != UINT32_MAX) {
-      scan_end = std::min(scan_end, before_index);
-    }
-    for (uint32_t i = scan_end; i-- > 0;) {
-      const Instruction& inst = bb.instructions[i];
-      auto written = InstructionWrittenReg(inst);
-      if (!written || live_regs.count(*written) == 0) {
-        if (inst.op == Opcode::kStore) {
-          // A same-thread store to a live address.
-          for (const MemAccess& a : u.accesses) {
-            if (a.is_write && a.pc.index == i && live_addrs.count(a.addr) != 0) {
-              origin.writer_pcs.push_back(a.pc);
-              live_addrs.erase(a.addr);
-              live_regs.insert(inst.rb);
-            }
+    live_regs.erase(*written);
+    switch (inst.op) {
+      case Opcode::kInput:
+        input_pcs.push_back(Pc{u.block.func, u.block.block, i});
+        break;
+      case Opcode::kLoad: {
+        // Find this load's concrete address among the unit's accesses.
+        for (const MemAccess& a : u.accesses) {
+          if (!a.is_write && a.pc.index == i) {
+            live_addrs.insert(a.addr);
           }
         }
-        continue;
+        break;
       }
-      live_regs.erase(*written);
-      switch (inst.op) {
-        case Opcode::kInput:
-          origin.input_pcs.push_back(Pc{u.block.func, u.block.block, i});
-          break;
-        case Opcode::kLoad: {
-          // Find this load's concrete address among the unit's accesses.
-          for (const MemAccess& a : u.accesses) {
-            if (!a.is_write && a.pc.index == i) {
-              live_addrs.insert(a.addr);
-            }
-          }
-          break;
+      case Opcode::kConst:
+        break;  // literal: flow ends here
+      default:
+        for (RegId r : InstructionReadRegs(inst)) {
+          live_regs.insert(r);
         }
-        case Opcode::kConst:
-          break;  // literal: flow ends here
-        default:
-          for (RegId r : InstructionReadRegs(inst)) {
-            live_regs.insert(r);
-          }
-          break;
-      }
+        break;
     }
   }
-  origin.reaches_before_suffix = !live_regs.empty() || !live_addrs.empty();
-  return origin;
+}
+
+ValueOrigin TrackRegisterOrigin(const Module& module, const SynthesizedSuffix& suffix,
+                                uint32_t tid, RegId reg, size_t from_unit,
+                                uint32_t before_index) {
+  return TrackRegisterOriginView(module, ViewOf(suffix), tid, reg, from_unit,
+                                 before_index, nullptr);
 }
 
 std::optional<RootCause> DetectDeadlockCycle(const Module& module,
@@ -376,7 +572,9 @@ std::optional<RootCause> DetectDeadlockCycle(const Module& module,
 
 std::vector<RootCause> DetectRootCauses(const Module& module, const Coredump& dump,
                                         const SynthesizedSuffix& suffix,
-                                        const ExprPool* pool) {
+                                        const ExprPool* pool,
+                                        DetectorStats* stats) {
+  (void)pool;
   std::vector<RootCause> causes;
 
   if (auto deadlock = DetectDeadlockCycle(module, dump)) {
@@ -384,106 +582,48 @@ std::vector<RootCause> DetectRootCauses(const Module& module, const Coredump& du
     return causes;
   }
 
+  const UnitsView view = ViewOf(suffix);
+
   // Buffer overflow witness: a write whose symbolic base object differs from
   // the object the concrete address landed in.
-  for (size_t ui = 0; ui < suffix.units.size(); ++ui) {
-    const SuffixUnit& u = suffix.units[ui];
+  if (stats != nullptr) {
+    stats->units_scanned += view.size();
+  }
+  for (size_t ui = 0; ui < view.size(); ++ui) {
+    const SuffixUnit& u = *view[ui];
     for (const MemAccess& a : u.accesses) {
-      if (!a.is_write || !a.address_was_symbolic || a.symbolic_base == 0) {
+      RootCause cause;
+      bool needs_taint = false;
+      RegId value_reg = kNoReg;
+      if (!OverflowWitnessForAccess(module, dump, a, &cause, &needs_taint,
+                                    &value_reg)) {
         continue;
       }
-      auto object_of = [&module](uint64_t addr) -> std::pair<uint64_t, uint64_t> {
-        for (const GlobalVar& g : module.globals()) {
-          if (addr >= g.address && addr < g.address + g.size_words * kWordSize) {
-            return {g.address, g.size_words * kWordSize};
-          }
-        }
-        return {0, 0};
-      };
-      auto [base_obj, base_size] = object_of(a.symbolic_base);
-      auto [land_obj, land_size] = object_of(a.addr);
-      bool out_of_object =
-          base_obj != 0 && (land_obj != base_obj ||
-                            a.addr >= base_obj + base_size);
-      if (!out_of_object && base_obj == 0 && IsHeapAddress(a.symbolic_base)) {
-        // Heap variant: landed outside the allocation containing the base.
-        out_of_object = !(a.addr >= a.symbolic_base &&
-                          IsHeapAddress(a.addr));
+      if (needs_taint) {
+        ValueOrigin vo = TrackRegisterOriginView(module, view, a.tid, value_reg,
+                                                 ui, a.pc.index, stats);
+        cause.input_tainted = !vo.input_pcs.empty();
       }
-      if (out_of_object) {
-        RootCause cause;
-        cause.kind = RootCauseKind::kBufferOverflow;
-        cause.site_a = a.pc;
-        cause.site_b = dump.trap.pc;
-        cause.thread_a = a.tid;
-        cause.thread_b = dump.trap.thread;
-        cause.address = a.addr;
-        cause.input_tainted = a.address_input_tainted;
-        // The address was concretized through memory: chase the index's
-        // def-use chain for an external-input source (exploitability §3.1).
-        const Instruction* winst = InstructionAt(module, a.pc);
-        if (!cause.input_tainted && winst != nullptr &&
-            winst->op == Opcode::kStore) {
-          ValueOrigin vo = TrackRegisterOrigin(module, suffix, a.tid, winst->ra,
-                                               ui, a.pc.index);
-          cause.input_tainted = !vo.input_pcs.empty();
-        }
-        cause.description = StrFormat(
-            "out-of-bounds write at %s: base object %s, landed at %s%s",
-            module.PcToString(a.pc).c_str(),
-            SymbolizeAddress(module, a.symbolic_base).c_str(),
-            SymbolizeAddress(module, a.addr).c_str(),
-            a.address_input_tainted ? " (index from external input)" : "");
-        causes.push_back(std::move(cause));
-      }
+      causes.push_back(std::move(cause));
     }
   }
 
   // Concurrency detectors next: an interleaving explanation is the most
   // precise label for races, atomicity and order violations, and frequently
   // the only explanation for assert failures.
-  DetectConcurrencyBugs(module, suffix, &causes);
+  if (stats != nullptr) {
+    stats->units_scanned += view.size();
+  }
+  DetectConcurrencyBugs(module, view, suffix.initial_lock_owners, &causes);
 
   switch (dump.trap.kind) {
     case TrapKind::kUseAfterFree:
     case TrapKind::kDoubleFree: {
-      for (const SuffixUnit& u : suffix.units) {
-        for (const UnitEvent& e : u.events) {
-          if (e.kind != UnitEventKind::kFree) {
-            continue;
-          }
-          bool matches;
-          if (dump.trap.kind == TrapKind::kDoubleFree) {
-            matches = e.value == dump.trap.address;
-          } else {
-            // The free that poisoned the accessed allocation.
-            matches = dump.trap.address >= e.value;
-            for (const Allocation& a : dump.heap_allocations) {
-              if (a.base == e.value) {
-                matches = dump.trap.address >= a.base &&
-                          dump.trap.address < a.base + a.size_words * kWordSize;
-              }
-            }
-          }
-          if (matches) {
-            RootCause cause;
-            cause.kind = dump.trap.kind == TrapKind::kDoubleFree
-                             ? RootCauseKind::kDoubleFree
-                             : RootCauseKind::kUseAfterFree;
-            cause.site_a = e.pc;
-            cause.site_b = dump.trap.pc;
-            cause.thread_a = u.tid;
-            cause.thread_b = dump.trap.thread;
-            cause.address = dump.trap.address;
-            cause.description = StrFormat(
-                "%s: freed at %s, %s at %s",
-                std::string(RootCauseKindName(cause.kind)).c_str(),
-                module.PcToString(e.pc).c_str(),
-                dump.trap.kind == TrapKind::kDoubleFree ? "freed again" : "accessed",
-                module.PcToString(dump.trap.pc).c_str());
-            causes.push_back(std::move(cause));
-          }
-        }
+      if (stats != nullptr) {
+        stats->units_scanned += view.size();
+      }
+      for (const SuffixUnit* u : view) {
+        AppendFreeMatchCauses(module, dump, *u, &causes);
       }
       break;
     }
@@ -493,59 +633,211 @@ std::vector<RootCause> DetectRootCauses(const Module& module, const Coredump& du
       if (!causes.empty()) {
         break;  // a concurrency or overflow explanation already covers it
       }
-      const Instruction* inst = InstructionAt(module, dump.trap.pc);
-      if (inst == nullptr) {
-        break;
-      }
-      RegId operand = kNoReg;
-      if (dump.trap.kind == TrapKind::kDivByZero) {
-        operand = inst->rb;
-      } else if (dump.trap.kind == TrapKind::kAssertFailure) {
-        operand = inst->rc;
-      } else {
-        operand = inst->ra;  // faulting address base
-      }
+      RegId operand = OriginOperandForTrap(module, dump);
       if (operand == kNoReg) {
         break;
       }
-      ValueOrigin origin =
-          TrackRegisterOrigin(module, suffix, dump.trap.thread, operand);
-      if (!origin.input_pcs.empty()) {
-        RootCause cause;
-        cause.kind = dump.trap.kind == TrapKind::kDivByZero
-                         ? RootCauseKind::kDivByZero
-                         : (dump.trap.kind == TrapKind::kMemoryFault
-                                ? RootCauseKind::kWildPointer
-                                : RootCauseKind::kSemanticBug);
-        cause.site_a = origin.input_pcs.front();
-        cause.site_b = dump.trap.pc;
-        cause.thread_a = dump.trap.thread;
-        cause.thread_b = dump.trap.thread;
-        cause.input_tainted = true;
-        cause.description = StrFormat(
-            "%s at %s fed by unvalidated input at %s",
-            std::string(RootCauseKindName(cause.kind)).c_str(),
-            module.PcToString(dump.trap.pc).c_str(),
-            module.PcToString(cause.site_a).c_str());
-        causes.push_back(std::move(cause));
-      } else if (!origin.writer_pcs.empty()) {
-        RootCause cause;
-        cause.kind = dump.trap.kind == TrapKind::kDivByZero
-                         ? RootCauseKind::kDivByZero
-                         : (dump.trap.kind == TrapKind::kMemoryFault
-                                ? RootCauseKind::kWildPointer
-                                : RootCauseKind::kSemanticBug);
-        cause.site_a = origin.writer_pcs.front();
-        cause.site_b = dump.trap.pc;
-        cause.thread_a = dump.trap.thread;
-        cause.thread_b = dump.trap.thread;
-        cause.description = StrFormat(
-            "%s at %s; offending value written at %s",
-            std::string(RootCauseKindName(cause.kind)).c_str(),
-            module.PcToString(dump.trap.pc).c_str(),
-            module.PcToString(cause.site_a).c_str());
-        causes.push_back(std::move(cause));
+      ValueOrigin origin = TrackRegisterOriginView(
+          module, view, dump.trap.thread, operand, SIZE_MAX, UINT32_MAX, stats);
+      AppendOriginTrapCause(module, dump, origin, &causes);
+      break;
+    }
+    default:
+      break;
+  }
+  return causes;
+}
+
+// ---------------------------------------------------------------------------
+// Incremental detection.
+// ---------------------------------------------------------------------------
+
+RootCauseSetup MakeRootCauseSetup(const Module& module, const Coredump& dump) {
+  RootCauseSetup setup;
+  setup.deadlock = DetectDeadlockCycle(module, dump);
+  setup.trap_thread = dump.trap.thread;
+  setup.origin_operand = OriginOperandForTrap(module, dump);
+  setup.track_origin = setup.origin_operand != kNoReg;
+  for (const ThreadDump& t : dump.threads) {
+    if (t.state == ThreadState::kBlockedOnLock) {
+      setup.blocked_mutexes.push_back(t.blocked_on);
+    }
+  }
+  std::sort(setup.blocked_mutexes.begin(), setup.blocked_mutexes.end());
+  setup.blocked_mutexes.erase(
+      std::unique(setup.blocked_mutexes.begin(), setup.blocked_mutexes.end()),
+      setup.blocked_mutexes.end());
+  return setup;
+}
+
+void RootCauseContext::AppendUnit(const RootCauseSetup& setup,
+                                  const Module& module, const Coredump& dump,
+                                  const SuffixChainPtr& head) {
+  const SuffixUnit& u = head->unit;
+
+  // Overflow witnesses: cons in reverse access order so walking the chain
+  // yields this unit's witnesses in access order, before all older units'.
+  for (size_t ai = u.accesses.size(); ai-- > 0;) {
+    const MemAccess& a = u.accesses[ai];
+    RootCause cause;
+    bool needs_taint = false;
+    RegId value_reg = kNoReg;
+    if (!OverflowWitnessForAccess(module, dump, a, &cause, &needs_taint,
+                                  &value_reg)) {
+      continue;
+    }
+    auto witness = std::make_shared<OverflowWitness>();
+    witness->cause = std::move(cause);
+    witness->needs_taint = needs_taint;
+    witness->value_reg = value_reg;
+    witness->before_index = a.pc.index;
+    witness->tid = a.tid;
+    witness->unit_depth = head->depth;
+    witness->prev = overflows;
+    overflows = std::move(witness);
+  }
+
+  // Concurrency screen: latch `conc_candidate` as soon as some address has
+  // non-sync accesses from two distinct threads, at least one a write —
+  // the precondition of every pair the concurrency scan can emit. Once
+  // latched the per-address map is no longer needed.
+  if (!conc_candidate) {
+    for (const MemAccess& a : u.accesses) {
+      if (a.is_sync) {
+        continue;
       }
+      if (a.tid >= 64) {
+        conc_candidate = true;  // out of mask range: never skip the scan
+        break;
+      }
+      AddrConcInfo info;
+      if (const AddrConcInfo* existing = addr_info.Find(a.addr)) {
+        info = *existing;
+      }
+      info.tids |= uint64_t{1} << a.tid;
+      if (a.is_write) {
+        info.writers |= uint64_t{1} << a.tid;
+      }
+      if ((info.tids & (info.tids - 1)) != 0 && info.writers != 0) {
+        conc_candidate = true;
+        break;
+      }
+      addr_info.Set(a.addr, info);
+    }
+  }
+
+  // Lock words, for the initial-lock-owner set Finalize would compute.
+  for (const LockOp& op : u.lock_ops) {
+    auto it = std::lower_bound(lock_mutexes.begin(), lock_mutexes.end(), op.mutex);
+    if (it == lock_mutexes.end() || *it != op.mutex) {
+      lock_mutexes.insert(it, op.mutex);
+    }
+  }
+
+  // Free events, for the use-after-free / double-free pass.
+  for (const UnitEvent& e : u.events) {
+    if (e.kind == UnitEventKind::kFree) {
+      auto node = std::make_shared<FreeUnit>();
+      node->node = head;
+      node->prev = frees;
+      frees = std::move(node);
+      break;  // one chain node per unit; the pass iterates its events
+    }
+  }
+
+  // Trap-operand origin fold: the backward def-use walk visits units in
+  // exactly append order, so one ProcessUnit per append keeps the fold equal
+  // to the oracle's full walk.
+  if (setup.track_origin) {
+    if (!origin_seeded) {
+      origin.live_regs.insert(setup.origin_operand);
+      origin_seeded = true;
+    }
+    // With both live sets empty the walk body cannot change any state, so
+    // the fold is already final and further units can be skipped outright.
+    if (!origin.stopped &&
+        (!origin.live_regs.empty() || !origin.live_addrs.empty())) {
+      origin.ProcessUnit(module, u, setup.trap_thread, u.end_index);
+    }
+  }
+}
+
+std::vector<RootCause> DetectRootCausesIncremental(
+    const Module& module, const Coredump& dump, const RootCauseSetup& setup,
+    const RootCauseContext& ctx, const SuffixChainNode* chain_head,
+    const std::map<uint64_t, uint32_t>& initial_lock_owners,
+    DetectorStats* stats) {
+  std::vector<RootCause> causes;
+
+  if (setup.deadlock.has_value()) {
+    causes.push_back(*setup.deadlock);
+    return causes;
+  }
+
+  const size_t n_units = chain_head != nullptr ? chain_head->depth : 0;
+  UnitsView view;
+  bool view_built = false;
+  auto ensure_view = [&]() -> const UnitsView& {
+    if (!view_built) {
+      view = SuffixChainUnits(chain_head);
+      view_built = true;
+    }
+    return view;
+  };
+
+  // Overflow pass: replay the prebuilt witnesses (chain order == the
+  // oracle's emission order); only the rare taint refinement walks units.
+  if (stats != nullptr && n_units > 0) {
+    ++stats->rescans_avoided;
+  }
+  for (const RootCauseContext::OverflowWitness* w = ctx.overflows.get();
+       w != nullptr; w = w->prev.get()) {
+    RootCause cause = w->cause;
+    if (w->needs_taint) {
+      size_t ui = n_units - w->unit_depth;
+      ValueOrigin vo = TrackRegisterOriginView(module, ensure_view(), w->tid,
+                                               w->value_reg, ui,
+                                               w->before_index, stats);
+      cause.input_tainted = !vo.input_pcs.empty();
+    }
+    causes.push_back(std::move(cause));
+  }
+
+  // Concurrency pass: skipped outright while the screen proves it empty.
+  if (ctx.conc_candidate) {
+    if (stats != nullptr) {
+      stats->units_scanned += n_units;
+    }
+    DetectConcurrencyBugs(module, ensure_view(), initial_lock_owners, &causes);
+  } else if (stats != nullptr && n_units > 0) {
+    ++stats->rescans_avoided;
+  }
+
+  switch (dump.trap.kind) {
+    case TrapKind::kUseAfterFree:
+    case TrapKind::kDoubleFree: {
+      if (stats != nullptr && n_units > 0) {
+        ++stats->rescans_avoided;
+      }
+      for (const RootCauseContext::FreeUnit* f = ctx.frees.get(); f != nullptr;
+           f = f->prev.get()) {
+        AppendFreeMatchCauses(module, dump, f->node->unit, &causes);
+      }
+      break;
+    }
+    case TrapKind::kDivByZero:
+    case TrapKind::kAssertFailure:
+    case TrapKind::kMemoryFault: {
+      if (!causes.empty()) {
+        break;  // a concurrency or overflow explanation already covers it
+      }
+      if (!setup.track_origin) {
+        break;
+      }
+      if (stats != nullptr && n_units > 0) {
+        ++stats->rescans_avoided;
+      }
+      AppendOriginTrapCause(module, dump, ctx.origin.Finish(), &causes);
       break;
     }
     default:

@@ -4,16 +4,31 @@
 // the program locations responsible — the key enabler for root-cause-based
 // triaging (§3.1). They operate purely on the suffix (accesses, events,
 // locksets) plus the coredump; no ground truth from the workload leaks in.
+//
+// Two entry points:
+//  - DetectRootCauses: the monolithic oracle — full detector passes over a
+//    materialized suffix. O(suffix) per call.
+//  - RootCauseContext + DetectRootCausesIncremental: the engine's hot path.
+//    A context is forked with its hypothesis and folds each appended unit
+//    in O(|unit|) (per-kind partial scans, candidate chains, a def-use
+//    origin fold); Finalize-time detection then consumes the context
+//    instead of re-walking the whole suffix. Output is byte-identical to
+//    the oracle by construction: every incremental shortcut either replays
+//    the oracle's per-unit logic verbatim (shared helpers below) or skips a
+//    pass only when a sound screen proves the pass would find nothing.
 #ifndef RES_RES_ROOT_CAUSE_H_
 #define RES_RES_ROOT_CAUSE_H_
 
+#include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "src/coredump/coredump.h"
 #include "src/ir/module.h"
 #include "src/res/suffix.h"
+#include "src/support/persistent.h"
 #include "src/symbolic/expr.h"
 
 namespace res {
@@ -49,12 +64,50 @@ struct RootCause {
   std::string BucketSignature(const Module& module) const;
 };
 
+// Detector work accounting, for the incremental-vs-rescan economy.
+struct DetectorStats {
+  // Units visited by any detector pass. The incremental path pays exactly
+  // one visit per appended unit (the fold) plus whatever fallback scans it
+  // could not answer from context; the oracle pays O(suffix) per call.
+  uint64_t units_scanned = 0;
+  // Whole-suffix detector passes answered from incremental context instead
+  // of a rescan.
+  uint64_t rescans_avoided = 0;
+};
+
 // Where a register value came from, chasing def-use chains backward through
 // one thread's top-frame units.
 struct ValueOrigin {
   std::vector<Pc> writer_pcs;   // in-suffix stores feeding the value
   std::vector<Pc> input_pcs;    // kInput instructions feeding the value
   bool reaches_before_suffix = false;  // part of the flow predates the suffix
+};
+
+// The backward def-use walk of TrackRegisterOrigin, expressed as a fold so
+// the incremental detector can advance it one unit at a time: the engine
+// appends units in reverse execution order (each new unit is EARLIER in
+// time), which is exactly the order the backward walk visits them, so the
+// fold state after k appends equals the oracle walk's state after its first
+// k units.
+struct OriginFold {
+  std::set<RegId> live_regs;
+  std::set<uint64_t> live_addrs;
+  std::vector<Pc> writer_pcs;
+  std::vector<Pc> input_pcs;
+  bool stopped = false;  // hit a frame boundary; no further units matter
+
+  // Replays the oracle's per-unit walk body over instructions [0, scan_end)
+  // of `unit` (tracked thread `tid`; foreign units only feed live addrs).
+  void ProcessUnit(const Module& module, const SuffixUnit& unit, uint32_t tid,
+                   uint32_t scan_end);
+
+  ValueOrigin Finish() const {
+    ValueOrigin origin;
+    origin.writer_pcs = writer_pcs;
+    origin.input_pcs = input_pcs;
+    origin.reaches_before_suffix = !live_regs.empty() || !live_addrs.empty();
+    return origin;
+  }
 };
 
 // Tracks the origin of register `reg` as of just before instruction
@@ -65,15 +118,105 @@ ValueOrigin TrackRegisterOrigin(const Module& module, const SynthesizedSuffix& s
                                 size_t from_unit = SIZE_MAX,
                                 uint32_t before_index = UINT32_MAX);
 
-// Runs every applicable detector. `pool` is needed to inspect variable
-// origins (input taint); may be null (taint reporting disabled).
+// Runs every applicable detector. `pool` is unused today — input taint is
+// derived from flags recorded on the suffix's accesses plus the def-use
+// walk — and is kept (nullable) so the signature stays stable if a
+// detector needs expression inspection again. `stats` (optional)
+// accumulates detector work counters.
 std::vector<RootCause> DetectRootCauses(const Module& module, const Coredump& dump,
                                         const SynthesizedSuffix& suffix,
-                                        const ExprPool* pool);
+                                        const ExprPool* pool,
+                                        DetectorStats* stats = nullptr);
 
 // Deadlock detection needs no suffix: the waits-for cycle is in the dump.
 std::optional<RootCause> DetectDeadlockCycle(const Module& module,
                                              const Coredump& dump);
+
+// ---------------------------------------------------------------------------
+// Incremental detection.
+// ---------------------------------------------------------------------------
+
+// Per-engine immutable precomputation shared by every hypothesis's context:
+// everything about detection that depends only on <module, dump>.
+struct RootCauseSetup {
+  // Cached DetectDeadlockCycle verdict (a pure function of the dump).
+  std::optional<RootCause> deadlock;
+  // Trap-operand def-use tracking is live for this dump: the trap kind is
+  // div/assert/fault, the trap instruction exists, and it has the operand.
+  bool track_origin = false;
+  RegId origin_operand = kNoReg;
+  uint32_t trap_thread = 0;
+  // Lock words blocked threads wait on (sorted unique) — part of the
+  // initial-lock-owner mutex set the lockset scan needs.
+  std::vector<uint64_t> blocked_mutexes;
+};
+
+RootCauseSetup MakeRootCauseSetup(const Module& module, const Coredump& dump);
+
+// Per-hypothesis detector state, threaded through the suffix chain the way
+// SolverContext threads solver state: forked (value-copied) with its
+// hypothesis in O(delta) — the bulk of the state is shared immutable chains
+// — and advanced by AppendUnit once per appended unit.
+struct RootCauseContext {
+  // --- Buffer-overflow pass: per-unit witnesses, found at append time. ---
+  // Chain of prebuilt causes; head = newest append = earliest execution, so
+  // walking `prev` yields exactly the oracle's unit-scan emission order.
+  struct OverflowWitness {
+    RootCause cause;           // complete except a possible taint refinement
+    bool needs_taint = false;  // run the def-use track at detect time
+    uint32_t value_reg = 0;    // stored register to track (winst->ra)
+    uint32_t before_index = 0; // the write's instruction index
+    uint32_t tid = 0;
+    size_t unit_depth = 0;     // owning unit's chain depth (ui = n - depth)
+    std::shared_ptr<const OverflowWitness> prev;
+  };
+  std::shared_ptr<const OverflowWitness> overflows;
+
+  // --- Concurrency pass screen. ---
+  // A data-race / atomicity / order-violation match needs two non-sync
+  // accesses to one address from two distinct threads, at least one a
+  // write. Per-address thread/writer masks make that condition checkable in
+  // O(1) per appended access; while it is false the whole concurrency scan
+  // is provably empty and is skipped. Once true it latches (the scan runs
+  // on a materialized view from then on — exactness over cleverness).
+  struct AddrConcInfo {
+    uint64_t tids = 0;     // bit t: thread t performed a non-sync access
+    uint64_t writers = 0;  // bit t: thread t performed a non-sync write
+  };
+  PersistentMap<uint64_t, AddrConcInfo> addr_info;
+  bool conc_candidate = false;
+
+  // Mutex words seen in lock ops (sorted unique; with the setup's blocked
+  // mutexes this reproduces Finalize's initial-lock-owner key set).
+  std::vector<uint64_t> lock_mutexes;
+
+  // --- Use-after-free / double-free pass: units containing kFree events.
+  // Same chain discipline as `overflows`. Nodes keep the unit alive.
+  struct FreeUnit {
+    SuffixChainPtr node;
+    std::shared_ptr<const FreeUnit> prev;
+  };
+  std::shared_ptr<const FreeUnit> frees;
+
+  // --- Trap-operand origin fold (when setup.track_origin). ---
+  // Seeded with the trap instruction's operand register on first append.
+  OriginFold origin;
+  bool origin_seeded = false;
+
+  // Folds the chain's new head unit into the context. O(|unit|).
+  void AppendUnit(const RootCauseSetup& setup, const Module& module,
+                  const Coredump& dump, const SuffixChainPtr& head);
+};
+
+// Finalize-time detection from the folded context. Byte-identical to
+// DetectRootCauses over the materialized chain. `initial_lock_owners` is
+// only consulted when ctx.conc_candidate is set (pass the same map Finalize
+// would compute); `chain_head` is only walked for fallback scans.
+std::vector<RootCause> DetectRootCausesIncremental(
+    const Module& module, const Coredump& dump, const RootCauseSetup& setup,
+    const RootCauseContext& ctx, const SuffixChainNode* chain_head,
+    const std::map<uint64_t, uint32_t>& initial_lock_owners,
+    DetectorStats* stats);
 
 }  // namespace res
 

@@ -2,26 +2,6 @@
 
 namespace res {
 
-void CowOverlay::Freeze() {
-  size_t depth = frozen_ ? frozen_->depth : 0;
-  auto layer = std::make_shared<Layer>();
-  if (depth + 1 > kMaxChainDepth) {
-    // Chain too deep for fast lookups: flatten everything into one layer.
-    layer->entries.reserve(delta_.size() + kFreezeThreshold * depth);
-    ForEach([&layer](uint64_t addr, const Expr* value) {
-      layer->entries.emplace(addr, value);
-    });
-    layer->parent = nullptr;
-    layer->depth = 1;
-  } else {
-    layer->entries = std::move(delta_);
-    layer->parent = frozen_;
-    layer->depth = depth + 1;
-  }
-  frozen_ = std::move(layer);
-  delta_.clear();
-}
-
 SymSnapshot SymSnapshot::FromCoredump(const Module& module, const Coredump& dump,
                                       ExprPool* pool) {
   SymSnapshot snap;

@@ -26,6 +26,7 @@
 
 #include "src/coredump/coredump.h"
 #include "src/ir/module.h"
+#include "src/support/persistent.h"
 #include "src/symbolic/expr.h"
 
 namespace res {
@@ -76,81 +77,41 @@ struct SnapAlloc {
 // immutable layer shared (by shared_ptr) with every copy taken afterwards.
 // Copying a CowOverlay therefore costs O(delta) — at most the freeze
 // threshold — instead of O(total overlay), which is what makes hypothesis
-// fan-out in the reverse engine cheap at depth.
+// fan-out in the reverse engine cheap at depth. The layering itself is the
+// generic PersistentMap (src/support/persistent.h); this wrapper fixes the
+// key/value types and keeps Find's historical nullptr-on-absent contract.
 //
 // Thread-safety: frozen layers are immutable and reference-counted through
 // std::shared_ptr, whose control-block refcount updates are atomic — so any
 // number of threads may concurrently copy overlays that share layers, read
-// through them (Find/ForEach), and drop copies. The private `delta_` is NOT
-// synchronized: Set/Freeze require that the writing thread exclusively owns
-// this particular CowOverlay copy (the reverse engine guarantees it — each
+// through them (Find/ForEach), and drop copies. The private delta is NOT
+// synchronized: Set requires that the writing thread exclusively owns this
+// particular CowOverlay copy (the reverse engine guarantees it — each
 // worker task mutates only the hypothesis it owns; shared ancestors are
 // frozen and read-only).
 class CowOverlay {
  public:
   // Value stored for `addr`, or nullptr when the address is absent.
   const Expr* Find(uint64_t addr) const {
-    auto it = delta_.find(addr);
-    if (it != delta_.end()) {
-      return it->second;
-    }
-    for (const Layer* l = frozen_.get(); l != nullptr; l = l->parent.get()) {
-      auto lit = l->entries.find(addr);
-      if (lit != l->entries.end()) {
-        return lit->second;
-      }
-    }
-    return nullptr;
+    const Expr* const* v = map_.Find(addr);
+    return v != nullptr ? *v : nullptr;
   }
 
-  void Set(uint64_t addr, const Expr* value) {
-    delta_[addr] = value;
-    if (delta_.size() >= kFreezeThreshold) {
-      Freeze();
-    }
-  }
+  void Set(uint64_t addr, const Expr* value) { map_.Set(addr, value); }
 
   // Visits every live (address, value) pair exactly once, newest layer wins.
   template <typename Fn>
   void ForEach(Fn&& fn) const {
-    std::unordered_set<uint64_t> seen;
-    for (const auto& [addr, value] : delta_) {
-      if (seen.insert(addr).second) {
-        fn(addr, value);
-      }
-    }
-    for (const Layer* l = frozen_.get(); l != nullptr; l = l->parent.get()) {
-      for (const auto& [addr, value] : l->entries) {
-        if (seen.insert(addr).second) {
-          fn(addr, value);
-        }
-      }
-    }
+    map_.ForEach([&fn](uint64_t addr, const Expr* value) { fn(addr, value); });
   }
 
   // Number of distinct addresses (counts shadowed writes once).
-  size_t DistinctCount() const {
-    size_t n = 0;
-    ForEach([&n](uint64_t, const Expr*) { ++n; });
-    return n;
-  }
+  size_t DistinctCount() const { return map_.DistinctCount(); }
 
-  size_t LayerDepth() const { return frozen_ ? frozen_->depth : 0; }
+  size_t LayerDepth() const { return map_.LayerDepth(); }
 
  private:
-  struct Layer {
-    std::unordered_map<uint64_t, const Expr*> entries;
-    std::shared_ptr<const Layer> parent;
-    size_t depth = 1;  // chain length including this layer
-  };
-
-  static constexpr size_t kFreezeThreshold = 16;
-  static constexpr size_t kMaxChainDepth = 32;
-
-  void Freeze();
-
-  std::shared_ptr<const Layer> frozen_;  // immutable, structure-shared
-  std::unordered_map<uint64_t, const Expr*> delta_;  // private to this copy
+  PersistentMap<uint64_t, const Expr*> map_;
 };
 
 class SymSnapshot {

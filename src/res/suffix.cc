@@ -4,6 +4,25 @@
 
 namespace res {
 
+SuffixChainPtr ExtendSuffixChain(SuffixChainPtr head, SuffixUnit unit) {
+  auto node = std::make_shared<SuffixChainNode>();
+  node->unit = std::move(unit);
+  node->depth = head ? head->depth + 1 : 1;
+  node->prev = std::move(head);
+  return node;
+}
+
+std::vector<const SuffixUnit*> SuffixChainUnits(const SuffixChainNode* head) {
+  std::vector<const SuffixUnit*> units;
+  if (head != nullptr) {
+    units.reserve(head->depth);
+  }
+  for (const SuffixChainNode* n = head; n != nullptr; n = n->prev.get()) {
+    units.push_back(&n->unit);
+  }
+  return units;
+}
+
 std::vector<ScheduleSlice> BuildSchedule(const Module& module, const Coredump& dump,
                                          const SynthesizedSuffix& suffix) {
   std::vector<ScheduleSlice> slices;

@@ -9,6 +9,7 @@
 #define RES_RES_SUFFIX_H_
 
 #include <cstdint>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
@@ -69,6 +70,28 @@ struct SuffixUnit {
   std::vector<UnitEvent> events;
   std::vector<LockOp> lock_ops;
 };
+
+// Immutable, structurally-shared suffix spine. Every hypothesis of the
+// reverse engine appends one SuffixUnit per backward step and shares the
+// rest of the chain with its parent, so forking copies a shared_ptr instead
+// of the whole unit vector. The head is the deepest unit — the one furthest
+// from the crash, i.e. the FIRST in execution order; walking `prev` moves
+// toward the crash. The incremental root-cause detector folds over exactly
+// this chain (src/res/root_cause.h), so it lives here rather than inside
+// the engine.
+struct SuffixChainNode {
+  SuffixUnit unit;
+  std::shared_ptr<const SuffixChainNode> prev;  // toward the crash
+  size_t depth = 1;  // chain length including this node
+};
+using SuffixChainPtr = std::shared_ptr<const SuffixChainNode>;
+
+// Returns the new head after appending `unit` as the new deepest element.
+SuffixChainPtr ExtendSuffixChain(SuffixChainPtr head, SuffixUnit unit);
+
+// Borrowed execution-order view of the chain (head first). The chain must
+// outlive the returned pointers.
+std::vector<const SuffixUnit*> SuffixChainUnits(const SuffixChainNode* head);
 
 struct SynthesizedSuffix {
   std::vector<SuffixUnit> units;        // forward (execution) order

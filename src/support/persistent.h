@@ -1,0 +1,287 @@
+// Persistent (structurally-shared) containers for fork-heavy state.
+//
+// The reverse engine forks a hypothesis every time the backward search
+// branches; anything the hypothesis owns by value is copied per fork. These
+// containers make that copy O(delta) instead of O(total): an immutable,
+// shared_ptr-shared spine holds the bulk of the data, and each copy carries
+// only a small private tail/delta. They all follow the CowOverlay recipe
+// (src/res/snapshot.h, PR 1): writes land in the private part; once the
+// private part grows past a threshold it is frozen into the shared spine.
+//
+// Thread-safety (same contract as CowOverlay): the frozen spine is immutable
+// and reference-counted through std::shared_ptr, so any number of threads
+// may concurrently copy containers that share a spine, read through them,
+// and drop copies. The private tail/delta is NOT synchronized: mutating
+// members require that the writing thread exclusively owns this particular
+// copy — which the engine's ownership protocol guarantees (each worker task
+// mutates only the hypothesis it owns).
+#ifndef RES_SUPPORT_PERSISTENT_H_
+#define RES_SUPPORT_PERSISTENT_H_
+
+#include <cstddef>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace res {
+
+// Append-only vector with O(delta) copies: a chain of immutable chunks plus
+// a small private tail. Iteration is always in insertion order.
+template <typename T>
+class PersistentVector {
+ public:
+  size_t size() const {
+    return (frozen_ ? frozen_->size_before + frozen_->items.size() : 0) +
+           tail_.size();
+  }
+  bool empty() const { return size() == 0; }
+
+  void push_back(T value) {
+    tail_.push_back(std::move(value));
+    if (tail_.size() >= kChunkSize) {
+      Freeze();
+    }
+  }
+
+  // Visits every element in insertion order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    std::vector<const Chunk*> chain;
+    for (const Chunk* c = frozen_.get(); c != nullptr; c = c->prev.get()) {
+      chain.push_back(c);
+    }
+    for (size_t i = chain.size(); i-- > 0;) {
+      for (const T& v : chain[i]->items) {
+        fn(v);
+      }
+    }
+    for (const T& v : tail_) {
+      fn(v);
+    }
+  }
+
+  // Appends elements [from, size()) to `out` in insertion order. Cost is
+  // O(size() - from): chunks entirely below `from` are skipped, which keeps
+  // warm incremental solver checks (copy only the unabsorbed suffix)
+  // proportional to the delta.
+  void AppendSuffixTo(size_t from, std::vector<T>* out) const {
+    std::vector<const Chunk*> chain;
+    for (const Chunk* c = frozen_.get(); c != nullptr; c = c->prev.get()) {
+      if (c->size_before + c->items.size() <= from) {
+        break;  // this chunk and everything older lies below `from`
+      }
+      chain.push_back(c);
+    }
+    for (size_t i = chain.size(); i-- > 0;) {
+      const Chunk* c = chain[i];
+      size_t start = from > c->size_before ? from - c->size_before : 0;
+      out->insert(out->end(), c->items.begin() + static_cast<ptrdiff_t>(start),
+                  c->items.end());
+    }
+    size_t tail_base =
+        frozen_ ? frozen_->size_before + frozen_->items.size() : 0;
+    size_t start = from > tail_base ? from - tail_base : 0;
+    if (start < tail_.size()) {
+      out->insert(out->end(), tail_.begin() + static_cast<ptrdiff_t>(start),
+                  tail_.end());
+    }
+  }
+
+  void AppendTo(std::vector<T>* out) const { AppendSuffixTo(0, out); }
+
+  std::vector<T> Materialize() const {
+    std::vector<T> out;
+    out.reserve(size());
+    AppendTo(&out);
+    return out;
+  }
+
+ private:
+  struct Chunk {
+    std::vector<T> items;
+    std::shared_ptr<const Chunk> prev;  // older elements
+    size_t size_before = 0;             // total elements in `prev` chain
+  };
+
+  static constexpr size_t kChunkSize = 32;
+
+  void Freeze() {
+    auto chunk = std::make_shared<Chunk>();
+    chunk->size_before =
+        frozen_ ? frozen_->size_before + frozen_->items.size() : 0;
+    chunk->items = std::move(tail_);
+    chunk->prev = frozen_;
+    frozen_ = std::move(chunk);
+    tail_.clear();
+  }
+
+  std::shared_ptr<const Chunk> frozen_;  // immutable, structure-shared
+  std::vector<T> tail_;                  // private to this copy
+};
+
+// Insert-only hash set with O(delta) copies: layered like CowOverlay, with
+// the chain flattened once it grows past kMaxChainDepth so lookups stay fast.
+template <typename T, typename Hash = std::hash<T>>
+class PersistentSet {
+ public:
+  bool contains(const T& v) const {
+    if (delta_.count(v) != 0) {
+      return true;
+    }
+    for (const Layer* l = frozen_.get(); l != nullptr; l = l->parent.get()) {
+      if (l->entries.count(v) != 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Returns true when `v` was newly inserted (mirrors std::set::insert).
+  bool insert(const T& v) {
+    if (contains(v)) {
+      return false;
+    }
+    delta_.insert(v);
+    if (delta_.size() >= kFreezeThreshold) {
+      Freeze();
+    }
+    return true;
+  }
+
+  size_t size() const {
+    size_t n = delta_.size();
+    for (const Layer* l = frozen_.get(); l != nullptr; l = l->parent.get()) {
+      n += l->entries.size();
+    }
+    return n;  // layers are disjoint: insert() checks before inserting
+  }
+
+  size_t LayerDepth() const { return frozen_ ? frozen_->depth : 0; }
+
+ private:
+  struct Layer {
+    std::unordered_set<T, Hash> entries;
+    std::shared_ptr<const Layer> parent;
+    size_t depth = 1;  // chain length including this layer
+  };
+
+  static constexpr size_t kFreezeThreshold = 16;
+  static constexpr size_t kMaxChainDepth = 32;
+
+  void Freeze() {
+    size_t depth = frozen_ ? frozen_->depth : 0;
+    auto layer = std::make_shared<Layer>();
+    if (depth + 1 > kMaxChainDepth) {
+      // Chain too deep for fast lookups: flatten everything into one layer.
+      layer->entries = std::move(delta_);
+      for (const Layer* l = frozen_.get(); l != nullptr; l = l->parent.get()) {
+        layer->entries.insert(l->entries.begin(), l->entries.end());
+      }
+      layer->parent = nullptr;
+      layer->depth = 1;
+    } else {
+      layer->entries = std::move(delta_);
+      layer->parent = frozen_;
+      layer->depth = depth + 1;
+    }
+    frozen_ = std::move(layer);
+    delta_.clear();
+  }
+
+  std::shared_ptr<const Layer> frozen_;   // immutable, structure-shared
+  std::unordered_set<T, Hash> delta_;     // private to this copy
+};
+
+// Last-write-wins hash map with O(delta) copies. This is the generic form of
+// the snapshot memory overlay (CowOverlay is a thin wrapper around it).
+template <typename K, typename V, typename Hash = std::hash<K>>
+class PersistentMap {
+ public:
+  // Pointer to the value stored for `key`, or nullptr when absent. The
+  // pointer is invalidated by the next Set on this copy.
+  const V* Find(const K& key) const {
+    auto it = delta_.find(key);
+    if (it != delta_.end()) {
+      return &it->second;
+    }
+    for (const Layer* l = frozen_.get(); l != nullptr; l = l->parent.get()) {
+      auto lit = l->entries.find(key);
+      if (lit != l->entries.end()) {
+        return &lit->second;
+      }
+    }
+    return nullptr;
+  }
+
+  void Set(K key, V value) {
+    delta_[std::move(key)] = std::move(value);
+    if (delta_.size() >= kFreezeThreshold) {
+      Freeze();
+    }
+  }
+
+  // Visits every live (key, value) pair exactly once, newest layer wins.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    std::unordered_set<K, Hash> seen;
+    for (const auto& [key, value] : delta_) {
+      if (seen.insert(key).second) {
+        fn(key, value);
+      }
+    }
+    for (const Layer* l = frozen_.get(); l != nullptr; l = l->parent.get()) {
+      for (const auto& [key, value] : l->entries) {
+        if (seen.insert(key).second) {
+          fn(key, value);
+        }
+      }
+    }
+  }
+
+  // Number of distinct keys (counts shadowed writes once).
+  size_t DistinctCount() const {
+    size_t n = 0;
+    ForEach([&n](const K&, const V&) { ++n; });
+    return n;
+  }
+
+  size_t LayerDepth() const { return frozen_ ? frozen_->depth : 0; }
+
+ private:
+  struct Layer {
+    std::unordered_map<K, V, Hash> entries;
+    std::shared_ptr<const Layer> parent;
+    size_t depth = 1;  // chain length including this layer
+  };
+
+  static constexpr size_t kFreezeThreshold = 16;
+  static constexpr size_t kMaxChainDepth = 32;
+
+  void Freeze() {
+    size_t depth = frozen_ ? frozen_->depth : 0;
+    auto layer = std::make_shared<Layer>();
+    if (depth + 1 > kMaxChainDepth) {
+      // Chain too deep for fast lookups: flatten everything into one layer.
+      layer->entries.reserve(delta_.size() + kFreezeThreshold * depth);
+      ForEach([&layer](const K& key, const V& value) {
+        layer->entries.emplace(key, value);
+      });
+      layer->parent = nullptr;
+      layer->depth = 1;
+    } else {
+      layer->entries = std::move(delta_);
+      layer->parent = frozen_;
+      layer->depth = depth + 1;
+    }
+    frozen_ = std::move(layer);
+    delta_.clear();
+  }
+
+  std::shared_ptr<const Layer> frozen_;    // immutable, structure-shared
+  std::unordered_map<K, V, Hash> delta_;   // private to this copy
+};
+
+}  // namespace res
+
+#endif  // RES_SUPPORT_PERSISTENT_H_

@@ -371,8 +371,26 @@ void Solver::Propagate(SolverContext* ctx, const std::vector<const Expr*>& fresh
 
 // --- Shared check core (phases 1-4 against a context). ---
 
+bool Solver::ConstraintInput::AllSatisfied(const Assignment& model) const {
+  if (vec != nullptr) {
+    for (const Expr* c : *vec) {
+      if (EvalExpr(c, model) == 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+  bool ok = true;
+  pvec->ForEach([&ok, &model](const Expr* c) {
+    if (ok && EvalExpr(c, model) == 0) {
+      ok = false;
+    }
+  });
+  return ok;
+}
+
 SolveOutcome Solver::CheckWith(SolverContext* ctx,
-                               const std::vector<const Expr*>& constraints,
+                               const ConstraintInput& constraints,
                                SolverStats* stats) {
   SolveOutcome out;
   if (ctx->unsat_) {
@@ -382,12 +400,19 @@ SolveOutcome Solver::CheckWith(SolverContext* ctx,
     return out;
   }
 
+  const size_t total = constraints.size();
+  // The fresh suffix past the context's absorbed prefix: every phase below
+  // consumes at most this slice (plus, on the cold cache path, one full
+  // canonicalized copy) — the warm-check cost stays O(delta).
+  std::vector<const Expr*> fresh;
+  constraints.CopySuffix(ctx->absorbed_, &fresh);
+
   // Fast path 1: the fresh suffix may already hold under the cached model
   // (every absorbed constraint was verified against it when it was cached).
   if (ctx->has_model_) {
     bool model_ok = true;
-    for (size_t i = ctx->absorbed_; i < constraints.size(); ++i) {
-      if (EvalExpr(constraints[i], ctx->model_) == 0) {
+    for (const Expr* c : fresh) {
+      if (EvalExpr(c, ctx->model_) == 0) {
         model_ok = false;
         break;
       }
@@ -395,9 +420,7 @@ SolveOutcome Solver::CheckWith(SolverContext* ctx,
     if (model_ok) {
       ++stats->model_reuse_hits;
       // Still absorb the suffix so future UNSAT pruning keeps full power.
-      std::vector<const Expr*> fresh(constraints.begin() + ctx->absorbed_,
-                                     constraints.end());
-      Propagate(ctx, fresh, constraints.size(), stats);
+      Propagate(ctx, fresh, total, stats);
       // A model verified against every constraint trumps any propagation
       // verdict; the conjunction is SAT by construction.
       ctx->unsat_ = false;
@@ -423,12 +446,12 @@ SolveOutcome Solver::CheckWith(SolverContext* ctx,
   std::vector<const Expr*> cache_vec;
   uint64_t cache_key = 0;
   if (use_cache) {
-    cache_vec = constraints;
+    cache_vec = fresh;  // absorbed == 0: the suffix IS the full vector
     cache_key = CacheKey(&cache_vec);
     SolveOutcome cached;
     if (CacheLookup(cache_key, cache_vec, &cached)) {
       ++stats->cache_hits;
-      Propagate(ctx, cache_vec, constraints.size(), stats);
+      Propagate(ctx, cache_vec, total, stats);
       if (cached.result == SatResult::kSat) {
         ctx->model_ = cached.model;
         ctx->has_model_ = true;
@@ -465,11 +488,9 @@ SolveOutcome Solver::CheckWith(SolverContext* ctx,
 
   // --- Phase 1: simplification + equality propagation to fixpoint. ---
   if (use_cache) {
-    Propagate(ctx, cache_vec, constraints.size(), stats);
+    Propagate(ctx, cache_vec, total, stats);
   } else {
-    std::vector<const Expr*> fresh(constraints.begin() + ctx->absorbed_,
-                                   constraints.end());
-    Propagate(ctx, fresh, constraints.size(), stats);
+    Propagate(ctx, fresh, total, stats);
   }
 
   auto finish_sat = [&](Assignment free_assignment) -> bool {
@@ -506,10 +527,8 @@ SolveOutcome Solver::CheckWith(SolverContext* ctx,
         model[var] = EvalExpr(expr, model);  // best effort on cycles
       }
     }
-    for (const Expr* c : constraints) {
-      if (EvalExpr(c, model) == 0) {
-        return false;
-      }
+    if (!constraints.AllSatisfied(model)) {
+      return false;
     }
     out.result = SatResult::kSat;
     out.model = std::move(model);
@@ -675,11 +694,17 @@ SolveOutcome Solver::CheckWith(SolverContext* ctx,
       std::sort(vs.begin(), vs.end());
       VarId v = vs[rng.NextBelow(vs.size())].second;
       int64_t old = candidate[v];
+      // Mutations wrap in unsigned space: the search is free to roam the
+      // whole int64 ring, and signed overflow would be UB.
+      auto wrap_add = [](int64_t a, int64_t b) {
+        return static_cast<int64_t>(static_cast<uint64_t>(a) +
+                                    static_cast<uint64_t>(b));
+      };
       switch (rng.NextBelow(6)) {
-        case 0: candidate[v] = old + 1; break;
-        case 1: candidate[v] = old - 1; break;
+        case 0: candidate[v] = wrap_add(old, 1); break;
+        case 1: candidate[v] = wrap_add(old, -1); break;
         case 2: candidate[v] = 0; break;
-        case 3: candidate[v] = old + static_cast<int64_t>(rng.NextBelow(64)) - 32; break;
+        case 3: candidate[v] = wrap_add(old, static_cast<int64_t>(rng.NextBelow(64)) - 32); break;
         case 4: candidate[v] = static_cast<int64_t>(rng.Next()); break;
         default: {
           // Try to satisfy an equality directly: v := value making both
@@ -714,7 +739,19 @@ SolveOutcome Solver::Check(const std::vector<const Expr*>& constraints,
   SolverStats* st = stats != nullptr ? stats : &stats_;
   ++st->checks;
   SolverContext cold;
-  return CheckWith(&cold, constraints, st);
+  ConstraintInput input;
+  input.vec = &constraints;
+  return CheckWith(&cold, input, st);
+}
+
+SolveOutcome Solver::Check(const PersistentVector<const Expr*>& constraints,
+                           SolverStats* stats) {
+  SolverStats* st = stats != nullptr ? stats : &stats_;
+  ++st->checks;
+  SolverContext cold;
+  ConstraintInput input;
+  input.pvec = &constraints;
+  return CheckWith(&cold, input, st);
 }
 
 SolveOutcome Solver::CheckIncremental(SolverContext* ctx,
@@ -725,7 +762,22 @@ SolveOutcome Solver::CheckIncremental(SolverContext* ctx,
   if (ctx->absorbed_ > 0 || ctx->has_model_ || ctx->unsat_) {
     ++st->incremental_checks;
   }
-  return CheckWith(ctx, constraints, st);
+  ConstraintInput input;
+  input.vec = &constraints;
+  return CheckWith(ctx, input, st);
+}
+
+SolveOutcome Solver::CheckIncremental(
+    SolverContext* ctx, const PersistentVector<const Expr*>& constraints,
+    SolverStats* stats) {
+  SolverStats* st = stats != nullptr ? stats : &stats_;
+  ++st->checks;
+  if (ctx->absorbed_ > 0 || ctx->has_model_ || ctx->unsat_) {
+    ++st->incremental_checks;
+  }
+  ConstraintInput input;
+  input.pvec = &constraints;
+  return CheckWith(ctx, input, st);
 }
 
 std::vector<int64_t> Solver::EnumerateValues(
@@ -738,9 +790,11 @@ std::vector<int64_t> Solver::EnumerateValues(
   // The work vector is append-only (one exclusion constraint per found
   // value), so one warm context serves the whole enumeration.
   SolverContext ctx;
+  ConstraintInput input;
+  input.vec = &work;
   for (size_t i = 0; i < limit + 1; ++i) {
     ++st->checks;
-    SolveOutcome outcome = CheckWith(&ctx, work, st);
+    SolveOutcome outcome = CheckWith(&ctx, input, st);
     if (outcome.result == SatResult::kUnsat) {
       *complete = true;  // no further values exist
       return values;

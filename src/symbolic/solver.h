@@ -23,12 +23,14 @@
 
 #include <array>
 #include <cstdint>
+#include <initializer_list>
 #include <limits>
 #include <map>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "src/support/persistent.h"
 #include "src/support/rng.h"
 #include "src/symbolic/expr.h"
 
@@ -151,6 +153,24 @@ class Solver {
                                 const std::vector<const Expr*>& constraints,
                                 SolverStats* stats = nullptr);
 
+  // Brace-list convenience (also disambiguates `Check({})` between the
+  // vector and persistent-vector overloads).
+  SolveOutcome Check(std::initializer_list<const Expr*> constraints,
+                     SolverStats* stats = nullptr) {
+    std::vector<const Expr*> vec(constraints);
+    return Check(vec, stats);
+  }
+
+  // Persistent-vector entry points: the reverse engine stores hypothesis
+  // constraint vectors structurally shared (O(delta) forks); these overloads
+  // consume them without materializing — a warm incremental check copies
+  // only the fresh suffix past ctx->absorbed().
+  SolveOutcome Check(const PersistentVector<const Expr*>& constraints,
+                     SolverStats* stats = nullptr);
+  SolveOutcome CheckIncremental(SolverContext* ctx,
+                                const PersistentVector<const Expr*>& constraints,
+                                SolverStats* stats = nullptr);
+
   // Distinct values `target` can take subject to `constraints` (up to
   // `limit`). `complete` is set true when the returned set is provably
   // exhaustive. Used for pointer concretization (paper §2.4's omitted
@@ -168,8 +188,26 @@ class Solver {
     SolveOutcome outcome;
   };
 
-  SolveOutcome CheckWith(SolverContext* ctx,
-                         const std::vector<const Expr*>& constraints,
+  // Non-owning view over either constraint-vector representation, so the
+  // check core is written once. CopySuffix materializes [from, size()); the
+  // full vector is only ever materialized on the cold cache path.
+  struct ConstraintInput {
+    const std::vector<const Expr*>* vec = nullptr;
+    const PersistentVector<const Expr*>* pvec = nullptr;
+
+    size_t size() const { return vec != nullptr ? vec->size() : pvec->size(); }
+    void CopySuffix(size_t from, std::vector<const Expr*>* out) const {
+      if (vec != nullptr) {
+        out->insert(out->end(), vec->begin() + from, vec->end());
+      } else {
+        pvec->AppendSuffixTo(from, out);
+      }
+    }
+    // True when every constraint evaluates nonzero under `model`.
+    bool AllSatisfied(const Assignment& model) const;
+  };
+
+  SolveOutcome CheckWith(SolverContext* ctx, const ConstraintInput& constraints,
                          SolverStats* stats);
   // Phase 1: absorb `fresh` (the constraints not yet seen by `ctx`) into the
   // context (substitution + equality extraction to fixpoint) and advance

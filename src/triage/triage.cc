@@ -6,9 +6,12 @@ std::string StackBucketer::BucketFor(const Coredump& dump) const {
   return FaultingStackSignature(module_, dump);
 }
 
-std::string ResBucketer::BucketFor(const Coredump& dump) const {
+std::string ResBucketer::BucketFor(const Coredump& dump, ResStats* stats) const {
   ResEngine engine(module_, dump, options_);
   ResResult result = engine.Run();
+  if (stats != nullptr) {
+    *stats = result.stats;
+  }
   if (!result.causes.empty()) {
     return result.causes.front().BucketSignature(module_);
   }

@@ -40,8 +40,9 @@ class ResBucketer {
   ResBucketer(const Module& module, ResOptions options = {})
       : module_(module), options_(options) {}
   // Runs a fresh RES engine over the dump; returns the root-cause signature
-  // or "stack:<signature>" when no cause was established.
-  std::string BucketFor(const Coredump& dump) const;
+  // or "stack:<signature>" when no cause was established. When `stats` is
+  // given it receives the engine run's counters (bench perf records).
+  std::string BucketFor(const Coredump& dump, ResStats* stats = nullptr) const;
 
  private:
   const Module& module_;

@@ -2,10 +2,14 @@
 // for every workload and every dump, not just the curated happy paths.
 #include <gtest/gtest.h>
 
+#include <unordered_set>
+
 #include "src/coredump/serialize.h"
 #include "src/ir/parser.h"
 #include "src/ir/printer.h"
 #include "src/res/res_api.h"
+#include "src/support/persistent.h"
+#include "src/support/rng.h"
 #include "src/workloads/harness.h"
 #include "src/workloads/workloads.h"
 
@@ -155,6 +159,152 @@ TEST(ParserRobustnessTest, PointMutationsNeverCrash) {
     }
   }
   SUCCEED();
+}
+
+// --- Persistent-structure differentials. ---
+//
+// The reverse engine keeps all fork-heavy hypothesis state in structurally
+// shared containers (src/support/persistent.h, CowOverlay). Each container
+// is driven through a random interleaved fork/append/read script against an
+// eagerly deep-copied STL oracle: every branch must read back exactly like
+// its oracle at every step, which pins structure sharing (freeze layers,
+// chunk chains, compaction) to plain value semantics. Seeds are fixed so
+// failures replay.
+
+TEST(PersistentStructureTest, PersistentVectorMatchesStdVectorAcrossForks) {
+  Rng rng(20260731);
+  struct Branch {
+    PersistentVector<int> pv;
+    std::vector<int> oracle;
+  };
+  std::vector<Branch> branches(1);
+  for (int step = 0; step < 1200; ++step) {
+    Branch& b = branches[rng.NextBelow(branches.size())];
+    switch (rng.NextBelow(5)) {
+      case 0:  // fork (bounded fan-out)
+        if (branches.size() < 24) {
+          branches.push_back(b);
+          break;
+        }
+        [[fallthrough]];
+      case 1:
+      case 2: {  // append
+        int v = static_cast<int>(rng.NextBelow(1000));
+        b.pv.push_back(v);
+        b.oracle.push_back(v);
+        break;
+      }
+      case 3: {  // random suffix read (the solver's CopySuffix access path)
+        ASSERT_EQ(b.pv.size(), b.oracle.size());
+        size_t from = rng.NextBelow(b.oracle.size() + 1);
+        std::vector<int> got;
+        b.pv.AppendSuffixTo(from, &got);
+        std::vector<int> want(b.oracle.begin() + static_cast<ptrdiff_t>(from),
+                              b.oracle.end());
+        ASSERT_EQ(got, want) << "step " << step;
+        break;
+      }
+      default: {  // full in-order read
+        ASSERT_EQ(b.pv.Materialize(), b.oracle) << "step " << step;
+        break;
+      }
+    }
+  }
+  for (const Branch& b : branches) {
+    ASSERT_EQ(b.pv.Materialize(), b.oracle);
+  }
+}
+
+TEST(PersistentStructureTest, PersistentSetMatchesStdSetAcrossForks) {
+  Rng rng(5150777);
+  struct Branch {
+    PersistentSet<int> ps;
+    std::unordered_set<int> oracle;
+  };
+  std::vector<Branch> branches(1);
+  for (int step = 0; step < 1200; ++step) {
+    Branch& b = branches[rng.NextBelow(branches.size())];
+    int v = static_cast<int>(rng.NextBelow(256));  // small domain: collisions
+    switch (rng.NextBelow(5)) {
+      case 0:  // fork (bounded fan-out)
+        if (branches.size() < 24) {
+          branches.push_back(b);
+          break;
+        }
+        [[fallthrough]];
+      case 1:
+      case 2: {  // insert; the dedup verdict must match the oracle's
+        bool inserted = b.ps.insert(v);
+        ASSERT_EQ(inserted, b.oracle.insert(v).second) << "step " << step;
+        break;
+      }
+      default: {  // membership probe
+        ASSERT_EQ(b.ps.contains(v), b.oracle.count(v) != 0) << "step " << step;
+        break;
+      }
+    }
+  }
+  for (const Branch& b : branches) {
+    ASSERT_EQ(b.ps.size(), b.oracle.size());
+    for (int v = 0; v < 256; ++v) {
+      ASSERT_EQ(b.ps.contains(v), b.oracle.count(v) != 0) << "value " << v;
+    }
+  }
+}
+
+TEST(PersistentStructureTest, CowOverlayMatchesPlainMapAcrossForks) {
+  // The snapshot overlay (a PersistentMap under the hood) under the same
+  // interleaved fork/write/read discipline, including the shadowed-write
+  // ForEach contract the detectors' screens rely on.
+  Rng rng(987123);
+  ExprPool pool;
+  std::vector<const Expr*> values;
+  for (int i = 0; i < 10; ++i) {
+    values.push_back(pool.Var("v" + std::to_string(i), VarOrigin::kHavocMem));
+  }
+  struct Branch {
+    CowOverlay cow;
+    std::unordered_map<uint64_t, const Expr*> oracle;
+  };
+  std::vector<Branch> branches(1);
+  for (int step = 0; step < 1200; ++step) {
+    Branch& b = branches[rng.NextBelow(branches.size())];
+    uint64_t addr = 8 * rng.NextBelow(96);
+    switch (rng.NextBelow(5)) {
+      case 0:  // fork (bounded fan-out)
+        if (branches.size() < 24) {
+          branches.push_back(b);
+          break;
+        }
+        [[fallthrough]];
+      case 1:
+      case 2: {  // write (shadows earlier layers)
+        const Expr* v = values[rng.NextBelow(values.size())];
+        b.cow.Set(addr, v);
+        b.oracle[addr] = v;
+        break;
+      }
+      case 3: {  // point read
+        auto it = b.oracle.find(addr);
+        ASSERT_EQ(b.cow.Find(addr), it == b.oracle.end() ? nullptr : it->second)
+            << "step " << step << " addr " << addr;
+        break;
+      }
+      default: {  // full sweep: each live pair visited exactly once
+        size_t visited = 0;
+        bool ok = true;
+        b.cow.ForEach([&](uint64_t a, const Expr* v) {
+          ++visited;
+          auto it = b.oracle.find(a);
+          ok = ok && it != b.oracle.end() && it->second == v;
+        });
+        ASSERT_TRUE(ok) << "step " << step;
+        ASSERT_EQ(visited, b.oracle.size()) << "step " << step;
+        ASSERT_EQ(b.cow.DistinctCount(), b.oracle.size());
+        break;
+      }
+    }
+  }
 }
 
 // VM determinism across the whole corpus: same module + same seed + same
