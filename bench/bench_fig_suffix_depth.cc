@@ -57,8 +57,7 @@ int main() {
              ? "NO"
              : std::string(RootCauseKindName(result.causes.front().kind))});
     json.Append(StrFormat("suffix_depth/distance=%u", distance), ms,
-                result.stats.hypotheses_explored, solver.checks,
-                solver.cache_hits, options.num_threads);
+                result.stats, options.num_threads);
   }
   PrintTable(rows);
   std::printf("\nexpected shape: suffix length and hypotheses grow with the "
@@ -104,11 +103,9 @@ int main() {
          result.causes.empty()
              ? "NO"
              : std::string(RootCauseKindName(result.causes.front().kind))});
-    json.Append(
-        StrFormat("suffix_depth/distance=%u/threads=%zu", kScalingDistance,
-                  threads),
-        best, result.stats.hypotheses_explored, result.stats.solver.checks,
-        result.stats.solver.cache_hits, threads);
+    json.Append(StrFormat("suffix_depth/distance=%u/threads=%zu",
+                          kScalingDistance, threads),
+                best, result.stats, threads);
   }
   PrintTable(trows);
   std::printf("\nexpected shape: >=2x at 4 threads when >=4 hardware cores are "
@@ -153,9 +150,7 @@ int main() {
     json.Append(StrFormat("suffix_depth/distance=%u/detector=%s",
                           kDetectorDistance,
                           incremental ? "incremental" : "rescan"),
-                ms, result.stats.hypotheses_explored,
-                result.stats.solver.checks, result.stats.solver.cache_hits,
-                options.num_threads);
+                ms, result.stats, options.num_threads);
   }
   PrintTable(drows);
   std::printf("\nexpected shape: incremental scans >=10x fewer units than "
@@ -165,5 +160,50 @@ int main() {
                 static_cast<double>(scanned[1]) /
                     static_cast<double>(scanned[0]));
   }
+
+  // --- Solver portfolio + learned-clause sharing on the interleaving frontier.
+  // Full synthesis over a 4-worker racy counter: sibling subtrees re-derive
+  // permuted copies of the same conflicting constraint pairs, so the clause
+  // store refutes them by membership probes instead of solver checks. Output
+  // is byte-identical portfolio on/off (tests/solver_portfolio_test.cc);
+  // the economy shows in clauses learned / hits and the solver verdict mix.
+  PrintHeader("F2d: learned-clause sharing on the 4-worker interleaving frontier");
+  Module cmodule = BuildRacyCounterWide(4);
+  WorkloadSpec cspec = WorkloadByName("racy_counter");
+  FailureRunOptions crun_options;
+  crun_options.require_live_peers = cspec.requires_live_peers;
+  auto crun = RunToFailure(cmodule, cspec, crun_options);
+  if (!crun.ok()) {
+    std::printf("no failure; skipping clause sharing\n");
+    return 0;
+  }
+  std::vector<std::vector<std::string>> crows;
+  crows.push_back({"solver", "time(ms)", "clauses learned", "clause hits",
+                   "solver unsat", "hypotheses"});
+  for (int mode = 0; mode < 2; ++mode) {
+    const bool portfolio = mode == 0;
+    ResOptions options;
+    options.stop_at_root_cause = false;
+    options.max_units = 48;
+    options.max_hypotheses = 1000;
+    options.solver_portfolio = portfolio;
+    WallTimer timer;
+    ResEngine engine(cmodule, crun.value().dump, options);
+    ResResult result = engine.Run();
+    double ms = timer.ElapsedMs();
+    const SolverStats& solver = result.stats.solver;
+    crows.push_back({portfolio ? "portfolio" : "fixed", StrFormat("%.1f", ms),
+                     std::to_string(solver.clauses_learned),
+                     std::to_string(solver.clause_hits),
+                     std::to_string(solver.unsat),
+                     std::to_string(result.stats.hypotheses_explored)});
+    json.Append(StrFormat("suffix_depth/clause_sharing/solver=%s",
+                          portfolio ? "portfolio" : "fixed"),
+                ms, result.stats, options.num_threads);
+  }
+  PrintTable(crows);
+  std::printf("\nexpected shape: the portfolio run reports clause hits > 0 "
+              "(each one a sibling hypothesis refuted without a solver "
+              "check); the fixed run reports none\n");
   return 0;
 }

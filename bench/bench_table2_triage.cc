@@ -38,9 +38,7 @@ int main() {
     // Per-workload perf record: RES-bucketing wall time and engine counters
     // summed over this workload's reports (bench/README.md schema).
     double res_ms = 0;
-    uint64_t hypotheses = 0;
-    uint64_t solver_checks = 0;
-    uint64_t cache_hits = 0;
+    BenchRecord record;  // name filled below once `got` is known
     for (int i = 0; i < copies * 50 && got < copies; ++i) {
       options.first_seed = first_seed + static_cast<uint64_t>(i) * 131;
       auto run = RunToFailure(module, spec, options);
@@ -55,9 +53,7 @@ int main() {
       r.res_bucket =
           std::string(name) + "|" + res.BucketFor(run.value().dump, &stats);
       res_ms += res_timer.ElapsedMs();
-      hypotheses += stats.hypotheses_explored;
-      solver_checks += stats.solver.checks;
-      cache_hits += stats.solver.cache_hits;
+      record.Accumulate(stats);
       // (The workload prefix models "same program component" — different
       // modules cannot collide in either scheme; accuracy is judged on how
       // a scheme groups reports *within* a program.)
@@ -65,8 +61,9 @@ int main() {
       ++got;
     }
     if (got > 0) {
-      json.Append(StrFormat("table2_triage/bug=%s/reports=%d", name, got),
-                  res_ms, hypotheses, solver_checks, cache_hits);
+      record.name = StrFormat("table2_triage/bug=%s/reports=%d", name, got);
+      record.wall_ms = res_ms;
+      json.Append(record);
     }
   };
 

@@ -33,8 +33,7 @@ int main() {
     ResEngine engine(module, run.value().dump);
     ResResult result = engine.Run();
     json.Append(StrFormat("table6_replay/workload=%s", name), timer.ElapsedMs(),
-                result.stats.hypotheses_explored, result.stats.solver.checks,
-                result.stats.solver.cache_hits);
+                result.stats);
     if (!result.suffix.has_value() || !result.suffix->verified) {
       rows.push_back({name, "-", "unverified suffix", "-", "-", "-"});
       continue;

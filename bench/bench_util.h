@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "src/res/reverse_engine.h"
+
 namespace res {
 
 class WallTimer {
@@ -47,6 +49,53 @@ inline void PrintTable(const std::vector<std::vector<std::string>>& rows) {
   }
 }
 
+// One bench data point. Wall-clock is machine-dependent; every other field
+// is a deterministic engine/solver counter (at num_threads=1), which is
+// what tools/check_bench.py regression-gates against bench/baselines.json.
+struct BenchRecord {
+  std::string name;
+  double wall_ms = 0;
+  size_t num_threads = 1;
+  uint64_t hypotheses_explored = 0;
+  uint64_t solver_checks = 0;
+  uint64_t cache_hits = 0;
+  // Counter-based perf metrics (see bench/README.md for the schema).
+  uint64_t propagated_constraints = 0;  // phase-1 substitution visits
+  uint64_t detector_units_scanned = 0;  // root-cause detector unit visits
+  uint64_t clauses_learned = 0;         // UNSAT cores published to the store
+  uint64_t clause_hits = 0;             // hypotheses refuted by a stored core
+  uint64_t budget_exhaustions = 0;      // portfolio checks ended by budget
+  uint64_t strategy_wins_interval = 0;
+  uint64_t strategy_wins_enumeration = 0;
+  uint64_t strategy_wins_search = 0;
+
+  // Adds an engine run's counters into this record (benches that aggregate
+  // several runs per record call this once per run; single-run records get
+  // it via FromStats). The counter field list lives only here.
+  void Accumulate(const ResStats& stats) {
+    hypotheses_explored += stats.hypotheses_explored;
+    solver_checks += stats.solver.checks;
+    cache_hits += stats.solver.cache_hits;
+    propagated_constraints += stats.solver.propagated_constraints;
+    detector_units_scanned += stats.detector_units_scanned;
+    clauses_learned += stats.solver.clauses_learned;
+    clause_hits += stats.solver.clause_hits;
+    budget_exhaustions += stats.solver.budget_exhaustions;
+    strategy_wins_interval +=
+        stats.solver.strategy_wins[static_cast<size_t>(StrategyKind::kInterval)];
+    strategy_wins_enumeration += stats.solver.strategy_wins[static_cast<size_t>(
+        StrategyKind::kEnumeration)];
+    strategy_wins_search +=
+        stats.solver.strategy_wins[static_cast<size_t>(StrategyKind::kSearch)];
+  }
+
+  // Fills every counter field from a single engine run's merged stats.
+  void FromStats(const ResStats& stats) {
+    *this = BenchRecord{name, wall_ms, num_threads};
+    Accumulate(stats);
+  }
+};
+
 // Appends one JSON record per bench data point to a shared file (JSON Lines:
 // one object per line, so successive bench runs and binaries can append
 // without rewriting). See bench/README.md for the schema.
@@ -55,22 +104,44 @@ class BenchJsonWriter {
   explicit BenchJsonWriter(std::string path = "BENCH_res_scaling.json")
       : path_(std::move(path)) {}
 
-  void Append(const std::string& name, double wall_ms,
-              uint64_t hypotheses_explored, uint64_t solver_checks,
-              uint64_t cache_hits, size_t num_threads = 1) {
+  void Append(const BenchRecord& r) {
     std::FILE* f = std::fopen(path_.c_str(), "a");
     if (f == nullptr) {
       return;  // perf records are best-effort; never fail the bench
     }
-    std::fprintf(f,
-                 "{\"name\": \"%s\", \"wall_ms\": %.3f, "
-                 "\"hypotheses_explored\": %llu, \"solver_checks\": %llu, "
-                 "\"cache_hits\": %llu, \"num_threads\": %zu}\n",
-                 name.c_str(), wall_ms,
-                 static_cast<unsigned long long>(hypotheses_explored),
-                 static_cast<unsigned long long>(solver_checks),
-                 static_cast<unsigned long long>(cache_hits), num_threads);
+    std::fprintf(
+        f,
+        "{\"name\": \"%s\", \"wall_ms\": %.3f, "
+        "\"hypotheses_explored\": %llu, \"solver_checks\": %llu, "
+        "\"cache_hits\": %llu, \"num_threads\": %zu, "
+        "\"propagated_constraints\": %llu, \"detector_units_scanned\": %llu, "
+        "\"clauses_learned\": %llu, \"clause_hits\": %llu, "
+        "\"budget_exhaustions\": %llu, \"strategy_wins_interval\": %llu, "
+        "\"strategy_wins_enumeration\": %llu, \"strategy_wins_search\": %llu}\n",
+        r.name.c_str(), r.wall_ms,
+        static_cast<unsigned long long>(r.hypotheses_explored),
+        static_cast<unsigned long long>(r.solver_checks),
+        static_cast<unsigned long long>(r.cache_hits), r.num_threads,
+        static_cast<unsigned long long>(r.propagated_constraints),
+        static_cast<unsigned long long>(r.detector_units_scanned),
+        static_cast<unsigned long long>(r.clauses_learned),
+        static_cast<unsigned long long>(r.clause_hits),
+        static_cast<unsigned long long>(r.budget_exhaustions),
+        static_cast<unsigned long long>(r.strategy_wins_interval),
+        static_cast<unsigned long long>(r.strategy_wins_enumeration),
+        static_cast<unsigned long long>(r.strategy_wins_search));
     std::fclose(f);
+  }
+
+  // Convenience: record an engine run (all counters from its stats).
+  void Append(const std::string& name, double wall_ms, const ResStats& stats,
+              size_t num_threads = 1) {
+    BenchRecord r;
+    r.name = name;
+    r.wall_ms = wall_ms;
+    r.num_threads = num_threads;
+    r.FromStats(stats);
+    Append(r);
   }
 
  private:

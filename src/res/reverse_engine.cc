@@ -172,6 +172,15 @@ struct ResEngine::SpecNode {
   Assignment model;
   ResStats gate_stats;
   SolverStats gate_sstats;
+  // UNSAT core behind a failed gate (task-written before kDone); published
+  // to the shared clause store by the commit thread, in commit order.
+  std::vector<const Expr*> gate_core;
+  // Learned-clause screen bookkeeping, written ONLY by the main thread:
+  // screen_base / parent_screen_seq when the node is pushed onto the commit
+  // stack, screen_seq when it is popped. Worker tasks never read these.
+  size_t screen_base = 0;          // parent's constraint count at push time
+  uint64_t parent_screen_seq = 0;  // store prefix the parent's screen covered
+  uint64_t screen_seq = 0;         // store prefix this node's screen covered
 
   // Explore lane: ungated children (independent of the gate verdict).
   St explore_state = St::kIdle;
@@ -214,12 +223,23 @@ struct ResEngine::Sched {
   uint64_t lane_runs[4] = {0, 0, 0, 0};
 };
 
+namespace {
+
+SolverOptions MakeSolverOptions(const ResOptions& options) {
+  SolverOptions s;
+  s.portfolio = options.solver_portfolio;
+  s.budget_steps = options.solver_budget_steps;
+  return s;
+}
+
+}  // namespace
+
 ResEngine::ResEngine(const Module& module, const Coredump& dump, ResOptions options)
     : module_(module),
       dump_(dump),
       options_(options),
       cfg_(ModuleCfg::Build(module)),
-      solver_(&pool_, options.solver_seed) {
+      solver_(&pool_, options.solver_seed, MakeSolverOptions(options)) {
   if (!dump.has_memory) {
     options_.treat_as_minidump = true;
   }
@@ -273,6 +293,13 @@ void ResEngine::MergeStats(const ResStats& d, const SolverStats& sd) {
   s.sat += sd.sat;
   s.unsat += sd.unsat;
   s.unknown += sd.unknown;
+  for (size_t i = 0; i < kNumStrategies; ++i) {
+    s.strategy_steps[i] += sd.strategy_steps[i];
+    s.strategy_wins[i] += sd.strategy_wins[i];
+  }
+  s.budget_exhaustions += sd.budget_exhaustions;
+  // clauses_learned / clause_hits are counted directly by the commit thread
+  // (never through per-task sinks), so they need no merge here.
 }
 
 ResEngine::Hypothesis ResEngine::MakeInitialHypothesis() {
@@ -458,6 +485,27 @@ void ResEngine::GateNode(SpecNode* n) {
   // Unknown verdicts keep the parent's witness, mirroring the sequential
   // engine where the forked hypothesis retained the inherited model.
   n->model = n->parent_raw != nullptr ? n->parent_raw->model : Assignment{};
+  // Speculative learned-clause consult: if an already-published core is a
+  // subset of this node's constraint set, the set is UNSAT — skip the
+  // solver. Advisory only: the verdict the engine *commits* comes from the
+  // deterministic commit-time screen (ScreenRefutes), which provably
+  // refutes every node this probe can (any core visible here was published
+  // before this node's commit), so worker timing never shows through.
+  if (options_.solver_portfolio && n->parent_raw != nullptr &&
+      clause_store_.published() > 0) {
+    const uint64_t up_to = clause_store_.published();
+    const size_t base = n->parent_raw->h.constraints.size();
+    std::vector<const Expr*> fresh;
+    n->h.constraints.AppendSuffixTo(base, &fresh);
+    auto contains = [n](const Expr* e) { return n->h.constraint_set.contains(e); };
+    for (const Expr* f : fresh) {
+      if (clause_store_.RefutesByMember(f, up_to, contains)) {
+        n->gate_passed = false;
+        ++n->gate_stats.pruned_unsat;
+        return;
+      }
+    }
+  }
   SolveOutcome outcome;
   if (options_.incremental_solving) {
     n->ctx = n->parent_raw != nullptr ? n->parent_raw->ctx : SolverContext{};
@@ -468,6 +516,7 @@ void ResEngine::GateNode(SpecNode* n) {
   switch (outcome.result) {
     case SatResult::kUnsat:
       n->gate_passed = false;
+      n->gate_core = std::move(outcome.core);
       ++n->gate_stats.pruned_unsat;
       return;
     case SatResult::kSat:
@@ -481,6 +530,25 @@ void ResEngine::GateNode(SpecNode* n) {
       ++n->gate_stats.unknown_kept;
       return;
   }
+}
+
+bool ResEngine::ScreenRefutes(const SpecNode& n) {
+  auto contains = [&n](const Expr* e) { return n.h.constraint_set.contains(e); };
+  // (i) Cores containing one of this node's fresh constraints. A core made
+  // entirely of inherited constraints with seq <= parent_screen_seq would
+  // have refuted the parent at its own screen (the parent's set contains
+  // every non-fresh element), so only fresh-touching cores and...
+  std::vector<const Expr*> fresh;
+  n.h.constraints.AppendSuffixTo(n.screen_base, &fresh);
+  for (const Expr* f : fresh) {
+    if (clause_store_.RefutesByMember(f, n.screen_seq, contains)) {
+      return true;
+    }
+  }
+  // (ii) ...cores published after the parent's screen ran can apply.
+  return n.screen_seq > n.parent_screen_seq &&
+         clause_store_.RefutesNewSince(n.parent_screen_seq, n.screen_seq,
+                                       contains);
 }
 
 // ---------------------------------------------------------------------------
@@ -1898,14 +1966,44 @@ ResResult ResEngine::Run() {
   };
 
   bool budget_hit = false;
+  // RES_CLAUSE_DEBUG=1 dumps every published core to stderr (the clause-
+  // sharing analogue of RES_SCHED_DEBUG).
+  const bool clause_debug = std::getenv("RES_CLAUSE_DEBUG") != nullptr;
   while (!stack.empty()) {
     std::shared_ptr<SpecNode> n = stack.back();
     committing = n;
+    // Deterministic learned-clause screen: refute this hypothesis from the
+    // store's committed prefix before (possibly) paying for its gate. The
+    // snapshot, the store contents, and therefore the verdict are pure
+    // functions of the committed search prefix — identical at every thread
+    // count. A screen-refuted node behaves exactly like a gate-failed one,
+    // except its (possibly still speculating) gate stats are never merged —
+    // in inline mode the gate never even runs.
+    n->screen_seq = clause_store_.published();
+    if (options_.solver_portfolio && !n->is_root && n->screen_seq > 0 &&
+        ScreenRefutes(*n)) {
+      ++stats_.solver.clause_hits;
+      ++stats_.pruned_unsat;
+      stack.pop_back();
+      discard_subtree(std::move(n));
+      continue;
+    }
     ensure_done(n, Task::kGate);
     if (!n->gate_passed) {
       // The sequential engine pruned this child inside its parent's Expand;
       // it never reached the frontier, so it consumes no budget.
       MergeStats(n->gate_stats, n->gate_sstats);
+      if (options_.solver_portfolio && !n->gate_core.empty()) {
+        if (clause_debug) {
+          std::fprintf(stderr, "[core] size=%zu:\n", n->gate_core.size());
+          for (const Expr* e : n->gate_core) {
+            std::fprintf(stderr, "  %s\n", ExprToString(pool_, e).c_str());
+          }
+        }
+        if (clause_store_.Publish(std::move(n->gate_core))) {
+          ++stats_.solver.clauses_learned;
+        }
+      }
       stack.pop_back();
       discard_subtree(std::move(n));
       continue;
@@ -1993,6 +2091,12 @@ ResResult ResEngine::Run() {
         lock.lock();
       }
       for (auto it = n->children.rbegin(); it != n->children.rend(); ++it) {
+        // Clause-screen bookkeeping: which suffix of the child's constraint
+        // vector is fresh, and which store prefix this node's screen already
+        // covered on the child's behalf. Main-thread-only fields (workers
+        // never read them), so writing here races with nothing.
+        (*it)->screen_base = n->h.constraints.size();
+        (*it)->parent_screen_seq = n->screen_seq;
         stack.push_back(std::move(*it));
       }
       n->children.clear();

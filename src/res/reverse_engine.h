@@ -56,6 +56,20 @@ struct ResOptions {
   // detector to the monolithic one. Output is byte-identical either way;
   // only the ResStats detector counters differ.
   bool incremental_root_causes = true;
+  // When true (default), solver gates run the strategy portfolio (interval
+  // propagation / value enumeration / local search as budgeted competing
+  // strategies — see SolverOptions) AND hypotheses share a learned-clause
+  // store: minimized UNSAT cores published in deterministic commit order,
+  // so a sibling hypothesis repeating a proven conflict is refuted by O(1)
+  // membership probes instead of a solver call. When false, every gate runs
+  // the classic fixed pipeline with no clause sharing — the differential
+  // oracle (tests/solver_portfolio_test.cc pins the portfolio to it).
+  bool solver_portfolio = true;
+  // Total abstract solver steps one gate check may spend across the
+  // portfolio's strategies before giving up as kUnknown (sound); 0 =
+  // unlimited. The default covers every strategy running to completion, so
+  // exhaustion only occurs when configured tighter.
+  uint64_t solver_budget_steps = 1 << 17;
   uint64_t solver_seed = 7;
   // A feasible suffix of at least this many units must exist for the dump to
   // be considered software-explainable; otherwise Run reports a suspected
@@ -87,9 +101,11 @@ std::string_view StopReasonName(StopReason r);
 
 // Aggregated per-worker and merged in deterministic commit order. The
 // counters below are identical across num_threads settings, EXCEPT the
-// solver cache counters (cache_hits/cache_misses/model_reuse_hits and the
-// work counters they gate), which depend on which speculative task warmed
-// the shared check cache first.
+// solver cache counters (cache_hits/cache_misses/model_reuse_hits, the
+// work counters they gate, and the per-strategy step counters downstream
+// of them), which depend on which speculative task warmed the shared check
+// cache first. The learned-clause counters (clauses_learned/clause_hits)
+// ARE deterministic: both are counted by the commit thread in commit order.
 struct ResStats {
   uint64_t hypotheses_explored = 0;
   uint64_t expansions = 0;
@@ -220,6 +236,13 @@ class ResEngine {
   bool LbrAllowsEdge(const Hypothesis& h, uint32_t tid, const Pc& branch_source,
                      const Pc& branch_dest) const;
 
+  // Learned-clause commit protocol (main thread only): does a core already
+  // published by the store (seq <= n.screen_seq) refute n's constraint set?
+  // Checks cores touching n's fresh constraints plus cores published since
+  // the parent's screen — everything older that could refute n would have
+  // refuted an ancestor at its own screen (constraints are append-only).
+  bool ScreenRefutes(const SpecNode& n);
+
   SynthesizedSuffix Finalize(const Hypothesis& h, const Assignment& model,
                              bool verified) const;
   // Owner (tid) of every mutex word in `mutexes` at suffix start, evaluated
@@ -240,6 +263,10 @@ class ResEngine {
   ModuleCfg cfg_;
   ExprPool pool_;
   Solver solver_;
+  // Shared learned-clause store (solver_portfolio only). Workers consult it
+  // speculatively inside GateNode (advisory, sound); the commit loop is the
+  // single publisher and runs the deterministic screen — see Run().
+  ClauseStore clause_store_;
   ResStats stats_;
   // Per-engine immutable detector precomputation (incremental mode only).
   RootCauseSetup rc_setup_;

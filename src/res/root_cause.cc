@@ -450,7 +450,7 @@ void OriginFold::ProcessUnit(const Module& module, const SuffixUnit& u,
   if (u.tid != tid) {
     // A foreign write to a live address feeds the value.
     for (const MemAccess& a : u.accesses) {
-      if (a.is_write && live_addrs.count(a.addr) != 0) {
+      if (a.is_write && live_addrs.contains(a.addr)) {
         writer_pcs.push_back(a.pc);
         live_addrs.erase(a.addr);
       }
@@ -469,11 +469,11 @@ void OriginFold::ProcessUnit(const Module& module, const SuffixUnit& u,
   for (uint32_t i = scan_end; i-- > 0;) {
     const Instruction& inst = bb.instructions[i];
     auto written = InstructionWrittenReg(inst);
-    if (!written || live_regs.count(*written) == 0) {
+    if (!written || !live_regs.contains(*written)) {
       if (inst.op == Opcode::kStore) {
         // A same-thread store to a live address.
         for (const MemAccess& a : u.accesses) {
-          if (a.is_write && a.pc.index == i && live_addrs.count(a.addr) != 0) {
+          if (a.is_write && a.pc.index == i && live_addrs.contains(a.addr)) {
             writer_pcs.push_back(a.pc);
             live_addrs.erase(a.addr);
             live_regs.insert(inst.rb);

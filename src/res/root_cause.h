@@ -89,11 +89,16 @@ struct ValueOrigin {
 // time), which is exactly the order the backward walk visits them, so the
 // fold state after k appends equals the oracle walk's state after its first
 // k units.
+// The fold state forks with its hypothesis, so every member is a persistent
+// (structurally-shared) container: the live sets shrink as writers are found
+// (PersistentEraseSet), the emitted-pc vectors only append. A pathological
+// fan-in chain (wide def-use frontier) therefore costs forks O(delta), not
+// O(frontier).
 struct OriginFold {
-  std::set<RegId> live_regs;
-  std::set<uint64_t> live_addrs;
-  std::vector<Pc> writer_pcs;
-  std::vector<Pc> input_pcs;
+  PersistentEraseSet<RegId> live_regs;
+  PersistentEraseSet<uint64_t> live_addrs;
+  PersistentVector<Pc> writer_pcs;
+  PersistentVector<Pc> input_pcs;
   bool stopped = false;  // hit a frame boundary; no further units matter
 
   // Replays the oracle's per-unit walk body over instructions [0, scan_end)
@@ -103,8 +108,8 @@ struct OriginFold {
 
   ValueOrigin Finish() const {
     ValueOrigin origin;
-    origin.writer_pcs = writer_pcs;
-    origin.input_pcs = input_pcs;
+    origin.writer_pcs = writer_pcs.Materialize();
+    origin.input_pcs = input_pcs.Materialize();
     origin.reaches_before_suffix = !live_regs.empty() || !live_addrs.empty();
     return origin;
   }

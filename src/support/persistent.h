@@ -193,6 +193,107 @@ class PersistentSet {
   std::unordered_set<T, Hash> delta_;     // private to this copy
 };
 
+// Hash set supporting erase, with O(delta) copies: membership is a
+// last-write-wins boolean over a PersistentMap-style layer chain (erase
+// writes a tombstone), plus a per-copy live count so emptiness checks stay
+// O(1). Used for fold state that both grows and shrinks along a hypothesis
+// chain (e.g. the origin fold's live def-use frontier), where a plain
+// std::set would be value-copied in full at every fork.
+template <typename T, typename Hash = std::hash<T>>
+class PersistentEraseSet {
+ public:
+  bool contains(const T& v) const {
+    auto it = delta_.find(v);
+    if (it != delta_.end()) {
+      return it->second;
+    }
+    for (const Layer* l = frozen_.get(); l != nullptr; l = l->parent.get()) {
+      auto lit = l->entries.find(v);
+      if (lit != l->entries.end()) {
+        return lit->second;
+      }
+    }
+    return false;
+  }
+
+  // Returns true when `v` was newly inserted (mirrors std::set::insert).
+  bool insert(const T& v) {
+    if (contains(v)) {
+      return false;
+    }
+    Write(v, true);
+    ++live_;
+    return true;
+  }
+
+  // Returns true when `v` was present (mirrors std::set::erase).
+  bool erase(const T& v) {
+    if (!contains(v)) {
+      return false;
+    }
+    Write(v, false);
+    --live_;
+    return true;
+  }
+
+  size_t size() const { return live_; }
+  bool empty() const { return live_ == 0; }
+  size_t LayerDepth() const { return frozen_ ? frozen_->depth : 0; }
+
+ private:
+  struct Layer {
+    std::unordered_map<T, bool, Hash> entries;
+    std::shared_ptr<const Layer> parent;
+    size_t depth = 1;  // chain length including this layer
+  };
+
+  static constexpr size_t kFreezeThreshold = 16;
+  static constexpr size_t kMaxChainDepth = 32;
+
+  void Write(const T& v, bool present) {
+    delta_[v] = present;
+    if (delta_.size() >= kFreezeThreshold) {
+      Freeze();
+    }
+  }
+
+  void Freeze() {
+    size_t depth = frozen_ ? frozen_->depth : 0;
+    auto layer = std::make_shared<Layer>();
+    if (depth + 1 > kMaxChainDepth) {
+      // Chain too deep for fast lookups: flatten to the live members only
+      // (tombstones are meaningless in a single layer).
+      layer->entries.reserve(live_);
+      std::unordered_set<T, Hash> seen;
+      auto keep = [&layer, &seen](const T& v, bool present) {
+        if (seen.insert(v).second && present) {
+          layer->entries.emplace(v, true);
+        }
+      };
+      for (const auto& [v, present] : delta_) {
+        keep(v, present);
+      }
+      for (const Layer* l = frozen_.get(); l != nullptr; l = l->parent.get()) {
+        for (const auto& [v, present] : l->entries) {
+          keep(v, present);
+        }
+      }
+      layer->parent = nullptr;
+      layer->depth = 1;
+    } else {
+      layer->entries = std::move(delta_);
+      layer->parent = frozen_;
+      layer->depth = depth + 1;
+    }
+    frozen_ = std::move(layer);
+    delta_.clear();
+  }
+
+  std::shared_ptr<const Layer> frozen_;     // immutable, structure-shared
+  std::unordered_map<T, bool, Hash> delta_; // private to this copy
+  size_t live_ = 0;                         // live membership count
+};
+
 // Last-write-wins hash map with O(delta) copies. This is the generic form of
 // the snapshot memory overlay (CowOverlay is a thin wrapper around it).
 template <typename K, typename V, typename Hash = std::hash<K>>

@@ -13,6 +13,18 @@ namespace {
 constexpr int64_t kIntMin = std::numeric_limits<int64_t>::min();
 constexpr int64_t kIntMax = std::numeric_limits<int64_t>::max();
 
+// splitmix64 finalizer: decorrelates det_hash values before the commutative
+// XOR fold of the cache key, so structurally-related constraints do not
+// cancel each other systematically.
+uint64_t MixKey(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
 // Tries to rewrite Eq(lhs, rhs) into a binding var := expr by peeling
 // invertible operations (add/sub/xor with the variable on one side).
 // Returns the variable and the solved expression, or nullopt.
@@ -121,8 +133,33 @@ int64_t SatSub(int64_t a, int64_t b) {
   return static_cast<int64_t>(r);
 }
 
-void TightenFromComparison(std::map<VarId, Interval>* intervals, const Expr* e,
-                           SolverStats* stats) {
+using Prov = SolverContext::Prov;
+
+// Merges `from` into `into`, deduping by pointer; overflow poisons. A cap
+// of 0 means core derivation is disabled: poison immediately so provenance
+// never accumulates (BuildCore could not consume it anyway).
+void MergeProv(Prov* into, const Prov& from, size_t cap) {
+  if (cap == 0 || from.overflow) {
+    into->overflow = true;
+  }
+  if (into->overflow) {
+    into->srcs.clear();
+    return;
+  }
+  for (const Expr* e : from.srcs) {
+    if (std::find(into->srcs.begin(), into->srcs.end(), e) == into->srcs.end()) {
+      into->srcs.push_back(e);
+    }
+  }
+  if (cap != 0 && into->srcs.size() > cap) {
+    into->overflow = true;
+    into->srcs.clear();
+  }
+}
+
+void TightenFromComparison(std::map<VarId, Interval>* intervals,
+                           std::map<VarId, std::pair<Prov, Prov>>* interval_prov,
+                           const Expr* e, const Prov& prov, SolverStats* stats) {
   if (e->kind != ExprKind::kBinary) {
     return;
   }
@@ -130,6 +167,7 @@ void TightenFromComparison(std::map<VarId, Interval>* intervals, const Expr* e,
     Interval& iv = (*intervals)[v];
     if (hi < iv.hi) {
       iv.hi = hi;
+      (*interval_prov)[v].second = prov;
       ++stats->interval_cuts;
     }
   };
@@ -137,6 +175,7 @@ void TightenFromComparison(std::map<VarId, Interval>* intervals, const Expr* e,
     Interval& iv = (*intervals)[v];
     if (lo > iv.lo) {
       iv.lo = lo;
+      (*interval_prov)[v].first = prov;
       ++stats->interval_cuts;
     }
   };
@@ -221,69 +260,125 @@ std::string_view SatResultName(SatResult r) {
   return "?";
 }
 
+std::string_view StrategyKindName(StrategyKind k) {
+  switch (k) {
+    case StrategyKind::kInterval:
+      return "interval";
+    case StrategyKind::kEnumeration:
+      return "enumeration";
+    case StrategyKind::kSearch:
+      return "search";
+  }
+  return "?";
+}
+
 Solver::Solver(ExprPool* pool, uint64_t seed, SolverOptions options)
     : pool_(pool), seed_(seed), options_(options) {}
 
-// --- Memoized check cache (striped; shared across engine worker threads). ---
+// --- Learned-clause store. ---
 
-uint64_t Solver::CacheKey(std::vector<const Expr*>* sorted_unique) {
-  // DetExprLess (content order) rather than id order: the canonical order —
-  // which also becomes the cold-check propagation order — must be identical
-  // across runs and thread counts so that cached outcomes are a pure
-  // function of the constraint set.
-  std::sort(sorted_unique->begin(), sorted_unique->end(), DetExprLess);
-  sorted_unique->erase(std::unique(sorted_unique->begin(), sorted_unique->end()),
-                       sorted_unique->end());
-  uint64_t h = kFnvOffsetBasis;
-  for (const Expr* e : *sorted_unique) {
-    h = HashCombine(h, e->det_hash);
-  }
-  return h;
-}
-
-bool Solver::CacheLookup(uint64_t key,
-                         const std::vector<const Expr*>& sorted_unique,
-                         SolveOutcome* out) {
-  CacheShard& shard = check_cache_[key % kCacheShards];
-  std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.map.find(key);
-  if (it == shard.map.end()) {
+bool ClauseStore::Publish(std::vector<const Expr*> core) {
+  if (core.empty()) {
     return false;
   }
-  for (const CacheEntry& entry : it->second) {
-    if (entry.key == sorted_unique) {
-      *out = entry.outcome;  // copy out: the slot may be cleared concurrently
-      return true;
+  uint64_t count = count_.load(std::memory_order_relaxed);
+  if (count >= slots_.size()) {
+    return false;  // full: stop learning (existing cores keep working)
+  }
+  uint64_t h = 0;
+  for (const Expr* e : core) {
+    h ^= MixKey(e->det_hash);
+  }
+  auto& bucket = dedup_[h];
+  for (uint32_t id : bucket) {
+    if (slots_[id].elems == core) {
+      return false;  // already learned
     }
   }
-  return false;
+  uint32_t id = static_cast<uint32_t>(count);
+  slots_[id].elems = std::move(core);
+  bucket.push_back(id);
+  for (const Expr* e : slots_[id].elems) {
+    Shard& shard = shards_[ShardOf(e)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.by_member[e].push_back(id);
+  }
+  // Release: the slot (and its index entries) are fully written before the
+  // published count advances past it.
+  count_.store(count + 1, std::memory_order_release);
+  return true;
 }
 
+// --- Memoized check cache (striped; shared across engine worker threads). ---
+
 void Solver::CacheStore(uint64_t key, std::vector<const Expr*> sorted_unique,
-                        const SolveOutcome& outcome) {
+                        bool portfolio, const SolveOutcome& outcome) {
   CacheShard& shard = check_cache_[key % kCacheShards];
   std::lock_guard<std::mutex> lock(shard.mu);
   if (shard.entries >= options_.check_cache_max_entries / kCacheShards) {
     shard.map.clear();
     shard.entries = 0;
   }
-  shard.map[key].push_back(CacheEntry{std::move(sorted_unique), outcome});
+  shard.map[key].push_back(
+      CacheEntry{std::move(sorted_unique), portfolio, outcome});
   ++shard.entries;
 }
 
-// --- Phase 1: incremental equality propagation. ---
+// --- Phase 1: incremental equality propagation (with conflict provenance). -
 
 void Solver::Propagate(SolverContext* ctx, const std::vector<const Expr*>& fresh,
-                       size_t new_absorbed, SolverStats* stats) {
+                       size_t new_absorbed, bool portfolio, SolverStats* stats) {
   assert(ctx->absorbed_ <= new_absorbed);
   const std::vector<const Expr*>& pending = fresh;
+  // Provenance only pays for itself when someone can consume the cores —
+  // the engine's clause store, active exactly when this check runs in
+  // portfolio mode (EnumerateValues' always-fixed checks discard cores, so
+  // they skip the tracking too). With tracking off a cap of 0 poisons
+  // every Prov on first touch, so the bookkeeping below degenerates to
+  // copying empty vectors (verdicts are unaffected: provenance never
+  // decides anything).
+  const bool track_prov = portfolio && options_.max_core_size > 0;
+  const size_t prov_cap = track_prov ? options_.max_core_size : 0;
   ctx->absorbed_ = new_absorbed;
   for (const Expr* c : pending) {
     ctx->det_set_hash_ ^= c->det_hash;
+    // The deduped cache key + membership set, maintained O(delta) per
+    // absorption (and O(delta) per context fork: the set is persistent).
+    if (ctx->absorbed_set_.insert(c)) {
+      ctx->set_key_ ^= MixKey(c->det_hash);
+      ++ctx->distinct_;
+    }
   }
   if (ctx->unsat_ || pending.empty()) {
     return;
   }
+
+  auto conflict = [&](const Prov& prov) {
+    ctx->unsat_ = true;
+    std::vector<const SolverContext::Prov*> seeds{&prov};
+    ctx->conflict_core_ = BuildCore(*ctx, seeds);
+  };
+  auto record_binding = [&](VarId var, const Expr* value, const Prov& prov) {
+    ctx->bindings_[var] = value;
+    if (!track_prov) {
+      ctx->binding_prov_[var] = Prov{{}, true};  // poisoned: nothing tracked
+      return;
+    }
+    // Transitive store-time provenance: the creating constraint plus the
+    // provenance of every binding already substituted into the stored
+    // value. Late bindings (vars still free in `value`) are closed over at
+    // core-build time instead.
+    Prov p = prov;
+    std::unordered_set<VarId> deps;
+    CollectVars(value, &deps);
+    for (VarId d : deps) {
+      auto pit = ctx->binding_prov_.find(d);
+      if (pit != ctx->binding_prov_.end()) {
+        MergeProv(&p, pit->second, prov_cap);
+      }
+    }
+    ctx->binding_prov_[var] = std::move(p);
+  };
 
   // Round 0 runs over the fresh suffix only: the cached residual is already
   // at fixpoint under the cached bindings, so it is revisited below only if
@@ -292,13 +387,15 @@ void Solver::Propagate(SolverContext* ctx, const std::vector<const Expr*>& fresh
   {
     ++stats->propagation_rounds;
     std::vector<const Expr*> next;
+    std::vector<Prov> next_prov;
     next.reserve(pending.size());
     for (const Expr* c : pending) {
       ++stats->propagated_constraints;
+      Prov prov = track_prov ? Prov{{c}, false} : Prov{{}, true};
       const Expr* s = SubstituteFix(pool_, c, ctx->bindings_);
       if (s->is_const()) {
         if (s->value == 0) {
-          ctx->unsat_ = true;
+          conflict(prov);
           return;
         }
         continue;  // satisfied; drop
@@ -307,19 +404,29 @@ void Solver::Propagate(SolverContext* ctx, const std::vector<const Expr*>& fresh
         if (auto solved = SolveForVar(pool_, s->a, s->b)) {
           auto it = ctx->bindings_.find(solved->var);
           if (it == ctx->bindings_.end()) {
-            ctx->bindings_[solved->var] =
-                SubstituteFix(pool_, solved->value, ctx->bindings_);
+            record_binding(solved->var,
+                           SubstituteFix(pool_, solved->value, ctx->bindings_),
+                           prov);
             ++stats->eq_bindings;
             new_binding = true;
             continue;
           }
+          // Derived equality: follows from this constraint plus the
+          // binding's sources.
+          Prov merged = prov;
+          MergeProv(&merged, ctx->binding_prov_[solved->var], prov_cap);
           next.push_back(pool_->Eq(it->second, solved->value));
+          next_prov.push_back(std::move(merged));
           continue;
         }
       }
       next.push_back(s);
+      next_prov.push_back(std::move(prov));
     }
     ctx->residual_.insert(ctx->residual_.end(), next.begin(), next.end());
+    ctx->residual_prov_.insert(ctx->residual_prov_.end(),
+                               std::make_move_iterator(next_prov.begin()),
+                               std::make_move_iterator(next_prov.end()));
   }
   if (!new_binding) {
     return;
@@ -332,8 +439,11 @@ void Solver::Propagate(SolverContext* ctx, const std::vector<const Expr*>& fresh
     new_binding = false;
     bool any_rewrite = false;
     std::vector<const Expr*> next;
+    std::vector<Prov> next_prov;
     next.reserve(ctx->residual_.size());
-    for (const Expr* c : ctx->residual_) {
+    for (size_t i = 0; i < ctx->residual_.size(); ++i) {
+      const Expr* c = ctx->residual_[i];
+      const Prov& prov = ctx->residual_prov_[i];
       ++stats->propagated_constraints;
       const Expr* s = SubstituteFix(pool_, c, ctx->bindings_);
       if (s != c) {
@@ -341,7 +451,7 @@ void Solver::Propagate(SolverContext* ctx, const std::vector<const Expr*>& fresh
       }
       if (s->is_const()) {
         if (s->value == 0) {
-          ctx->unsat_ = true;
+          conflict(prov);
           return;
         }
         continue;
@@ -350,26 +460,478 @@ void Solver::Propagate(SolverContext* ctx, const std::vector<const Expr*>& fresh
         if (auto solved = SolveForVar(pool_, s->a, s->b)) {
           auto it = ctx->bindings_.find(solved->var);
           if (it == ctx->bindings_.end()) {
-            ctx->bindings_[solved->var] =
-                SubstituteFix(pool_, solved->value, ctx->bindings_);
+            record_binding(solved->var,
+                           SubstituteFix(pool_, solved->value, ctx->bindings_),
+                           prov);
             ++stats->eq_bindings;
             new_binding = true;
             continue;
           }
+          Prov merged = prov;
+          MergeProv(&merged, ctx->binding_prov_[solved->var], prov_cap);
           next.push_back(pool_->Eq(it->second, solved->value));
+          next_prov.push_back(std::move(merged));
           continue;
         }
       }
       next.push_back(s);
+      next_prov.push_back(prov);
     }
     ctx->residual_ = std::move(next);
+    ctx->residual_prov_ = std::move(next_prov);
     if (!new_binding && !any_rewrite) {
       break;
     }
   }
 }
 
-// --- Shared check core (phases 1-4 against a context). ---
+// --- UNSAT core derivation. ---
+
+std::vector<const Expr*> Solver::BuildCore(
+    const SolverContext& ctx,
+    const std::vector<const SolverContext::Prov*>& seeds) const {
+  const size_t cap = options_.max_core_size;
+  if (cap == 0) {
+    return {};
+  }
+  std::vector<const Expr*> core;
+  std::unordered_set<const Expr*> in_core;
+  std::unordered_set<VarId> visited;
+  std::vector<VarId> worklist;
+  auto queue_vars = [&](const Expr* e) {
+    std::unordered_set<VarId> vars;
+    CollectVars(e, &vars);
+    for (VarId v : vars) {
+      if (visited.insert(v).second) {
+        worklist.push_back(v);
+      }
+    }
+  };
+  auto add = [&](const Expr* c) -> bool {
+    if (!in_core.insert(c).second) {
+      return true;
+    }
+    if (in_core.size() > cap) {
+      return false;
+    }
+    core.push_back(c);
+    queue_vars(c);
+    return true;
+  };
+  for (const SolverContext::Prov* p : seeds) {
+    if (p->overflow) {
+      return {};
+    }
+    for (const Expr* c : p->srcs) {
+      if (!add(c)) {
+        return {};
+      }
+    }
+  }
+  // Close over the bindings the conflict substituted through: each binding
+  // used contributes its source constraints, and its *stored value*'s vars
+  // cover bindings that resolved later in the substitution chain.
+  while (!worklist.empty()) {
+    VarId v = worklist.back();
+    worklist.pop_back();
+    auto bit = ctx.bindings_.find(v);
+    if (bit == ctx.bindings_.end()) {
+      continue;
+    }
+    auto pit = ctx.binding_prov_.find(v);
+    if (pit != ctx.binding_prov_.end()) {
+      if (pit->second.overflow) {
+        return {};
+      }
+      for (const Expr* c : pit->second.srcs) {
+        if (!add(c)) {
+          return {};
+        }
+      }
+    }
+    queue_vars(bit->second);
+  }
+  std::sort(core.begin(), core.end(), DetExprLess);
+  return core;
+}
+
+// --- Model completion + verification (shared by every SAT exit). ---
+
+bool Solver::FinishSat(SolverContext* ctx, const ConstraintInput& constraints,
+                       Assignment free_assignment, SolveOutcome* out,
+                       SolverStats* stats) {
+  // Complete the model: free vars from `free_assignment`, bound vars by
+  // evaluating their binding expressions, then re-verify everything.
+  Assignment model = std::move(free_assignment);
+  // Bindings may reference other vars; iterate to fixpoint (bounded).
+  for (size_t round = 0; round < ctx->bindings_.size() + 1; ++round) {
+    bool progress = false;
+    for (const auto& [var, expr] : ctx->bindings_) {
+      if (model.count(var) != 0) {
+        continue;
+      }
+      std::unordered_set<VarId> deps;
+      CollectVars(expr, &deps);
+      bool ready = true;
+      for (VarId d : deps) {
+        if (model.count(d) == 0 && ctx->bindings_.count(d) != 0) {
+          ready = false;
+          break;
+        }
+      }
+      if (ready) {
+        model[var] = EvalExpr(expr, model);
+        progress = true;
+      }
+    }
+    if (!progress) {
+      break;
+    }
+  }
+  for (const auto& [var, expr] : ctx->bindings_) {
+    if (model.count(var) == 0) {
+      model[var] = EvalExpr(expr, model);  // best effort on cycles
+    }
+  }
+  if (!constraints.AllSatisfied(model)) {
+    return false;
+  }
+  out->result = SatResult::kSat;
+  out->model = std::move(model);
+  ++stats->sat;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// The strategy portfolio. Each decision procedure is a resumable Strategy:
+// Step(slice) advances it by up to `slice` abstract steps and reports a
+// definitive verdict when one is reached. The fixed pipeline is the same
+// three strategies stepped to completion in order; the portfolio rotates
+// bounded slices through them under a total budget. Rotation order, slice
+// sizes, and every strategy's internal trajectory are pure functions of the
+// constraint set, so both modes are deterministic at any thread count.
+// ---------------------------------------------------------------------------
+
+struct Solver::StrategyEnv {
+  Solver* solver = nullptr;
+  SolverContext* ctx = nullptr;
+  const ConstraintInput* input = nullptr;
+  SolverStats* stats = nullptr;
+  // Free variables of the residual, and the deterministic order (by the
+  // content-derived var uid, NOT VarId: ids vary with interning arrival
+  // order across thread counts) used by enumeration and search.
+  std::unordered_set<VarId> free_vars;
+  std::vector<VarId> order;
+  bool order_built = false;
+
+  void BuildOrder() {
+    std::vector<std::pair<uint64_t, VarId>> keyed;
+    keyed.reserve(free_vars.size());
+    for (VarId v : free_vars) {
+      keyed.emplace_back(solver->pool_->var_info(v).uid, v);
+    }
+    std::sort(keyed.begin(), keyed.end());
+    order.clear();
+    order.reserve(keyed.size());
+    for (const auto& [uid, v] : keyed) {
+      order.push_back(v);
+    }
+    order_built = true;
+  }
+};
+
+class Solver::Strategy {
+ public:
+  explicit Strategy(StrategyEnv* env) : env_(env) {}
+  virtual ~Strategy() = default;
+  virtual StrategyKind kind() const = 0;
+  // Advances by up to `slice` abstract steps; returns the steps consumed.
+  // On a definitive verdict, fills `out` (SAT with model / UNSAT with core)
+  // and returns with decided() == true.
+  virtual uint64_t Step(uint64_t slice, SolveOutcome* out) = 0;
+  bool decided() const { return decided_; }
+  bool exhausted() const { return exhausted_; }
+
+ protected:
+  StrategyEnv* env_;
+  bool decided_ = false;
+  bool exhausted_ = false;
+};
+
+// Interval propagation: one tightening pass over the residual, then an
+// emptiness check per free variable. One-shot (a single Step decides or
+// exhausts); also responsible for building the shared variable order the
+// later strategies consume.
+class Solver::IntervalStrategy : public Solver::Strategy {
+ public:
+  using Strategy::Strategy;
+  StrategyKind kind() const override { return StrategyKind::kInterval; }
+
+  uint64_t Step(uint64_t slice, SolveOutcome* out) override {
+    (void)slice;  // the pass is atomic; it always completes in one turn
+    SolverContext* ctx = env_->ctx;
+    uint64_t consumed = 0;
+    for (size_t i = 0; i < ctx->residual_.size(); ++i) {
+      const Expr* c = ctx->residual_[i];
+      CollectVars(c, &env_->free_vars);
+      TightenFromComparison(&ctx->intervals_, &ctx->interval_prov_, c,
+                            ctx->residual_prov_[i], env_->stats);
+      ++consumed;
+    }
+    env_->BuildOrder();
+    for (VarId v : env_->free_vars) {
+      auto it = ctx->intervals_.find(v);
+      if (it != ctx->intervals_.end() && it->second.empty()) {
+        out->result = SatResult::kUnsat;
+        auto pit = ctx->interval_prov_.find(v);
+        if (pit != ctx->interval_prov_.end()) {
+          std::vector<const SolverContext::Prov*> seeds{&pit->second.first,
+                                                        &pit->second.second};
+          out->core = env_->solver->BuildCore(*ctx, seeds);
+        }
+        decided_ = true;
+        break;
+      }
+    }
+    exhausted_ = true;
+    return consumed;
+  }
+};
+
+// Exhaustive enumeration of small finite domains: resumable odometer over
+// the interval-bounded product space. Complete exhaustion proves UNSAT.
+class Solver::EnumerationStrategy : public Solver::Strategy {
+ public:
+  using Strategy::Strategy;
+  StrategyKind kind() const override { return StrategyKind::kEnumeration; }
+
+  uint64_t Step(uint64_t slice, SolveOutcome* out) override {
+    SolverContext* ctx = env_->ctx;
+    if (!initialized_) {
+      initialized_ = true;
+      const SolverOptions& opt = env_->solver->options_;
+      bool enumerable =
+          env_->order.size() <= opt.max_enum_vars && !env_->order.empty();
+      uint64_t points = 1;
+      for (VarId v : env_->order) {
+        if (!enumerable) {
+          break;
+        }
+        auto it = ctx->intervals_.find(v);
+        if (it == ctx->intervals_.end() || !it->second.finite()) {
+          enumerable = false;
+          break;
+        }
+        uint64_t w = it->second.width();
+        if (w == 0 || w > opt.max_enum_points ||
+            points > opt.max_enum_points / w) {
+          enumerable = false;
+          break;
+        }
+        points *= w;
+      }
+      if (!enumerable) {
+        exhausted_ = true;  // not applicable: yields to the other strategies
+        return 0;
+      }
+      cursor_.resize(env_->order.size());
+      for (size_t i = 0; i < env_->order.size(); ++i) {
+        cursor_[i] = ctx->intervals_[env_->order[i]].lo;
+      }
+    }
+    if (exhausted_) {
+      return 0;
+    }
+    uint64_t consumed = 0;
+    while (consumed < slice) {
+      ++consumed;
+      ++env_->stats->enumerated_points;
+      Assignment candidate;
+      for (size_t i = 0; i < env_->order.size(); ++i) {
+        candidate[env_->order[i]] = cursor_[i];
+      }
+      bool all_ok = true;
+      for (const Expr* c : ctx->residual_) {
+        if (EvalExpr(c, candidate) == 0) {
+          all_ok = false;
+          break;
+        }
+      }
+      if (all_ok &&
+          env_->solver->FinishSat(ctx, *env_->input, candidate, out,
+                                  env_->stats)) {
+        decided_ = true;
+        exhausted_ = true;
+        return consumed;
+      }
+      // Advance odometer.
+      size_t i = 0;
+      for (; i < env_->order.size(); ++i) {
+        if (cursor_[i] < ctx->intervals_[env_->order[i]].hi) {
+          ++cursor_[i];
+          for (size_t j = 0; j < i; ++j) {
+            cursor_[j] = ctx->intervals_[env_->order[j]].lo;
+          }
+          break;
+        }
+      }
+      if (i == env_->order.size()) {
+        // Exhausted: complete enumeration proves UNSAT. The core is the
+        // residual that excluded every point plus the constraints that
+        // bounded the enumerated domains.
+        out->result = SatResult::kUnsat;
+        std::vector<const SolverContext::Prov*> seeds;
+        seeds.reserve(ctx->residual_prov_.size() + 2 * env_->order.size());
+        for (const Prov& p : ctx->residual_prov_) {
+          seeds.push_back(&p);
+        }
+        for (VarId v : env_->order) {
+          auto pit = ctx->interval_prov_.find(v);
+          if (pit != ctx->interval_prov_.end()) {
+            seeds.push_back(&pit->second.first);
+            seeds.push_back(&pit->second.second);
+          }
+        }
+        out->core = env_->solver->BuildCore(*ctx, seeds);
+        decided_ = true;
+        exhausted_ = true;
+        return consumed;
+      }
+    }
+    return consumed;
+  }
+
+ private:
+  bool initialized_ = false;
+  std::vector<int64_t> cursor_;
+};
+
+// Randomized local search (sound for SAT only): resumable restart/step
+// machine. The RNG is seeded from the constraint set's content hash, so the
+// search trajectory — and hence the model found (or the failure to find
+// one) — is a pure function of the constraint set: identical across runs,
+// thread counts, and regardless of which other checks ran before this one.
+class Solver::SearchStrategy : public Solver::Strategy {
+ public:
+  explicit SearchStrategy(StrategyEnv* env)
+      : Strategy(env),
+        rng_(HashCombine(env->solver->seed_, env->ctx->det_set_hash_)) {}
+  StrategyKind kind() const override { return StrategyKind::kSearch; }
+
+  uint64_t Step(uint64_t slice, SolveOutcome* out) override {
+    SolverContext* ctx = env_->ctx;
+    const SolverOptions& opt = env_->solver->options_;
+    uint64_t consumed = 0;
+    while (restart_ < opt.search_restarts) {
+      if (need_candidate_) {
+        candidate_.clear();
+        for (VarId v : env_->order) {
+          auto it = ctx->intervals_.find(v);
+          int64_t seed_value = 0;
+          if (it != ctx->intervals_.end() && it->second.finite()) {
+            seed_value =
+                restart_ == 0
+                    ? it->second.lo
+                    : rng_.NextInRange(std::max<int64_t>(it->second.lo, -4096),
+                                       std::min<int64_t>(it->second.hi, 4096));
+          } else if (restart_ > 0) {
+            seed_value = static_cast<int64_t>(rng_.NextBelow(257)) - 128;
+          }
+          candidate_[v] = seed_value;
+        }
+        step_ = 0;
+        need_candidate_ = false;
+      }
+      for (; step_ < opt.search_steps; ++step_) {
+        if (consumed >= slice) {
+          return consumed;  // yield mid-restart; state resumes next turn
+        }
+        ++consumed;
+        ++env_->stats->search_steps;
+        const Expr* violated = nullptr;
+        for (const Expr* c : ctx->residual_) {
+          if (EvalExpr(c, candidate_) == 0) {
+            violated = c;
+            break;
+          }
+        }
+        if (violated == nullptr) {
+          if (env_->solver->FinishSat(ctx, *env_->input, candidate_, out,
+                                      env_->stats)) {
+            decided_ = true;
+            exhausted_ = true;
+            return consumed;
+          }
+          break;  // verification failed: next restart
+        }
+        std::unordered_set<VarId> involved;
+        CollectVars(violated, &involved);
+        if (involved.empty()) {
+          break;
+        }
+        // Deterministic pick order (uid, not VarId — see BuildOrder).
+        std::vector<std::pair<uint64_t, VarId>> vs;
+        vs.reserve(involved.size());
+        for (VarId iv : involved) {
+          vs.emplace_back(env_->solver->pool_->var_info(iv).uid, iv);
+        }
+        std::sort(vs.begin(), vs.end());
+        VarId v = vs[rng_.NextBelow(vs.size())].second;
+        int64_t old = candidate_[v];
+        // Mutations wrap in unsigned space: the search is free to roam the
+        // whole int64 ring, and signed overflow would be UB.
+        auto wrap_add = [](int64_t a, int64_t b) {
+          return static_cast<int64_t>(static_cast<uint64_t>(a) +
+                                      static_cast<uint64_t>(b));
+        };
+        switch (rng_.NextBelow(6)) {
+          case 0: candidate_[v] = wrap_add(old, 1); break;
+          case 1: candidate_[v] = wrap_add(old, -1); break;
+          case 2: candidate_[v] = 0; break;
+          case 3:
+            candidate_[v] =
+                wrap_add(old, static_cast<int64_t>(rng_.NextBelow(64)) - 32);
+            break;
+          case 4: candidate_[v] = static_cast<int64_t>(rng_.Next()); break;
+          default: {
+            // Try to satisfy an equality directly: v := value making both
+            // sides equal if the other side is evaluable.
+            if (violated->kind == ExprKind::kBinary &&
+                violated->bin_op == BinOp::kEq) {
+              Assignment probe = candidate_;
+              probe.erase(v);
+              if (violated->a->is_var() && violated->a->var == v) {
+                candidate_[v] = EvalExpr(violated->b, probe);
+              } else if (violated->b->is_var() && violated->b->var == v) {
+                candidate_[v] = EvalExpr(violated->a, probe);
+              } else {
+                candidate_[v] =
+                    old ^ static_cast<int64_t>(1ULL << rng_.NextBelow(16));
+              }
+            } else {
+              candidate_[v] =
+                  old ^ static_cast<int64_t>(1ULL << rng_.NextBelow(16));
+            }
+            break;
+          }
+        }
+      }
+      ++restart_;
+      need_candidate_ = true;
+    }
+    exhausted_ = true;  // search cannot prove UNSAT; it just runs dry
+    return consumed;
+  }
+
+ private:
+  Rng rng_;
+  uint64_t restart_ = 0;
+  uint64_t step_ = 0;
+  bool need_candidate_ = true;
+  Assignment candidate_;
+};
+
+// --- Shared check core (propagation + the strategy portfolio). ---
 
 bool Solver::ConstraintInput::AllSatisfied(const Assignment& model) const {
   if (vec != nullptr) {
@@ -391,16 +953,21 @@ bool Solver::ConstraintInput::AllSatisfied(const Assignment& model) const {
 
 SolveOutcome Solver::CheckWith(SolverContext* ctx,
                                const ConstraintInput& constraints,
-                               SolverStats* stats) {
+                               SolverStats* stats, bool allow_portfolio) {
   SolveOutcome out;
   if (ctx->unsat_) {
     // Constraints are append-only, so a proven-UNSAT prefix stays UNSAT.
     out.result = SatResult::kUnsat;
+    out.core = ctx->conflict_core_;
     ++stats->unsat;
     return out;
   }
 
   const size_t total = constraints.size();
+  // Which decision function runs — and therefore which cache partition this
+  // check may consult (portfolio and fixed outcomes never cross) and
+  // whether conflict provenance is worth tracking.
+  const bool portfolio = allow_portfolio && options_.portfolio;
   // The fresh suffix past the context's absorbed prefix: every phase below
   // consumes at most this slice (plus, on the cold cache path, one full
   // canonicalized copy) — the warm-check cost stays O(delta).
@@ -420,7 +987,7 @@ SolveOutcome Solver::CheckWith(SolverContext* ctx,
     if (model_ok) {
       ++stats->model_reuse_hits;
       // Still absorb the suffix so future UNSAT pruning keeps full power.
-      Propagate(ctx, fresh, total, stats);
+      Propagate(ctx, fresh, total, portfolio, stats);
       // A model verified against every constraint trumps any propagation
       // verdict; the conjunction is SAT by construction.
       ctx->unsat_ = false;
@@ -432,26 +999,50 @@ SolveOutcome Solver::CheckWith(SolverContext* ctx,
   }
 
   // Fast path 2: memoized outcome for this exact constraint set. Only cold
-  // contexts consult the cache: building the order-insensitive key copies
-  // and sorts the whole vector, which would cost O(n log n) per warm
-  // incremental check, and repeated identical sets in practice come from
-  // cold checks (re-enumeration after hypothesis forks), not warm chains.
+  // contexts consult the cache; warm contexts skip it NOT for cost (the key
+  // is an O(delta) commutative-hash update away) but for determinism: a
+  // cached outcome is the *cold-canonical* verdict and model for the set,
+  // which can differ from what this context's own (chain-ordered) state
+  // would compute, and whether the entry exists depends on which
+  // speculative task warmed the cache first — adopting it on a warm chain
+  // would make engine output depend on worker timing.
   //
   // Determinism: cold checks absorb the *canonical* (DetExprLess-sorted,
   // deduped) vector, on hits and misses alike, so the context's binding /
   // residual evolution — and with it every later check on this context — is
   // a pure function of the constraint set, never of which thread populated
-  // the cache first.
+  // the cache first. Hits take the stored canonical vector as-is; only
+  // misses (which pay a full solve anyway) sort.
   const bool use_cache = ctx->absorbed_ == 0;
   std::vector<const Expr*> cache_vec;
   uint64_t cache_key = 0;
   if (use_cache) {
-    cache_vec = fresh;  // absorbed == 0: the suffix IS the full vector
-    cache_key = CacheKey(&cache_vec);
+    // Form the full-set key from the context's incrementally-maintained
+    // deduped hash plus an O(delta) pass over the unabsorbed suffix. On a
+    // cold context (today's only cache consumer) set_key_ is trivially 0,
+    // but the computation is written against the context so a warm chain's
+    // key is equally an O(delta) update away.
+    std::unordered_set<const Expr*> fresh_members;
+    fresh_members.reserve(fresh.size() * 2);
+    uint64_t key_delta = 0;
+    size_t distinct_delta = 0;
+    for (const Expr* c : fresh) {
+      if (!ctx->absorbed_set_.contains(c) && fresh_members.insert(c).second) {
+        key_delta ^= MixKey(c->det_hash);
+        ++distinct_delta;
+      }
+    }
+    cache_key = ctx->set_key_ ^ key_delta;
+    const size_t distinct = ctx->distinct_ + distinct_delta;
+    auto contains = [&](const Expr* e) {
+      return fresh_members.count(e) != 0 || ctx->absorbed_set_.contains(e);
+    };
     SolveOutcome cached;
-    if (CacheLookup(cache_key, cache_vec, &cached)) {
+    std::vector<const Expr*> canonical;
+    if (CacheLookup(cache_key, distinct, portfolio, contains, &cached,
+                    &canonical)) {
       ++stats->cache_hits;
-      Propagate(ctx, cache_vec, total, stats);
+      Propagate(ctx, canonical, total, portfolio, stats);
       if (cached.result == SatResult::kSat) {
         ctx->model_ = cached.model;
         ctx->has_model_ = true;
@@ -461,11 +1052,16 @@ SolveOutcome Solver::CheckWith(SolverContext* ctx,
         // Only definitive verdicts are stored, so this is kUnsat.
         ctx->has_model_ = false;
         ctx->unsat_ = true;
+        ctx->conflict_core_ = cached.core;
         ++stats->unsat;
       }
       return cached;
     }
     ++stats->cache_misses;
+    cache_vec = fresh;
+    std::sort(cache_vec.begin(), cache_vec.end(), DetExprLess);
+    cache_vec.erase(std::unique(cache_vec.begin(), cache_vec.end()),
+                    cache_vec.end());
   }
 
   auto record = [&](const SolveOutcome& o) {
@@ -473,7 +1069,7 @@ SolveOutcome Solver::CheckWith(SolverContext* ctx,
     // a later check of the same set (fresh rng state, warmer context) may
     // still decide it, so only definitive verdicts are memoized.
     if (use_cache && o.result != SatResult::kUnknown) {
-      CacheStore(cache_key, std::move(cache_vec), o);
+      CacheStore(cache_key, std::move(cache_vec), portfolio, o);
     }
     if (o.result == SatResult::kSat) {
       ctx->model_ = o.model;
@@ -482,249 +1078,115 @@ SolveOutcome Solver::CheckWith(SolverContext* ctx,
       ctx->has_model_ = false;
       if (o.result == SatResult::kUnsat) {
         ctx->unsat_ = true;
+        ctx->conflict_core_ = o.core;
       }
     }
   };
 
   // --- Phase 1: simplification + equality propagation to fixpoint. ---
   if (use_cache) {
-    Propagate(ctx, cache_vec, total, stats);
+    Propagate(ctx, cache_vec, total, portfolio, stats);
   } else {
-    Propagate(ctx, fresh, total, stats);
+    Propagate(ctx, fresh, total, portfolio, stats);
   }
-
-  auto finish_sat = [&](Assignment free_assignment) -> bool {
-    // Complete the model: free vars from `free_assignment`, bound vars by
-    // evaluating their binding expressions, then re-verify everything.
-    Assignment model = std::move(free_assignment);
-    // Bindings may reference other vars; iterate to fixpoint (bounded).
-    for (size_t round = 0; round < ctx->bindings_.size() + 1; ++round) {
-      bool progress = false;
-      for (const auto& [var, expr] : ctx->bindings_) {
-        if (model.count(var) != 0) {
-          continue;
-        }
-        std::unordered_set<VarId> deps;
-        CollectVars(expr, &deps);
-        bool ready = true;
-        for (VarId d : deps) {
-          if (model.count(d) == 0 && ctx->bindings_.count(d) != 0) {
-            ready = false;
-            break;
-          }
-        }
-        if (ready) {
-          model[var] = EvalExpr(expr, model);
-          progress = true;
-        }
-      }
-      if (!progress) {
-        break;
-      }
-    }
-    for (const auto& [var, expr] : ctx->bindings_) {
-      if (model.count(var) == 0) {
-        model[var] = EvalExpr(expr, model);  // best effort on cycles
-      }
-    }
-    if (!constraints.AllSatisfied(model)) {
-      return false;
-    }
-    out.result = SatResult::kSat;
-    out.model = std::move(model);
-    ++stats->sat;
-    return true;
-  };
 
   if (ctx->unsat_) {
     out.result = SatResult::kUnsat;
+    out.core = ctx->conflict_core_;
     ++stats->unsat;
     record(out);
     return out;
   }
   if (ctx->residual_.empty()) {
-    if (finish_sat({})) {
+    if (FinishSat(ctx, constraints, {}, &out, stats)) {
       record(out);
       return out;
     }
-    // Verification failed (e.g. a binding cycle); fall through to search.
+    // Verification failed (e.g. a binding cycle); fall through to the
+    // strategies (search may still complete a model).
   }
 
-  // --- Phase 2: interval propagation. ---
-  std::unordered_set<VarId> free_vars;
-  for (const Expr* c : ctx->residual_) {
-    CollectVars(c, &free_vars);
-    TightenFromComparison(&ctx->intervals_, c, stats);
-  }
-  for (VarId v : free_vars) {
-    auto it = ctx->intervals_.find(v);
-    if (it != ctx->intervals_.end() && it->second.empty()) {
-      ctx->unsat_ = true;
-      out.result = SatResult::kUnsat;
-      ++stats->unsat;
+  // --- The strategy portfolio over the residual. ---
+  StrategyEnv env;
+  env.solver = this;
+  env.ctx = ctx;
+  env.input = &constraints;
+  env.stats = stats;
+  IntervalStrategy interval(&env);
+  EnumerationStrategy enumeration(&env);
+  SearchStrategy search(&env);
+  Strategy* rotation[kNumStrategies] = {&interval, &enumeration, &search};
+
+  auto run_strategy = [&](Strategy* st, uint64_t slice) -> bool {
+    uint64_t consumed = st->Step(slice, &out);
+    stats->strategy_steps[static_cast<size_t>(st->kind())] += consumed;
+    if (st->decided()) {
+      ++stats->strategy_wins[static_cast<size_t>(st->kind())];
+      if (out.result == SatResult::kUnsat) {
+        ++stats->unsat;
+      }
       record(out);
-      return out;
+      return true;
     }
-  }
+    return false;
+  };
 
-  // --- Phase 3: exhaustive enumeration of small finite domains. ---
-  // Order by the deterministic var uid, NOT by VarId: VarIds are assigned in
-  // interning-arrival order, which varies with thread count, and the
-  // enumeration order decides which model is found first.
-  std::vector<VarId> order;
-  {
-    std::vector<std::pair<uint64_t, VarId>> keyed;
-    keyed.reserve(free_vars.size());
-    for (VarId v : free_vars) {
-      keyed.emplace_back(pool_->var_info(v).uid, v);
-    }
-    std::sort(keyed.begin(), keyed.end());
-    order.reserve(keyed.size());
-    for (const auto& [uid, v] : keyed) {
-      order.push_back(v);
-    }
-  }
-  bool enumerable = order.size() <= options_.max_enum_vars && !order.empty();
-  uint64_t points = 1;
-  for (VarId v : order) {
-    auto it = ctx->intervals_.find(v);
-    if (it == ctx->intervals_.end() || !it->second.finite()) {
-      enumerable = false;
-      break;
-    }
-    uint64_t w = it->second.width();
-    if (w == 0 || w > options_.max_enum_points || points > options_.max_enum_points / w) {
-      enumerable = false;
-      break;
-    }
-    points *= w;
-  }
-  if (enumerable) {
-    std::vector<int64_t> cursor(order.size());
-    for (size_t i = 0; i < order.size(); ++i) {
-      cursor[i] = ctx->intervals_[order[i]].lo;
-    }
-    while (true) {
-      ++stats->enumerated_points;
-      Assignment candidate;
-      for (size_t i = 0; i < order.size(); ++i) {
-        candidate[order[i]] = cursor[i];
-      }
-      bool all_ok = true;
-      for (const Expr* c : ctx->residual_) {
-        if (EvalExpr(c, candidate) == 0) {
-          all_ok = false;
-          break;
-        }
-      }
-      if (all_ok && finish_sat(candidate)) {
-        record(out);
-        return out;
-      }
-      // Advance odometer.
-      size_t i = 0;
-      for (; i < order.size(); ++i) {
-        if (cursor[i] < ctx->intervals_[order[i]].hi) {
-          ++cursor[i];
-          for (size_t j = 0; j < i; ++j) {
-            cursor[j] = ctx->intervals_[order[j]].lo;
-          }
-          break;
-        }
-      }
-      if (i == order.size()) {
-        break;  // exhausted: complete enumeration proves UNSAT
-      }
-    }
-    ctx->unsat_ = true;
-    out.result = SatResult::kUnsat;
-    ++stats->unsat;
-    record(out);
-    return out;
-  }
-
-  // --- Phase 4: randomized local search (sound for SAT only). ---
-  // The RNG is seeded from the constraint set's content hash, so the search
-  // trajectory — and hence the model found (or the failure to find one) —
-  // is a pure function of the constraint set: identical across runs, thread
-  // counts, and regardless of which other checks ran before this one.
-  Rng rng(HashCombine(seed_, ctx->det_set_hash_));
-  for (uint64_t restart = 0; restart < options_.search_restarts; ++restart) {
-    Assignment candidate;
-    for (VarId v : order) {
-      auto it = ctx->intervals_.find(v);
-      int64_t seed_value = 0;
-      if (it != ctx->intervals_.end() && it->second.finite()) {
-        seed_value = restart == 0
-                         ? it->second.lo
-                         : rng.NextInRange(std::max<int64_t>(it->second.lo, -4096),
-                                           std::min<int64_t>(it->second.hi, 4096));
-      } else if (restart > 0) {
-        seed_value = static_cast<int64_t>(rng.NextBelow(257)) - 128;
-      }
-      candidate[v] = seed_value;
-    }
-    for (uint64_t step = 0; step < options_.search_steps; ++step) {
-      ++stats->search_steps;
-      const Expr* violated = nullptr;
-      for (const Expr* c : ctx->residual_) {
-        if (EvalExpr(c, candidate) == 0) {
-          violated = c;
-          break;
-        }
-      }
-      if (violated == nullptr) {
-        if (finish_sat(candidate)) {
-          record(out);
+  if (!portfolio) {
+    // The classic fixed pipeline: each strategy to completion, in order.
+    for (Strategy* st : rotation) {
+      while (!st->exhausted()) {
+        if (run_strategy(st, std::numeric_limits<uint64_t>::max())) {
           return out;
         }
-        break;
       }
-      std::unordered_set<VarId> involved;
-      CollectVars(violated, &involved);
-      if (involved.empty()) {
-        break;
-      }
-      // Deterministic pick order (uid, not VarId — see phase 3).
-      std::vector<std::pair<uint64_t, VarId>> vs;
-      vs.reserve(involved.size());
-      for (VarId iv : involved) {
-        vs.emplace_back(pool_->var_info(iv).uid, iv);
-      }
-      std::sort(vs.begin(), vs.end());
-      VarId v = vs[rng.NextBelow(vs.size())].second;
-      int64_t old = candidate[v];
-      // Mutations wrap in unsigned space: the search is free to roam the
-      // whole int64 ring, and signed overflow would be UB.
-      auto wrap_add = [](int64_t a, int64_t b) {
-        return static_cast<int64_t>(static_cast<uint64_t>(a) +
-                                    static_cast<uint64_t>(b));
-      };
-      switch (rng.NextBelow(6)) {
-        case 0: candidate[v] = wrap_add(old, 1); break;
-        case 1: candidate[v] = wrap_add(old, -1); break;
-        case 2: candidate[v] = 0; break;
-        case 3: candidate[v] = wrap_add(old, static_cast<int64_t>(rng.NextBelow(64)) - 32); break;
-        case 4: candidate[v] = static_cast<int64_t>(rng.Next()); break;
-        default: {
-          // Try to satisfy an equality directly: v := value making both
-          // sides equal if the other side is evaluable.
-          if (violated->kind == ExprKind::kBinary && violated->bin_op == BinOp::kEq) {
-            Assignment probe = candidate;
-            probe.erase(v);
-            if (violated->a->is_var() && violated->a->var == v) {
-              candidate[v] = EvalExpr(violated->b, probe);
-            } else if (violated->b->is_var() && violated->b->var == v) {
-              candidate[v] = EvalExpr(violated->a, probe);
-            } else {
-              candidate[v] = old ^ static_cast<int64_t>(1ULL << rng.NextBelow(16));
-            }
-          } else {
-            candidate[v] = old ^ static_cast<int64_t>(1ULL << rng.NextBelow(16));
-          }
+    }
+  } else {
+    // Budgeted round-robin: bounded slices in the fixed rotation order,
+    // early exit on the first definitive verdict.
+    uint64_t budget = options_.budget_steps == 0
+                          ? std::numeric_limits<uint64_t>::max()
+                          : options_.budget_steps;
+    uint64_t spent = 0;
+    bool progress = true;
+    while (progress && spent < budget) {
+      progress = false;
+      for (Strategy* st : rotation) {
+        if (st->exhausted()) {
+          continue;
+        }
+        uint64_t slice;
+        switch (st->kind()) {
+          case StrategyKind::kInterval:
+            slice = std::numeric_limits<uint64_t>::max();  // atomic pass
+            break;
+          case StrategyKind::kEnumeration:
+            slice = options_.enum_slice;
+            break;
+          default:
+            slice = options_.search_slice;
+            break;
+        }
+        slice = std::min(slice, budget - spent);
+        if (slice == 0) {
+          break;
+        }
+        uint64_t before = stats->strategy_steps[static_cast<size_t>(st->kind())];
+        if (run_strategy(st, slice)) {
+          return out;
+        }
+        spent += stats->strategy_steps[static_cast<size_t>(st->kind())] - before;
+        progress = true;
+        if (spent >= budget) {
           break;
         }
       }
+    }
+    bool any_left = false;
+    for (Strategy* st : rotation) {
+      any_left = any_left || !st->exhausted();
+    }
+    if (any_left && spent >= budget) {
+      ++stats->budget_exhaustions;
     }
   }
 
@@ -794,7 +1256,11 @@ std::vector<int64_t> Solver::EnumerateValues(
   input.vec = &work;
   for (size_t i = 0; i < limit + 1; ++i) {
     ++st->checks;
-    SolveOutcome outcome = CheckWith(&ctx, input, st);
+    // Fixed pipeline regardless of the portfolio option: the values found
+    // feed address-concretization forks (engine output), so they must be a
+    // function of the constraint set alone, not of portfolio scheduling.
+    SolveOutcome outcome =
+        CheckWith(&ctx, input, st, /*allow_portfolio=*/false);
     if (outcome.result == SatResult::kUnsat) {
       *complete = true;  // no further values exist
       return values;

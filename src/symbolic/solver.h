@@ -7,9 +7,21 @@
 // exhaustive enumeration of finite domains). Anything else is kUnknown,
 // which RES treats conservatively (hypothesis kept, marked unverified).
 //
-// Pipeline: equality propagation + linear inversion -> interval propagation
-// -> exhaustive enumeration of small finite domains -> randomized local
-// search -> kUnknown.
+// Strategy portfolio (the default): after equality propagation, the three
+// decision procedures — interval propagation, exhaustive enumeration of
+// small finite domains, and randomized local search — run as pluggable
+// Strategy objects under a deterministic budget scheduler. Strategies are
+// resumable: each rotation turn advances one strategy by a bounded slice of
+// abstract steps, in a FIXED rotation order (interval -> enumeration ->
+// search), and the check returns on the first SAT/UNSAT verdict. The total
+// step budget (SolverOptions::budget_steps) bounds the worst-case cost of a
+// single check at slice granularity — the interval pass is atomic, so a
+// check can overshoot by at most one full tightening pass over the residual
+// plus one slice; exhausting the budget yields kUnknown (sound) and counts
+// a budget_exhaustion. With SolverOptions::portfolio=false the classic fixed
+// pipeline runs instead — each strategy to completion, in the same order —
+// and is the differential oracle for the portfolio (the strategy *bodies*
+// are shared; only the scheduling differs).
 //
 // Incremental solving (the RES hot path): a SolverContext persists the
 // equality-propagation bindings, interval state, and simplified residual of
@@ -17,11 +29,28 @@
 // constraints appended since the previous check. Two fast paths run before
 // any propagation: re-evaluating the fresh constraints under the parent
 // hypothesis's cached SAT model, and a memoized check cache keyed by an
-// order-insensitive hash of the interned constraint-pointer set.
+// order-insensitive hash of the interned constraint-pointer set. The cache
+// key is maintained *incrementally* on the SolverContext (a commutative
+// hash over the distinct absorbed constraints plus a structurally-shared
+// membership set), so the cold-path cache gate streams the input once —
+// hits verify set equality by membership and absorb the stored canonical
+// vector without ever sorting; only misses (which pay a full solve anyway)
+// canonicalize.
+//
+// UNSAT cores: definitive kUnsat verdicts carry a minimized conflict — the
+// subset of *input* constraints that alone is unsatisfiable — derived from
+// provenance tracked through equality propagation (which source constraints
+// produced each binding), interval tightening (which constraint set each
+// bound), and enumeration (the residual that excluded every point). Cores
+// are capped at SolverOptions::max_core_size; oversized conflicts are
+// simply not reported. The reverse engine interns cores into a shared
+// ClauseStore so sibling hypotheses repeating the conflict refute in O(1).
 #ifndef RES_SYMBOLIC_SOLVER_H_
 #define RES_SYMBOLIC_SOLVER_H_
 
+#include <algorithm>
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <initializer_list>
 #include <limits>
@@ -40,9 +69,20 @@ enum class SatResult : uint8_t { kSat = 0, kUnsat = 1, kUnknown = 2 };
 
 std::string_view SatResultName(SatResult r);
 
+// The portfolio's strategies, in their fixed deterministic rotation order.
+enum class StrategyKind : uint8_t { kInterval = 0, kEnumeration = 1, kSearch = 2 };
+inline constexpr size_t kNumStrategies = 3;
+
+std::string_view StrategyKindName(StrategyKind k);
+
 struct SolveOutcome {
   SatResult result = SatResult::kUnknown;
   Assignment model;  // meaningful iff result == kSat
+  // For kUnsat only: a minimized conflict — a DetExprLess-sorted, deduped
+  // subset of the *input* constraints whose conjunction is itself UNSAT.
+  // Empty when no small core could be derived (soundness never depends on
+  // it; it exists purely so callers can learn and share the conflict).
+  std::vector<const Expr*> core;
 };
 
 // Closed interval over int64 with the usual lattice operations; empty when
@@ -81,6 +121,17 @@ struct SolverStats {
   uint64_t sat = 0;
   uint64_t unsat = 0;
   uint64_t unknown = 0;
+  // --- Portfolio counters (indexed by StrategyKind). ---
+  // Abstract steps consumed per strategy (interval: residual constraints
+  // visited; enumeration: points tried; search: mutation steps).
+  uint64_t strategy_steps[kNumStrategies] = {0, 0, 0};
+  // Definitive verdicts (SAT or UNSAT) decided by each strategy.
+  uint64_t strategy_wins[kNumStrategies] = {0, 0, 0};
+  // Checks abandoned as kUnknown because the portfolio step budget ran out.
+  uint64_t budget_exhaustions = 0;
+  // --- Learned-clause (UNSAT core) counters. ---
+  uint64_t clauses_learned = 0;  // cores published to the shared store
+  uint64_t clause_hits = 0;      // hypotheses refuted by a stored core
 };
 
 struct SolverOptions {
@@ -90,6 +141,20 @@ struct SolverOptions {
   uint64_t search_restarts = 8;
   uint64_t search_steps = 512;       // per restart
   size_t check_cache_max_entries = 1 << 18;  // memo cache bound (then reset)
+  // --- Portfolio scheduling. ---
+  bool portfolio = true;             // false = classic fixed pipeline
+  // Total abstract steps a single check may spend across all strategies; 0
+  // means unlimited. Enforced at slice granularity (the interval pass is
+  // atomic, so one check can overshoot by up to one full tightening pass).
+  // The default comfortably covers the worst case of every strategy running
+  // to completion (max_enum_points + restarts*steps), so budget exhaustion
+  // only occurs when explicitly configured tighter.
+  uint64_t budget_steps = 1 << 17;
+  uint64_t enum_slice = 4096;        // enumeration points per rotation turn
+  uint64_t search_slice = 256;       // local-search steps per rotation turn
+  // Largest conflict (in constraints) still reported as an UNSAT core;
+  // 0 disables core derivation entirely.
+  size_t max_core_size = 12;
 };
 
 // Per-hypothesis persistent solving state. The reverse engine stores one per
@@ -105,26 +170,147 @@ class SolverContext {
  public:
   SolverContext() = default;
 
+  // Provenance of a derived fact: the input constraints it follows from.
+  // Deduped, small; `overflow` poisons facts whose dependency set outgrew
+  // the core cap (no core will be derived through them).
+  struct Prov {
+    std::vector<const Expr*> srcs;
+    bool overflow = false;
+  };
+
   // Prefix of the constraint vector already absorbed into bindings/residual.
   size_t absorbed() const { return absorbed_; }
   bool known_unsat() const { return unsat_; }
   bool has_model() const { return has_model_; }
   const Assignment& model() const { return model_; }
+  // Order-insensitive cache key over the distinct absorbed constraints,
+  // maintained incrementally (O(delta) per absorption, O(delta) per fork).
+  uint64_t set_key() const { return set_key_; }
+  size_t distinct_absorbed() const { return distinct_; }
 
  private:
   friend class Solver;
 
   std::unordered_map<VarId, const Expr*> bindings_;
+  // Which source constraints produced each binding (aligned with bindings_).
+  std::unordered_map<VarId, Prov> binding_prov_;
   std::map<VarId, Interval> intervals_;
+  // Which source constraints set each var's current lo / hi bound.
+  std::map<VarId, std::pair<Prov, Prov>> interval_prov_;
   std::vector<const Expr*> residual_;  // simplified, non-constant survivors
+  std::vector<Prov> residual_prov_;    // aligned with residual_
   size_t absorbed_ = 0;
-  // Order-insensitive content hash (XOR of det_hash) of the absorbed set;
-  // seeds the local-search RNG so every check's randomness is a pure
-  // function of the constraint set rather than of global call order.
+  // Order-insensitive content hash (XOR of det_hash) of the absorbed
+  // multiset; seeds the local-search RNG so every check's randomness is a
+  // pure function of the constraint set rather than of global call order.
   uint64_t det_set_hash_ = 0;
+  // Deduped variant used as the memo-cache key: commutative mix over the
+  // distinct absorbed constraints, plus the membership set that maintains
+  // it (structurally shared, so context forks stay O(delta)).
+  uint64_t set_key_ = 0;
+  size_t distinct_ = 0;
+  PersistentSet<const Expr*> absorbed_set_;
   Assignment model_;     // witness from the last SAT answer
   bool has_model_ = false;
   bool unsat_ = false;   // a previous check proved the prefix UNSAT
+  // The minimized conflict behind unsat_, when one was derivable.
+  std::vector<const Expr*> conflict_core_;
+};
+
+// Shared learned-clause store: minimized UNSAT cores interned as sets of
+// constraint pointers, so any hypothesis whose constraint set contains a
+// stored core is refuted in O(|core|) membership probes, without a solver
+// call. Sharded like the check cache: the per-constraint index (which cores
+// contain this constraint?) is striped across independently locked shards,
+// while the core slots themselves are a preallocated append-only array
+// published through an atomic count (acquire/release), so readers never
+// lock the payload.
+//
+// Determinism protocol (see docs/ARCHITECTURE.md): only the engine's commit
+// thread publishes, in commit order, which makes the sequence numbering —
+// and therefore any query bounded by a published() snapshot taken on the
+// commit thread — a pure function of the committed prefix of the search.
+// Worker-side (speculative) queries are sound but advisory: any refutation
+// they find is re-derived deterministically by the commit-time screen.
+class ClauseStore {
+ public:
+  explicit ClauseStore(size_t capacity = 4096) : slots_(capacity) {}
+
+  // Publishes a core (DetExprLess-sorted, deduped). Single-publisher: only
+  // the engine's commit thread calls this. Returns true when the core was
+  // new (not a duplicate) and the store had room.
+  bool Publish(std::vector<const Expr*> core);
+
+  // Cores published so far (acquire; safe from any thread).
+  uint64_t published() const { return count_.load(std::memory_order_acquire); }
+
+  // Does a core with seq <= up_to containing `member` refute the set probed
+  // by `contains`? `contains` must answer membership for the querying
+  // hypothesis's constraint set.
+  template <typename ContainsFn>
+  bool RefutesByMember(const Expr* member, uint64_t up_to,
+                       const ContainsFn& contains) const {
+    uint64_t limit = std::min(up_to, published());
+    const Shard& shard = shards_[ShardOf(member)];
+    std::vector<uint32_t> ids;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto it = shard.by_member.find(member);
+      if (it == shard.by_member.end()) {
+        return false;
+      }
+      ids = it->second;  // copy out: probe cores without holding the lock
+    }
+    for (uint32_t id : ids) {
+      if (id < limit && CoreSubsetOf(slots_[id], contains)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Does any core with seq in (after, up_to] refute the probed set?
+  template <typename ContainsFn>
+  bool RefutesNewSince(uint64_t after, uint64_t up_to,
+                       const ContainsFn& contains) const {
+    uint64_t limit = std::min(up_to, published());
+    for (uint64_t id = after; id < limit; ++id) {
+      if (CoreSubsetOf(slots_[id], contains)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  struct Core {
+    std::vector<const Expr*> elems;  // sorted by DetExprLess, deduped
+  };
+  static constexpr size_t kShards = 16;
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<const Expr*, std::vector<uint32_t>> by_member;
+  };
+
+  static size_t ShardOf(const Expr* e) {
+    return (reinterpret_cast<uintptr_t>(e) >> 4) % kShards;
+  }
+  template <typename ContainsFn>
+  static bool CoreSubsetOf(const Core& core, const ContainsFn& contains) {
+    for (const Expr* e : core.elems) {
+      if (!contains(e)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  std::vector<Core> slots_;            // preallocated; slot i = seq i+1
+  std::atomic<uint64_t> count_{0};     // published prefix of slots_
+  std::array<Shard, kShards> shards_;  // member -> core ids (may run ahead
+                                       // of count_; queries bound by it)
+  // Publisher-private dedup index (commit thread only; no locking).
+  std::unordered_map<uint64_t, std::vector<uint32_t>> dedup_;
 };
 
 // Thread-safety: Check / CheckIncremental / EnumerateValues may be called
@@ -174,7 +360,10 @@ class Solver {
   // Distinct values `target` can take subject to `constraints` (up to
   // `limit`). `complete` is set true when the returned set is provably
   // exhaustive. Used for pointer concretization (paper §2.4's omitted
-  // "symbolic addresses" case).
+  // "symbolic addresses" case). Always runs the classic fixed pipeline:
+  // enumeration IS its decision procedure, and the values found — which
+  // feed address-concretization forks, i.e. engine output — must not depend
+  // on portfolio scheduling.
   std::vector<int64_t> EnumerateValues(const Expr* target,
                                        const std::vector<const Expr*>& constraints,
                                        size_t limit, bool* complete,
@@ -185,6 +374,13 @@ class Solver {
  private:
   struct CacheEntry {
     std::vector<const Expr*> key;  // sorted, deduped constraint pointers
+    // Which decision function computed `outcome`. Portfolio and fixed
+    // scheduling are two different pure functions of the constraint set
+    // (slicing can change which strategy finds the model first), so
+    // entries never cross modes — otherwise a fixed-pipeline consumer
+    // (EnumerateValues) could adopt a portfolio model, making its values
+    // depend on which speculative task warmed the cache first.
+    bool portfolio = false;
     SolveOutcome outcome;
   };
 
@@ -207,22 +403,39 @@ class Solver {
     bool AllSatisfied(const Assignment& model) const;
   };
 
+  // Per-check state shared by the strategies (free vars of the residual and
+  // the deterministic enumeration/search variable order).
+  struct StrategyEnv;
+  class Strategy;
+  class IntervalStrategy;
+  class EnumerationStrategy;
+  class SearchStrategy;
+
+  // `allow_portfolio=false` pins the check to the classic fixed pipeline
+  // regardless of options (EnumerateValues: see above).
   SolveOutcome CheckWith(SolverContext* ctx, const ConstraintInput& constraints,
-                         SolverStats* stats);
+                         SolverStats* stats, bool allow_portfolio = true);
   // Phase 1: absorb `fresh` (the constraints not yet seen by `ctx`) into the
   // context (substitution + equality extraction to fixpoint) and advance
   // ctx->absorbed_ to `new_absorbed` (the caller's full vector length —
   // `fresh` may be a deduplicated/canonicalized copy of that suffix).
+  // `portfolio` is the check's effective mode: it gates conflict-provenance
+  // tracking, which only portfolio-mode consumers (the clause store) read.
   void Propagate(SolverContext* ctx, const std::vector<const Expr*>& fresh,
-                 size_t new_absorbed, SolverStats* stats);
-
-  // Memo cache keyed by an order-insensitive content hash of the deduped
-  // interned constraint-pointer set (exact set compared on lookup).
-  static uint64_t CacheKey(std::vector<const Expr*>* sorted_unique);
-  bool CacheLookup(uint64_t key, const std::vector<const Expr*>& sorted_unique,
-                   SolveOutcome* out);
-  void CacheStore(uint64_t key, std::vector<const Expr*> sorted_unique,
-                  const SolveOutcome& outcome);
+                 size_t new_absorbed, bool portfolio, SolverStats* stats);
+  // Completes `free_assignment` into a full model (bound vars evaluated from
+  // their bindings), re-verifies every input constraint, and fills `out` on
+  // success.
+  bool FinishSat(SolverContext* ctx, const ConstraintInput& constraints,
+                 Assignment free_assignment, SolveOutcome* out,
+                 SolverStats* stats);
+  // Derives the UNSAT core for a conflict seeded by `seeds` (input-
+  // constraint provenance of the contradicting facts), closing over the
+  // bindings the contradiction substituted through. Empty when the closure
+  // exceeds options_.max_core_size (or core derivation is disabled).
+  std::vector<const Expr*> BuildCore(
+      const SolverContext& ctx,
+      const std::vector<const SolverContext::Prov*>& seeds) const;
 
   static constexpr size_t kCacheShards = 16;
   struct CacheShard {
@@ -230,6 +443,44 @@ class Solver {
     std::unordered_map<uint64_t, std::vector<CacheEntry>> map;
     size_t entries = 0;
   };
+
+  // Memo cache keyed by the commutative content hash of the deduped
+  // interned constraint-pointer set (exact set compared on lookup via
+  // membership probes — `contains` must answer for the probe set — never
+  // by sorting the probe). `portfolio` selects the mode partition (see
+  // CacheEntry::portfolio).
+  template <typename ContainsFn>
+  bool CacheLookup(uint64_t key, size_t distinct, bool portfolio,
+                   const ContainsFn& contains, SolveOutcome* out,
+                   std::vector<const Expr*>* canonical) {
+    CacheShard& shard = check_cache_[key % kCacheShards];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+      return false;
+    }
+    for (const CacheEntry& entry : it->second) {
+      if (entry.portfolio != portfolio || entry.key.size() != distinct) {
+        continue;
+      }
+      // Exact set equality by membership (sizes match, both sides deduped).
+      bool equal = true;
+      for (const Expr* e : entry.key) {
+        if (!contains(e)) {
+          equal = false;
+          break;
+        }
+      }
+      if (equal) {
+        *out = entry.outcome;    // copy out: the slot may be cleared later
+        *canonical = entry.key;  // the stored canonical (sorted) vector
+        return true;
+      }
+    }
+    return false;
+  }
+  void CacheStore(uint64_t key, std::vector<const Expr*> sorted_unique,
+                  bool portfolio, const SolveOutcome& outcome);
 
   ExprPool* pool_;
   uint64_t seed_;

@@ -21,7 +21,9 @@ Module Finish(ModuleBuilder&& mb) {
 
 }  // namespace
 
-Module BuildRacyCounter() {
+Module BuildRacyCounter() { return BuildRacyCounterWide(2); }
+
+Module BuildRacyCounterWide(int workers) {
   ModuleBuilder mb;
   mb.AddGlobal("counter", 1);
   FuncId worker = mb.DeclareFunction("worker", 1);
@@ -68,10 +70,14 @@ Module BuildRacyCounter() {
   {
     FunctionBuilder fb = mb.DefineFunction("main", 0);
     RegId arg = fb.Const(0);
-    RegId t1 = fb.Spawn(worker, arg);
-    RegId t2 = fb.Spawn(worker, arg);
-    fb.Join(t1);
-    fb.Join(t2);
+    std::vector<RegId> threads;
+    threads.reserve(static_cast<size_t>(workers));
+    for (int i = 0; i < workers; ++i) {
+      threads.push_back(fb.Spawn(worker, arg));
+    }
+    for (RegId t : threads) {
+      fb.Join(t);
+    }
     fb.Halt();
     fb.Finish();
   }

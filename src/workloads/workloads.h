@@ -33,6 +33,13 @@ namespace res {
 // torn interleaving fires the assert. Root cause: data race.
 Module BuildRacyCounter();
 
+// The same bug with `workers` competing increment pairs: widens the
+// backward interleaving frontier so sibling subtrees re-derive permuted
+// copies of the same conflicting constraint pairs — the learned-clause
+// sharing workload (tests/solver_portfolio_test.cc and the F2d section of
+// bench_fig_suffix_depth). BuildRacyCounter() == BuildRacyCounterWide(2).
+Module BuildRacyCounterWide(int workers);
+
 // Classic TOCTOU: a user thread checks a shared pointer then dereferences it
 // again while a second thread nulls it in between. Root cause: atomicity
 // violation; failure: wild load of address 0.

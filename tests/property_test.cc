@@ -252,6 +252,54 @@ TEST(PersistentStructureTest, PersistentSetMatchesStdSetAcrossForks) {
   }
 }
 
+TEST(PersistentStructureTest, PersistentEraseSetMatchesStdSetAcrossForks) {
+  // The origin fold's live sets both grow and shrink; the erase-capable set
+  // (tombstone layers + live count) must track a plain set exactly across
+  // interleaved fork/insert/erase/probe sequences, including the flattening
+  // rebuild once the layer chain deepens.
+  Rng rng(9070431);
+  struct Branch {
+    PersistentEraseSet<int> ps;
+    std::unordered_set<int> oracle;
+  };
+  std::vector<Branch> branches(1);
+  for (int step = 0; step < 2000; ++step) {
+    Branch& b = branches[rng.NextBelow(branches.size())];
+    int v = static_cast<int>(rng.NextBelow(64));  // small domain: churn
+    switch (rng.NextBelow(6)) {
+      case 0:  // fork (bounded fan-out)
+        if (branches.size() < 24) {
+          branches.push_back(b);
+          break;
+        }
+        [[fallthrough]];
+      case 1:
+      case 2: {  // insert; the verdict must match the oracle's
+        bool inserted = b.ps.insert(v);
+        ASSERT_EQ(inserted, b.oracle.insert(v).second) << "step " << step;
+        break;
+      }
+      case 3: {  // erase; the verdict must match the oracle's
+        bool erased = b.ps.erase(v);
+        ASSERT_EQ(erased, b.oracle.erase(v) != 0) << "step " << step;
+        break;
+      }
+      default: {  // membership + size/emptiness probes
+        ASSERT_EQ(b.ps.contains(v), b.oracle.count(v) != 0) << "step " << step;
+        ASSERT_EQ(b.ps.size(), b.oracle.size()) << "step " << step;
+        ASSERT_EQ(b.ps.empty(), b.oracle.empty()) << "step " << step;
+        break;
+      }
+    }
+  }
+  for (const Branch& b : branches) {
+    ASSERT_EQ(b.ps.size(), b.oracle.size());
+    for (int v = 0; v < 64; ++v) {
+      ASSERT_EQ(b.ps.contains(v), b.oracle.count(v) != 0) << "value " << v;
+    }
+  }
+}
+
 TEST(PersistentStructureTest, CowOverlayMatchesPlainMapAcrossForks) {
   // The snapshot overlay (a PersistentMap under the hood) under the same
   // interleaved fork/write/read discipline, including the shadowed-write
