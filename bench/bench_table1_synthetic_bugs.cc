@@ -19,6 +19,7 @@ int main() {
   rows.push_back({"bug", "trap", "root cause identified", "correct", "replay",
                   "time(ms)", "hypotheses"});
 
+  BenchJsonWriter json;
   const char* bugs[] = {"racy_counter", "atomicity_violation", "order_violation"};
   int correct_count = 0;
   int false_positives = 0;
@@ -69,6 +70,8 @@ int main() {
                     cause, acceptable ? "yes" : "NO", replay_state,
                     StrFormat("%.1f", ms),
                     std::to_string(result.stats.hypotheses_explored)});
+    json.Append(StrFormat("table1_synthetic_bugs/bug=%s", name), ms,
+                result.stats);
   }
   PrintTable(rows);
   std::printf("\ncorrect root causes: %d/3, false positives: %d "

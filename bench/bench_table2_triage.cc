@@ -1,8 +1,10 @@
 // T2 — root-cause triaging vs WER-style stack bucketing (paper §3.1; WER
 // "can incorrectly bucket up to 37% of the bug reports").
 #include "bench/bench_util.h"
+#include "src/res/runtime.h"
 #include "src/support/string_util.h"
 #include "src/triage/triage.h"
+#include "src/triage/triage_service.h"
 #include "src/workloads/harness.h"
 #include "src/workloads/workloads.h"
 
@@ -99,5 +101,77 @@ int main() {
   std::printf("mis-bucketed pairs: stack %.1f%% vs RES %.1f%% "
               "(paper: WER mis-buckets up to 37%%)\n",
               100.0 * (1 - stack_acc), 100.0 * (1 - res_acc));
+
+  // --- T2b: batch triage over the shared ResRuntime — the dumps/sec axis.
+  //     Serial batches (max_parallel_dumps = 1), so every promotion counter
+  //     below is deterministic and baseline-gated (tools/check_bench.py
+  //     floors clause_promotions / cache_promotions: LOSING reuse is the
+  //     regression here).
+  PrintHeader("T2b: batch triage throughput (shared ResRuntime)");
+  auto run_batch = [&json](const char* label, const Module& module,
+                           const std::vector<Coredump>& dumps,
+                           ResOptions res_options) {
+    ResRuntime runtime;
+    TriageOptions options;
+    options.res = res_options;
+    TriageService service(&runtime, module, options);
+    TriageStats tstats;
+    WallTimer timer;
+    std::vector<TriageReport> reports = service.RunBatch(dumps, &tstats);
+    BenchRecord record;
+    record.name = StrFormat("table2_triage/batch=%s/dumps=%zu", label,
+                            dumps.size());
+    record.wall_ms = timer.ElapsedMs();
+    for (const TriageReport& report : reports) {
+      record.Accumulate(report.stats);
+    }
+    record.FromBatch(tstats);
+    json.Append(record);
+    std::printf("%s: %zu dumps, %.1f dumps/sec, %.1f ms cold-start saved, "
+                "%llu clause promotions, %llu cache promotions, "
+                "%llu promoted-clause hits, %llu shared-var reuses\n",
+                label, tstats.dumps, tstats.dumps_per_sec,
+                tstats.cold_start_saved_ms,
+                static_cast<unsigned long long>(tstats.clause_promotions),
+                static_cast<unsigned long long>(tstats.cache_promotions),
+                static_cast<unsigned long long>(tstats.promoted_clause_hits),
+                static_cast<unsigned long long>(tstats.expr_reuse_hits));
+  };
+
+  // Same bug, two crash paths, four reports: the bread-and-butter stream.
+  {
+    WorkloadSpec spec = WorkloadByName("use_after_free");
+    Module module = spec.build();
+    std::vector<Coredump> dumps;
+    for (int64_t input : {1, 2, 1, 2}) {
+      WorkloadSpec dspec = spec;
+      dspec.channel0_inputs = {input};
+      auto run = RunToFailure(module, dspec, {});
+      if (run.ok()) {
+        dumps.push_back(std::move(run).value().dump);
+      }
+    }
+    if (dumps.size() == 4) {
+      run_batch("use_after_free", module, dumps, ResOptions{});
+    }
+  }
+
+  // The clause-learning stream: full synthesis over the wide racy module —
+  // tail dumps are answered from promoted cores instead of re-derivation.
+  {
+    Module module = BuildRacyCounterWide(4);
+    WorkloadSpec spec = WorkloadByName("racy_counter");
+    FailureRunOptions run_options;
+    run_options.require_live_peers = spec.requires_live_peers;
+    auto run = RunToFailure(module, spec, run_options);
+    if (run.ok()) {
+      std::vector<Coredump> dumps(3, run.value().dump);
+      ResOptions res_options;
+      res_options.stop_at_root_cause = false;
+      res_options.max_units = 48;
+      res_options.max_hypotheses = 1000;
+      run_batch("racy_wide", module, dumps, res_options);
+    }
+  }
   return 0;
 }

@@ -51,24 +51,39 @@ int main() {
 
   int hw_true_pos = 0, hw_false_neg = 0;   // over hardware-fault dumps
   int hw_false_pos = 0, hw_true_neg = 0;   // over software-bug dumps
+  BenchJsonWriter json;
+  // Per-class perf record: analysis wall time + engine counters summed over
+  // the class's dumps (bench/README.md schema).
+  auto record_class = [&json](const char* cls, double ms,
+                              const BenchRecord& counters) {
+    BenchRecord r = counters;
+    r.name = std::string("table3_hwerr/class=") + cls;
+    r.wall_ms = ms;
+    json.Append(r);
+  };
 
   // --- Class 1: live DRAM faults in the bug-free checker. ---
   {
     Module checker = BuildChecker();
     HardwareErrorAnalyzer analyzer(checker);
     int hw = 0, sw = 0, inc = 0, produced = 0;
+    BenchRecord counters;
+    WallTimer timer;
     for (uint64_t seed = 1; seed <= 400 && produced < 15; ++seed) {
       auto dump = RunWithMemoryFault(checker, {}, /*flip_after_steps=*/5, seed);
       if (!dump.ok()) {
         continue;
       }
       ++produced;
-      switch (analyzer.Analyze(dump.value()).verdict) {
+      HwAnalysis analysis = analyzer.Analyze(dump.value());
+      counters.Accumulate(analysis.stats);
+      switch (analysis.verdict) {
         case HwVerdict::kHardwareError: ++hw; break;
         case HwVerdict::kSoftwareBug: ++sw; break;
         default: ++inc; break;
       }
     }
+    record_class("live_flip", timer.ElapsedMs(), counters);
     hw_true_pos += hw;
     hw_false_neg += sw + inc;
     rows.push_back({"live DRAM flip (bug-free program)", std::to_string(produced),
@@ -85,15 +100,20 @@ int main() {
       Rng rng(31337);
       int hw = 0, sw = 0, inc = 0;
       const int kFlips = 15;
+      BenchRecord counters;
+      WallTimer timer;
       for (int i = 0; i < kFlips; ++i) {
         Coredump corrupted = run.value().dump;
         InjectMemoryBitFlip(&corrupted, &rng);
-        switch (analyzer.Analyze(corrupted).verdict) {
+        HwAnalysis analysis = analyzer.Analyze(corrupted);
+        counters.Accumulate(analysis.stats);
+        switch (analysis.verdict) {
           case HwVerdict::kHardwareError: ++hw; break;
           case HwVerdict::kSoftwareBug: ++sw; break;
           default: ++inc; break;
         }
       }
+      record_class("post_mortem_flip", timer.ElapsedMs(), counters);
       hw_true_pos += hw;
       hw_false_neg += sw + inc;
       rows.push_back({"post-mortem memory flip", std::to_string(kFlips),
@@ -112,15 +132,20 @@ int main() {
       Rng rng(9001);
       int hw = 0, sw = 0, inc = 0;
       const int kFlips = 15;
+      BenchRecord counters;
+      WallTimer timer;
       for (int i = 0; i < kFlips; ++i) {
         Coredump corrupted = run.value().dump;
         InjectRegisterCorruption(&corrupted, &rng);
-        switch (analyzer.Analyze(corrupted).verdict) {
+        HwAnalysis analysis = analyzer.Analyze(corrupted);
+        counters.Accumulate(analysis.stats);
+        switch (analysis.verdict) {
           case HwVerdict::kHardwareError: ++hw; break;
           case HwVerdict::kSoftwareBug: ++sw; break;
           default: ++inc; break;
         }
       }
+      record_class("register_corruption", timer.ElapsedMs(), counters);
       hw_true_pos += hw;
       hw_false_neg += sw + inc;
       rows.push_back({"register corruption (CPU error)", std::to_string(kFlips),
@@ -132,6 +157,8 @@ int main() {
   // --- Class 4 (negatives): genuine software-bug dumps. ---
   {
     int hw = 0, sw = 0, inc = 0, total = 0;
+    BenchRecord counters;
+    WallTimer timer;
     for (const char* name : {"div_by_zero_input", "semantic_assert",
                              "use_after_free", "double_free", "buffer_overflow",
                              "racy_counter"}) {
@@ -145,12 +172,15 @@ int main() {
       }
       ++total;
       HardwareErrorAnalyzer analyzer(module);
-      switch (analyzer.Analyze(run.value().dump).verdict) {
+      HwAnalysis analysis = analyzer.Analyze(run.value().dump);
+      counters.Accumulate(analysis.stats);
+      switch (analysis.verdict) {
         case HwVerdict::kHardwareError: ++hw; break;
         case HwVerdict::kSoftwareBug: ++sw; break;
         default: ++inc; break;
       }
     }
+    record_class("software_negatives", timer.ElapsedMs(), counters);
     hw_false_pos += hw;
     hw_true_neg += sw + inc;
     rows.push_back({"genuine software bugs (negatives)", std::to_string(total),
@@ -166,6 +196,8 @@ int main() {
     Module checker = BuildChecker();
     HardwareErrorAnalyzer analyzer(checker);
     int hw = 0, sw = 0, inc = 0, produced = 0;
+    BenchRecord counters;
+    WallTimer timer;
     for (uint64_t seed = 1; seed <= 400 && produced < 15; ++seed) {
       auto dump = RunWithMemoryFault(checker, {}, 5, seed);
       if (!dump.ok()) {
@@ -173,12 +205,15 @@ int main() {
       }
       ++produced;
       Coredump mini = MakeMinidump(dump.value());
-      switch (analyzer.Analyze(mini).verdict) {
+      HwAnalysis analysis = analyzer.Analyze(mini);
+      counters.Accumulate(analysis.stats);
+      switch (analysis.verdict) {
         case HwVerdict::kHardwareError: ++hw; break;
         case HwVerdict::kSoftwareBug: ++sw; break;
         default: ++inc; break;
       }
     }
+    record_class("minidump_ablation", timer.ElapsedMs(), counters);
     rows.push_back({"ABLATION: live faults, minidump only",
                     std::to_string(produced), std::to_string(hw),
                     std::to_string(sw), std::to_string(inc)});

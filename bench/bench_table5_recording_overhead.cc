@@ -70,6 +70,21 @@ int main() {
                   StrFormat("%.1f", light_ms), overhead(light_ms),
                   StrFormat("%.1f KiB", light_bytes / 1024.0)});
   PrintTable(rows);
+
+  // Wall-clock-only records (no engine runs here): the overhead *shape* is
+  // what matters, so these names are not baselined by tools/check_bench.py —
+  // they exist to keep T5 in the same machine-readable trail as the rest.
+  BenchJsonWriter json;
+  BenchRecord r;
+  r.name = "table5_recording_overhead/mode=native";
+  r.wall_ms = native_ms;
+  json.Append(r);
+  r.name = "table5_recording_overhead/mode=full_memory_log";
+  r.wall_ms = full_ms;
+  json.Append(r);
+  r.name = "table5_recording_overhead/mode=input_schedule_log";
+  r.wall_ms = light_ms;
+  json.Append(r);
   std::printf("\nexpected shape: full-logging overhead large and log size "
               "proportional to execution; RES's row is 'native' — it records "
               "nothing (paper quotes 400%% / 60%% for the two regimes)\n");

@@ -68,6 +68,13 @@ struct BenchRecord {
   uint64_t strategy_wins_interval = 0;
   uint64_t strategy_wins_enumeration = 0;
   uint64_t strategy_wins_search = 0;
+  uint64_t clauses_evicted = 0;         // low-hit cores displaced by learning
+  // --- Batch-triage (ResRuntime) fields; zero for single-run records. ---
+  uint64_t promoted_clause_hits = 0;    // hypotheses refuted by promoted cores
+  uint64_t clause_promotions = 0;       // cores promoted module-global
+  uint64_t cache_promotions = 0;        // check keys promoted module-global
+  uint64_t expr_reuse_hits = 0;         // shared-pool variable re-interns
+  double dumps_per_sec = 0;             // batch throughput (wall-dependent)
 
   // Adds an engine run's counters into this record (benches that aggregate
   // several runs per record call this once per run; single-run records get
@@ -87,6 +94,18 @@ struct BenchRecord {
         StrategyKind::kEnumeration)];
     strategy_wins_search +=
         stats.solver.strategy_wins[static_cast<size_t>(StrategyKind::kSearch)];
+    clauses_evicted += stats.solver.clauses_evicted;
+    promoted_clause_hits += stats.solver.promoted_clause_hits;
+  }
+
+  // Batch-level counters from a TriageService run (combine with Accumulate
+  // over the per-dump report stats for the engine-counter fields).
+  template <typename TriageStatsT>
+  void FromBatch(const TriageStatsT& batch) {
+    clause_promotions = batch.clause_promotions;
+    cache_promotions = batch.cache_promotions;
+    expr_reuse_hits = batch.expr_reuse_hits;
+    dumps_per_sec = batch.dumps_per_sec;
   }
 
   // Fills every counter field from a single engine run's merged stats.
@@ -117,7 +136,10 @@ class BenchJsonWriter {
         "\"propagated_constraints\": %llu, \"detector_units_scanned\": %llu, "
         "\"clauses_learned\": %llu, \"clause_hits\": %llu, "
         "\"budget_exhaustions\": %llu, \"strategy_wins_interval\": %llu, "
-        "\"strategy_wins_enumeration\": %llu, \"strategy_wins_search\": %llu}\n",
+        "\"strategy_wins_enumeration\": %llu, \"strategy_wins_search\": %llu, "
+        "\"clauses_evicted\": %llu, \"promoted_clause_hits\": %llu, "
+        "\"clause_promotions\": %llu, \"cache_promotions\": %llu, "
+        "\"expr_reuse_hits\": %llu, \"dumps_per_sec\": %.3f}\n",
         r.name.c_str(), r.wall_ms,
         static_cast<unsigned long long>(r.hypotheses_explored),
         static_cast<unsigned long long>(r.solver_checks),
@@ -129,7 +151,12 @@ class BenchJsonWriter {
         static_cast<unsigned long long>(r.budget_exhaustions),
         static_cast<unsigned long long>(r.strategy_wins_interval),
         static_cast<unsigned long long>(r.strategy_wins_enumeration),
-        static_cast<unsigned long long>(r.strategy_wins_search));
+        static_cast<unsigned long long>(r.strategy_wins_search),
+        static_cast<unsigned long long>(r.clauses_evicted),
+        static_cast<unsigned long long>(r.promoted_clause_hits),
+        static_cast<unsigned long long>(r.clause_promotions),
+        static_cast<unsigned long long>(r.cache_promotions),
+        static_cast<unsigned long long>(r.expr_reuse_hits), r.dumps_per_sec);
     std::fclose(f);
   }
 

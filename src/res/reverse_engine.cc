@@ -10,6 +10,7 @@
 #include <chrono>
 #include <cstdlib>
 
+#include "src/res/runtime.h"
 #include "src/support/hash.h"
 #include "src/support/logging.h"
 #include "src/support/persistent.h"
@@ -238,8 +239,28 @@ ResEngine::ResEngine(const Module& module, const Coredump& dump, ResOptions opti
     : module_(module),
       dump_(dump),
       options_(options),
-      cfg_(ModuleCfg::Build(module)),
-      solver_(&pool_, options.solver_seed, MakeSolverOptions(options)) {
+      facts_(options.runtime != nullptr ? options.runtime->FactsFor(module)
+                                        : nullptr),
+      owned_cfg_(facts_ != nullptr ? nullptr
+                                   : std::make_unique<ModuleCfg>(
+                                         ModuleCfg::Build(module))),
+      cfg_(facts_ != nullptr ? &facts_->cfg : owned_cfg_.get()),
+      owned_pool_(options.runtime != nullptr ? nullptr
+                                             : std::make_unique<ExprPool>()),
+      pool_(options.runtime != nullptr ? options.runtime->pool()
+                                       : owned_pool_.get()),
+      solver_(pool_, options.solver_seed, MakeSolverOptions(options),
+              options.runtime != nullptr ? options.runtime->check_cache()
+                                         : nullptr,
+              options.runtime != nullptr ? options.runtime->NextEpoch() : 0) {
+  if (facts_ != nullptr && options_.consult_promoted) {
+    // Fixed snapshot: every screen in this run sees exactly this prefix, so
+    // verdicts stay pure functions of (dump, options, snapshot) at any
+    // thread count.
+    promoted_ = &facts_->promoted_clauses;
+    promoted_watermark_ =
+        options_.promoted_watermark.value_or(promoted_->published());
+  }
   if (!dump.has_memory) {
     options_.treat_as_minidump = true;
   }
@@ -262,8 +283,13 @@ const Expr* ResEngine::FreshVar(TaskCtx* tctx, const char* tag, VarOrigin origin
       StrFormat("%s_%llx_%u", tag, static_cast<unsigned long long>(tctx->ns),
                 tctx->var_seq);
   ++tctx->var_seq;
-  return pool_.Var(name, origin, uid);
+  // InternVar, not Var: under a shared runtime pool, the identical search
+  // position in another run over this module re-uses the same node (within
+  // one run the names are collision-free, so this is plain registration).
+  return pool_->InternVar(name, origin, uid);
 }
+
+uint64_t ResEngine::solver_fingerprint() const { return solver_.fingerprint(); }
 
 void ResEngine::MergeStats(const ResStats& d, const SolverStats& sd) {
   stats_.expansions += d.expansions;
@@ -298,13 +324,20 @@ void ResEngine::MergeStats(const ResStats& d, const SolverStats& sd) {
     s.strategy_wins[i] += sd.strategy_wins[i];
   }
   s.budget_exhaustions += sd.budget_exhaustions;
-  // clauses_learned / clause_hits are counted directly by the commit thread
-  // (never through per-task sinks), so they need no merge here.
+  s.promoted_cache_hits += sd.promoted_cache_hits;
+  // Cold-check keys append in merge order == commit order, so the engine's
+  // final journal is deterministic (speculative tasks that are discarded
+  // are never merged).
+  s.cold_check_keys.insert(s.cold_check_keys.end(), sd.cold_check_keys.begin(),
+                           sd.cold_check_keys.end());
+  // clauses_learned / clause_hits / promoted_clause_hits are counted
+  // directly by the commit thread (never through per-task sinks), so they
+  // need no merge here.
 }
 
 ResEngine::Hypothesis ResEngine::MakeInitialHypothesis() {
   Hypothesis h;
-  h.state = SymSnapshot::FromCoredump(module_, dump_, &pool_);
+  h.state = SymSnapshot::FromCoredump(module_, dump_, pool_);
   h.lbr_remaining.resize(dump_.threads.size(), 0);
   h.errlog_remaining.resize(dump_.threads.size(), 0);
   for (size_t t = 0; t < dump_.threads.size(); ++t) {
@@ -492,14 +525,16 @@ void ResEngine::GateNode(SpecNode* n) {
   // refutes every node this probe can (any core visible here was published
   // before this node's commit), so worker timing never shows through.
   if (options_.solver_portfolio && n->parent_raw != nullptr &&
-      clause_store_.published() > 0) {
+      (clause_store_.published() > 0 || promoted_watermark_ > 0)) {
     const uint64_t up_to = clause_store_.published();
     const size_t base = n->parent_raw->h.constraints.size();
     std::vector<const Expr*> fresh;
     n->h.constraints.AppendSuffixTo(base, &fresh);
     auto contains = [n](const Expr* e) { return n->h.constraint_set.contains(e); };
     for (const Expr* f : fresh) {
-      if (clause_store_.RefutesByMember(f, up_to, contains)) {
+      if (clause_store_.RefutesByMember(f, up_to, contains) ||
+          (promoted_ != nullptr &&
+           promoted_->RefutesByMember(f, promoted_watermark_, contains))) {
         n->gate_passed = false;
         ++n->gate_stats.pruned_unsat;
         return;
@@ -532,7 +567,7 @@ void ResEngine::GateNode(SpecNode* n) {
   }
 }
 
-bool ResEngine::ScreenRefutes(const SpecNode& n) {
+int ResEngine::ScreenRefutes(const SpecNode& n, uint64_t* hit_seq) {
   auto contains = [&n](const Expr* e) { return n.h.constraint_set.contains(e); };
   // (i) Cores containing one of this node's fresh constraints. A core made
   // entirely of inherited constraints with seq <= parent_screen_seq would
@@ -541,14 +576,29 @@ bool ResEngine::ScreenRefutes(const SpecNode& n) {
   std::vector<const Expr*> fresh;
   n.h.constraints.AppendSuffixTo(n.screen_base, &fresh);
   for (const Expr* f : fresh) {
-    if (clause_store_.RefutesByMember(f, n.screen_seq, contains)) {
-      return true;
+    if (clause_store_.RefutesByMember(f, n.screen_seq, contains, hit_seq)) {
+      return 1;
     }
   }
   // (ii) ...cores published after the parent's screen ran can apply.
-  return n.screen_seq > n.parent_screen_seq &&
-         clause_store_.RefutesNewSince(n.parent_screen_seq, n.screen_seq,
-                                       contains);
+  if (n.screen_seq > n.parent_screen_seq &&
+      clause_store_.RefutesNewSince(n.parent_screen_seq, n.screen_seq, contains,
+                                    hit_seq)) {
+    return 1;
+  }
+  // (iii) The promoted (cross-task) store, bounded by this run's fixed
+  // watermark. The fresh-only argument from (i) transfers: every ancestor
+  // screened against the same snapshot, so an all-inherited core would have
+  // refuted one of them already.
+  if (promoted_ != nullptr) {
+    for (const Expr* f : fresh) {
+      if (promoted_->RefutesByMember(f, promoted_watermark_, contains,
+                                     hit_seq)) {
+        return 2;
+      }
+    }
+  }
+  return 0;
 }
 
 // ---------------------------------------------------------------------------
@@ -669,9 +719,9 @@ void ResEngine::ExecuteUnit(Hypothesis h, const UnitPlan& plan,
     }
     for (const auto& [caddr, cell] : cells) {
       if (cell.preread_var != nullptr && cell.written == nullptr) {
-        const Expr* post = h.state.ReadMem(&pool_, caddr);
+        const Expr* post = h.state.ReadMem(pool_, caddr);
         if (post != nullptr) {
-          context.push_back(pool_.Eq(cell.preread_var, post));
+          context.push_back(pool_->Eq(cell.preread_var, post));
         }
       }
     }
@@ -701,7 +751,7 @@ void ResEngine::ExecuteUnit(Hypothesis h, const UnitPlan& plan,
     if (!chosen) {
       return std::nullopt;
     }
-    cons.push_back(pool_.Eq(e, pool_.Const(*chosen)));
+    cons.push_back(pool_->Eq(e, pool_->Const(*chosen)));
     return static_cast<uint64_t>(*chosen);
   };
 
@@ -733,7 +783,7 @@ void ResEngine::ExecuteUnit(Hypothesis h, const UnitPlan& plan,
       std::unordered_set<VarId> vars;
       CollectVars(addr_expr, &vars);
       for (VarId v : vars) {
-        if (pool_.var_info(v).origin == VarOrigin::kInput) {
+        if (pool_->var_info(v).origin == VarOrigin::kInput) {
           a.address_input_tainted = true;
         }
       }
@@ -753,22 +803,22 @@ void ResEngine::ExecuteUnit(Hypothesis h, const UnitPlan& plan,
 
     switch (inst.op) {
       case Opcode::kConst:
-        env[inst.rd] = pool_.Const(inst.imm);
+        env[inst.rd] = pool_->Const(inst.imm);
         break;
       case Opcode::kMov:
         env[inst.rd] = env[inst.ra];
         break;
       case Opcode::kSelect:
-        env[inst.rd] = pool_.Select(env[inst.rc], env[inst.ra], env[inst.rb]);
+        env[inst.rd] = pool_->Select(env[inst.rc], env[inst.ra], env[inst.rb]);
         break;
       case Opcode::kDivS:
       case Opcode::kRemS:
-        cons.push_back(pool_.Ne(env[inst.rb], pool_.Const(0)));
+        cons.push_back(pool_->Ne(env[inst.rb], pool_->Const(0)));
         env[inst.rd] =
-            pool_.Binary(BinOpFromOpcode(inst.op), env[inst.ra], env[inst.rb]);
+            pool_->Binary(BinOpFromOpcode(inst.op), env[inst.ra], env[inst.rb]);
         break;
       case Opcode::kLoad: {
-        const Expr* addr_expr = pool_.Add(env[inst.ra], pool_.Const(inst.imm));
+        const Expr* addr_expr = pool_->Add(env[inst.ra], pool_->Const(inst.imm));
         auto addr = concretize(addr_expr);
         if (!addr) {
           break;
@@ -782,7 +832,7 @@ void ResEngine::ExecuteUnit(Hypothesis h, const UnitPlan& plan,
         break;
       }
       case Opcode::kStore: {
-        const Expr* addr_expr = pool_.Add(env[inst.ra], pool_.Const(inst.imm));
+        const Expr* addr_expr = pool_->Add(env[inst.ra], pool_->Const(inst.imm));
         auto addr = concretize(addr_expr);
         if (!addr) {
           break;
@@ -827,10 +877,10 @@ void ResEngine::ExecuteUnit(Hypothesis h, const UnitPlan& plan,
           // Bound the symbolic size to the words the allocation occupies.
           int64_t hi = static_cast<int64_t>(target->size_words * kWordSize);
           int64_t lo = hi - static_cast<int64_t>(kWordSize) + 1;
-          cons.push_back(pool_.Binary(BinOp::kLeS, pool_.Const(lo), size_expr));
-          cons.push_back(pool_.Binary(BinOp::kLeS, size_expr, pool_.Const(hi)));
+          cons.push_back(pool_->Binary(BinOp::kLeS, pool_->Const(lo), size_expr));
+          cons.push_back(pool_->Binary(BinOp::kLeS, size_expr, pool_->Const(hi)));
         }
-        env[inst.rd] = pool_.Const(static_cast<int64_t>(target->base));
+        env[inst.rd] = pool_->Const(static_cast<int64_t>(target->base));
         claimed_allocs.push_back(target->base);
         heap_events.push_back(HeapEvent{i, /*is_alloc=*/true, target->base});
         UnitEvent ev;
@@ -886,8 +936,8 @@ void ResEngine::ExecuteUnit(Hypothesis h, const UnitPlan& plan,
           break;
         }
         const Expr* owner = mem_read(*addr);
-        cons.push_back(pool_.Eq(owner, pool_.Const(0)));
-        mem_write(*addr, pool_.Const(static_cast<int64_t>(plan.tid) + 1));
+        cons.push_back(pool_->Eq(owner, pool_->Const(0)));
+        mem_write(*addr, pool_->Const(static_cast<int64_t>(plan.tid) + 1));
         record_access(pc, *addr, /*is_write=*/true, /*is_sync=*/true, nullptr, i);
         unit.lock_ops.push_back(LockOp{*addr, true, i});
         break;
@@ -898,8 +948,8 @@ void ResEngine::ExecuteUnit(Hypothesis h, const UnitPlan& plan,
           break;
         }
         const Expr* owner = mem_read(*addr);
-        cons.push_back(pool_.Eq(owner, pool_.Const(static_cast<int64_t>(plan.tid) + 1)));
-        mem_write(*addr, pool_.Const(0));
+        cons.push_back(pool_->Eq(owner, pool_->Const(static_cast<int64_t>(plan.tid) + 1)));
+        mem_write(*addr, pool_->Const(0));
         record_access(pc, *addr, /*is_write=*/true, /*is_sync=*/true, nullptr, i);
         unit.lock_ops.push_back(LockOp{*addr, false, i});
         break;
@@ -910,7 +960,7 @@ void ResEngine::ExecuteUnit(Hypothesis h, const UnitPlan& plan,
           break;
         }
         const Expr* old = mem_read(*addr);
-        mem_write(*addr, pool_.Add(old, env[inst.rb]));
+        mem_write(*addr, pool_->Add(old, env[inst.rb]));
         env[inst.rd] = old;
         record_access(pc, *addr, /*is_write=*/true, /*is_sync=*/true, nullptr, i);
         break;
@@ -935,13 +985,13 @@ void ResEngine::ExecuteUnit(Hypothesis h, const UnitPlan& plan,
         }
         SymThread& u = h.state.threads()[static_cast<size_t>(*chosen)];
         SymFrame& uf = u.frames.back();
-        cons.push_back(pool_.Eq(uf.regs[0], env[inst.ra]));
+        cons.push_back(pool_->Eq(uf.regs[0], env[inst.ra]));
         for (size_t r = callee.num_params; r < uf.regs.size(); ++r) {
-          cons.push_back(pool_.Eq(uf.regs[r], pool_.Const(0)));
+          cons.push_back(pool_->Eq(uf.regs[r], pool_->Const(0)));
         }
         u.spawn_linked = true;
         u.at_birth = true;
-        env[inst.rd] = pool_.Const(*chosen);
+        env[inst.rd] = pool_->Const(*chosen);
         UnitEvent ev;
         ev.kind = UnitEventKind::kSpawn;
         ev.pc = pc;
@@ -969,7 +1019,7 @@ void ResEngine::ExecuteUnit(Hypothesis h, const UnitPlan& plan,
         break;
       }
       case Opcode::kAssert:
-        cons.push_back(pool_.Ne(env[inst.rc], pool_.Const(0)));
+        cons.push_back(pool_->Ne(env[inst.rc], pool_->Const(0)));
         break;
       case Opcode::kYield:
       case Opcode::kNop:
@@ -982,16 +1032,16 @@ void ResEngine::ExecuteUnit(Hypothesis h, const UnitPlan& plan,
         assert(is_terminator_pos);
         const Expr* cond = env[inst.rc];
         if (plan.branch_cond_edge == 0) {
-          cons.push_back(pool_.Ne(cond, pool_.Const(0)));
+          cons.push_back(pool_->Ne(cond, pool_->Const(0)));
         } else {
-          cons.push_back(pool_.Eq(cond, pool_.Const(0)));
+          cons.push_back(pool_->Eq(cond, pool_->Const(0)));
         }
         break;
       }
       case Opcode::kCall: {
         assert(is_terminator_pos);
         for (size_t p = 0; p < inst.args.size(); ++p) {
-          cons.push_back(pool_.Eq(env[inst.args[p]], plan.callee_param_post[p]));
+          cons.push_back(pool_->Eq(env[inst.args[p]], plan.callee_param_post[p]));
         }
         break;
       }
@@ -999,8 +1049,8 @@ void ResEngine::ExecuteUnit(Hypothesis h, const UnitPlan& plan,
         assert(is_terminator_pos);
         if (plan.ret_must_equal != nullptr) {
           const Expr* ret =
-              inst.ra != kNoReg ? env[inst.ra] : pool_.Const(0);
-          cons.push_back(pool_.Eq(ret, plan.ret_must_equal));
+              inst.ra != kNoReg ? env[inst.ra] : pool_->Const(0);
+          cons.push_back(pool_->Eq(ret, plan.ret_must_equal));
         }
         break;
       }
@@ -1011,7 +1061,7 @@ void ResEngine::ExecuteUnit(Hypothesis h, const UnitPlan& plan,
       default:
         if (IsBinaryAlu(inst.op)) {
           env[inst.rd] =
-              pool_.Binary(BinOpFromOpcode(inst.op), env[inst.ra], env[inst.rb]);
+              pool_->Binary(BinOpFromOpcode(inst.op), env[inst.ra], env[inst.rb]);
           break;
         }
         infeasible = true;
@@ -1065,7 +1115,7 @@ void ResEngine::ExecuteUnit(Hypothesis h, const UnitPlan& plan,
   // --- Memory matching: S' must agree with S_post on every touched word. ---
   const bool minidump = options_.treat_as_minidump;
   for (auto& [addr, cell] : cells) {
-    const Expr* post = h.state.ReadMem(&pool_, addr);
+    const Expr* post = h.state.ReadMem(pool_, addr);
     if (post == nullptr && !minidump) {
       // Touching a word that never existed would have trapped before the
       // recorded failure — infeasible.
@@ -1074,7 +1124,7 @@ void ResEngine::ExecuteUnit(Hypothesis h, const UnitPlan& plan,
     }
     if (cell.written != nullptr) {
       if (post != nullptr) {
-        cons.push_back(pool_.Eq(cell.written, post));
+        cons.push_back(pool_->Eq(cell.written, post));
       }
       const Expr* pre = cell.preread_var != nullptr
                             ? cell.preread_var
@@ -1083,7 +1133,7 @@ void ResEngine::ExecuteUnit(Hypothesis h, const UnitPlan& plan,
     } else if (cell.preread_var != nullptr) {
       // Read but never written: the pre-value equals the post-value.
       if (post != nullptr) {
-        cons.push_back(pool_.Eq(cell.preread_var, post));
+        cons.push_back(pool_->Eq(cell.preread_var, post));
       }
       h.state.WriteMem(addr, cell.preread_var);
     }
@@ -1093,7 +1143,7 @@ void ResEngine::ExecuteUnit(Hypothesis h, const UnitPlan& plan,
   if (plan.check_frame_post) {
     for (RegId r = 0; r < fn.num_regs; ++r) {
       if (wset[r]) {
-        cons.push_back(pool_.Eq(env[r], post_regs[r]));
+        cons.push_back(pool_->Eq(env[r], post_regs[r]));
       }
     }
     frame.regs = pre_regs;
@@ -1125,7 +1175,7 @@ void ResEngine::ExecuteUnit(Hypothesis h, const UnitPlan& plan,
         ++tctx->stats.pruned_errlog;
         return;
       }
-      cons.push_back(pool_.Eq(oval, pool_.Const(entry.value)));
+      cons.push_back(pool_->Eq(oval, pool_->Const(entry.value)));
     }
     h.errlog_remaining[plan.tid] = rem - matched;
   }
@@ -1248,7 +1298,7 @@ std::vector<ResEngine::Hypothesis> ResEngine::TryReverseCallEntry(
   }
   for (size_t r = callee_fn.num_params; r < callee_frame.regs.size(); ++r) {
     plan.extra_constraints.push_back(
-        pool_.Eq(callee_frame.regs[r], pool_.Const(0)));
+        pool_->Eq(callee_frame.regs[r], pool_->Const(0)));
   }
   st2.frames.pop_back();
 
@@ -1323,7 +1373,7 @@ std::vector<ResEngine::Hypothesis> ResEngine::TryMarkBirth(const Hypothesis& h,
   // At creation, parameters hold the (spawn) argument and everything else
   // is zero. main() has no parameters, so all registers are zero.
   for (size_t r = fn.num_params; r < top.regs.size(); ++r) {
-    cons.push_back(pool_.Eq(top.regs[r], pool_.Const(0)));
+    cons.push_back(pool_->Eq(top.regs[r], pool_->Const(0)));
   }
   if (spawn_edge == nullptr) {
     // main(): thread id must be 0 and LBR must be fully consumed if the ring
@@ -1355,14 +1405,14 @@ void ResEngine::CompleteStartNode(SpecNode* n) {
   for (const GlobalVar& g : module_.globals()) {
     for (uint64_t w = 0; w < g.size_words; ++w) {
       uint64_t addr = g.address + w * kWordSize;
-      const Expr* value = h2.state.ReadMem(&pool_, addr);
+      const Expr* value = h2.state.ReadMem(pool_, addr);
       if (value == nullptr) {
         if (options_.treat_as_minidump) {
           continue;
         }
         return;
       }
-      cons.push_back(pool_.Eq(value, pool_.Const(g.init[w])));
+      cons.push_back(pool_->Eq(value, pool_->Const(g.init[w])));
     }
   }
   TaskCtx tctx;
@@ -1433,7 +1483,7 @@ std::vector<ResEngine::Hypothesis> ResEngine::Expand(const Hypothesis& h,
     assert(top.index == 0);
     BlockRef here{top.func, top.block};
     bool saw_spawn_edge = false;
-    for (const PredEdge& edge : cfg_.Predecessors(here)) {
+    for (const PredEdge& edge : cfg_->Predecessors(here)) {
       switch (edge.kind) {
         case PredKind::kLocalBranch:
           for (Hypothesis& h2 : TryReverseLocal(h, tid, edge, tctx)) {
@@ -1463,7 +1513,7 @@ std::vector<ResEngine::Hypothesis> ResEngine::Expand(const Hypothesis& h,
         }
       } else if (saw_spawn_edge) {
         const PredEdge* edge = nullptr;
-        for (const PredEdge& e : cfg_.Predecessors(here)) {
+        for (const PredEdge& e : cfg_->Predecessors(here)) {
           if (e.kind == PredKind::kSpawnEntry) {
             edge = &e;
             break;
@@ -1492,7 +1542,7 @@ void ResEngine::DetectNode(SpecNode* n) {
     // pass over it.
     n->det_suffix = Finalize(n->h, n->model, n->verified);
     n->det_causes =
-        DetectRootCauses(module_, dump_, n->det_suffix, &pool_, &n->det_dstats);
+        DetectRootCauses(module_, dump_, n->det_suffix, pool_, &n->det_dstats);
     return;
   }
   // Incremental path: detection consumes the context folded along the
@@ -1521,7 +1571,7 @@ std::map<uint64_t, uint32_t> ResEngine::InitialLockOwners(
     const Hypothesis& h, const Assignment& model,
     const std::set<uint64_t>& mutexes) const {
   std::map<uint64_t, uint32_t> owners;
-  ExprPool* pool = const_cast<ExprPool*>(&pool_);
+  ExprPool* pool = pool_;
   for (uint64_t m : mutexes) {
     const Expr* value = h.state.ReadMem(pool, m);
     if (value == nullptr) {
@@ -1597,9 +1647,24 @@ ResResult ResEngine::Run() {
   // exact sequential termination logic, so StopReason / suffix / causes are
   // byte-identical to num_threads=1; speculative work past a termination
   // point is simply discarded (its stats are never merged).
-  const size_t workers = options_.num_threads > 1 ? options_.num_threads : 0;
-  std::unique_ptr<ThreadPool> pool =
-      workers > 0 ? std::make_unique<ThreadPool>(workers) : nullptr;
+  // Lane pool: the runtime's shared pool when it has one (dump-level and
+  // intra-run parallelism compose under one thread budget), a private
+  // per-run pool otherwise. Lane tasks never block, so sharing the pool
+  // across concurrent engines cannot deadlock; this engine still waits for
+  // its own outstanding count to drain before returning.
+  std::unique_ptr<ThreadPool> owned_lane_pool;
+  ThreadPool* pool = nullptr;
+  if (options_.num_threads > 1) {
+    ThreadPool* shared =
+        options_.runtime != nullptr ? options_.runtime->lane_pool() : nullptr;
+    if (shared != nullptr) {
+      pool = shared;
+    } else {
+      owned_lane_pool = std::make_unique<ThreadPool>(options_.num_threads);
+      pool = owned_lane_pool.get();
+    }
+  }
+  const size_t workers = pool != nullptr ? pool->size() : 0;
   Sched sched;
 
   auto root = std::make_shared<SpecNode>();
@@ -1748,8 +1813,12 @@ ResResult ResEngine::Run() {
         sched.lane_exec_ms[static_cast<int>(t)] += exec_ms;
         ++sched.lane_runs[static_cast<int>(t)];
         on_task_done_locked(n);
+        // Notify while still holding the lock: with a shared (runtime) lane
+        // pool there is no pool-join before Run returns, so the moment a
+        // waiter can observe outstanding == 0 the Sched may be destroyed —
+        // nothing here may touch it after the unlock.
+        sched.cv.notify_all();
       }
-      sched.cv.notify_all();
     });
   };
 
@@ -1897,7 +1966,8 @@ ResResult ResEngine::Run() {
       sched.stopping = true;
       sched.cv.wait(lock, [&] { return sched.outstanding == 0; });
     }
-    pool.reset();
+    pool = nullptr;
+    owned_lane_pool.reset();  // a shared (runtime) pool is left running
     // The node being committed was already popped off the stack; on an
     // early return (cause found, reached start) its speculatively built
     // subtree still holds parent<->child shared_ptr cycles — break them
@@ -1943,6 +2013,7 @@ ResResult ResEngine::Run() {
 
   auto finish = [&](ResResult&& r) {
     shutdown();
+    stats_.solver.clauses_evicted = clause_store_.evicted_count();
     if (sched.debug) {
       std::fprintf(stderr,
                    "[sched] exec gate=%.2fms/%llu explore=%.2fms/%llu "
@@ -1980,13 +2051,23 @@ ResResult ResEngine::Run() {
     // except its (possibly still speculating) gate stats are never merged —
     // in inline mode the gate never even runs.
     n->screen_seq = clause_store_.published();
-    if (options_.solver_portfolio && !n->is_root && n->screen_seq > 0 &&
-        ScreenRefutes(*n)) {
-      ++stats_.solver.clause_hits;
-      ++stats_.pruned_unsat;
-      stack.pop_back();
-      discard_subtree(std::move(n));
-      continue;
+    if (options_.solver_portfolio && !n->is_root &&
+        (n->screen_seq > 0 || promoted_watermark_ > 0)) {
+      uint64_t hit_seq = 0;
+      int refuted = ScreenRefutes(*n, &hit_seq);
+      if (refuted != 0) {
+        if (refuted == 1) {
+          ++stats_.solver.clause_hits;
+          clause_store_.RecordHit(hit_seq);  // eviction order follows use
+        } else {
+          ++stats_.solver.promoted_clause_hits;
+          promoted_->RecordHit(hit_seq);
+        }
+        ++stats_.pruned_unsat;
+        stack.pop_back();
+        discard_subtree(std::move(n));
+        continue;
+      }
     }
     ensure_done(n, Task::kGate);
     if (!n->gate_passed) {
@@ -1997,7 +2078,7 @@ ResResult ResEngine::Run() {
         if (clause_debug) {
           std::fprintf(stderr, "[core] size=%zu:\n", n->gate_core.size());
           for (const Expr* e : n->gate_core) {
-            std::fprintf(stderr, "  %s\n", ExprToString(pool_, e).c_str());
+            std::fprintf(stderr, "  %s\n", ExprToString(*pool_, e).c_str());
           }
         }
         if (clause_store_.Publish(std::move(n->gate_core))) {
@@ -2063,7 +2144,7 @@ ResResult ResEngine::Run() {
             Finalize(n->complete_h, n->complete_model, n->complete_verified);
         DetectorStats dstats;
         result.causes =
-            DetectRootCauses(module_, dump_, *result.suffix, &pool_, &dstats);
+            DetectRootCauses(module_, dump_, *result.suffix, pool_, &dstats);
         stats_.detector_units_scanned += dstats.units_scanned;
         stats_.detector_rescans_avoided += dstats.rescans_avoided;
         if (result.causes.empty() && candidate.has_value()) {
@@ -2117,7 +2198,7 @@ ResResult ResEngine::Run() {
     result.suffix = Finalize(best.h, best.model, best.verified);
     DetectorStats dstats;
     result.causes =
-        DetectRootCauses(module_, dump_, *result.suffix, &pool_, &dstats);
+        DetectRootCauses(module_, dump_, *result.suffix, pool_, &dstats);
     stats_.detector_units_scanned += dstats.units_scanned;
     stats_.detector_rescans_avoided += dstats.rescans_avoided;
   }

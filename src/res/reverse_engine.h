@@ -35,6 +35,9 @@
 
 namespace res {
 
+class ResRuntime;
+struct ModuleFacts;
+
 struct ResOptions {
   size_t max_units = 64;             // suffix length bound (in blocks)
   size_t max_hypotheses = 50000;     // exploration budget
@@ -77,6 +80,26 @@ struct ResOptions {
   // satisfiable (it merely re-reads dump state), so the default requires one
   // genuine backward step to survive matching.
   size_t hw_confidence_depth = 2;
+  // Shared substrate to attach this run to (see src/res/runtime.h): the
+  // process-wide ExprPool, check cache, per-module facts (backward CFG +
+  // promoted clause store), and — when the runtime owns a lane pool — the
+  // worker threads. nullptr (the default) keeps the classic self-contained
+  // engine: private pool, private cache, per-run thread pool. Output is
+  // byte-identical either way; only cold-start cost and cross-run fact
+  // reuse change. The runtime must outlive the engine and its results.
+  ResRuntime* runtime = nullptr;
+  // With a runtime: consult the module's *promoted* learned-clause store
+  // (cores published by earlier tasks, snapshot fixed at engine
+  // construction) in the commit-time screen, so conflicts already proven
+  // for this module refute without a solver call. Counted in
+  // SolverStats::promoted_clause_hits, deterministic per snapshot.
+  bool consult_promoted = true;
+  // Explicit promoted-store watermark to screen against instead of
+  // snapshotting at construction (the batch scheduler's parallel path sets
+  // this to the batch-start prefix, so every task sees the same snapshot
+  // no matter when its engine is lazily constructed). Values beyond the
+  // store's published count are clamped by the store's own probes.
+  std::optional<uint64_t> promoted_watermark;
   // Worker threads for hypothesis processing. 1 = fully inline,
   // single-threaded execution — the differential-testing oracle. N > 1
   // pipelines the three independent per-hypothesis lanes (symbolic
@@ -165,8 +188,13 @@ class ResEngine {
   // the hardware-error pipeline.)
   bool CheckTrapConsistency(std::string* why) const;
 
-  ExprPool* pool() { return &pool_; }
+  ExprPool* pool() { return pool_; }
   const ResStats& stats() const { return stats_; }
+  // The run-local learned-clause store and the solver's option/seed
+  // fingerprint — what a batch commit thread promotes after this run
+  // committed (ResRuntime::Promote). Call only after Run returned.
+  const ClauseStore& learned_clauses() const { return clause_store_; }
+  uint64_t solver_fingerprint() const;
 
  private:
   struct Hypothesis;
@@ -237,11 +265,15 @@ class ResEngine {
                      const Pc& branch_dest) const;
 
   // Learned-clause commit protocol (main thread only): does a core already
-  // published by the store (seq <= n.screen_seq) refute n's constraint set?
-  // Checks cores touching n's fresh constraints plus cores published since
-  // the parent's screen — everything older that could refute n would have
-  // refuted an ancestor at its own screen (constraints are append-only).
-  bool ScreenRefutes(const SpecNode& n);
+  // published by the run-local store (seq <= n.screen_seq) — or by the
+  // module's promoted store within this run's fixed watermark — refute n's
+  // constraint set? Checks cores touching n's fresh constraints plus local
+  // cores published since the parent's screen — everything older that could
+  // refute n would have refuted an ancestor at its own screen (constraints
+  // are append-only, and every node screens against the same promoted
+  // watermark). Returns 0 = no, 1 = local store (seq in *hit_seq), 2 =
+  // promoted store (promoted seq in *hit_seq).
+  int ScreenRefutes(const SpecNode& n, uint64_t* hit_seq);
 
   SynthesizedSuffix Finalize(const Hypothesis& h, const Assignment& model,
                              bool verified) const;
@@ -260,13 +292,23 @@ class ResEngine {
   const Module& module_;
   const Coredump& dump_;
   ResOptions options_;
-  ModuleCfg cfg_;
-  ExprPool pool_;
+  // Runtime-shared module facts (nullptr without a runtime); owned_* hold
+  // the private fallbacks, and cfg_/pool_ always point at whichever is
+  // active — declaration order here is load-bearing (ctor init order).
+  ModuleFacts* facts_ = nullptr;
+  std::unique_ptr<ModuleCfg> owned_cfg_;
+  const ModuleCfg* cfg_;
+  std::unique_ptr<ExprPool> owned_pool_;
+  ExprPool* pool_;
   Solver solver_;
-  // Shared learned-clause store (solver_portfolio only). Workers consult it
-  // speculatively inside GateNode (advisory, sound); the commit loop is the
-  // single publisher and runs the deterministic screen — see Run().
+  // Run-local learned-clause store (solver_portfolio only). Workers consult
+  // it speculatively inside GateNode (advisory, sound); the commit loop is
+  // the single publisher and runs the deterministic screen — see Run().
   ClauseStore clause_store_;
+  // Module-global promoted cores (runtime + consult_promoted only): a
+  // read/record-hit view bounded by the watermark taken at construction.
+  ClauseStore* promoted_ = nullptr;
+  uint64_t promoted_watermark_ = 0;
   ResStats stats_;
   // Per-engine immutable detector precomputation (incremental mode only).
   RootCauseSetup rc_setup_;

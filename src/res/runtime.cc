@@ -1,0 +1,50 @@
+#include "src/res/runtime.h"
+
+namespace res {
+
+ResRuntime::ResRuntime(ResRuntimeOptions options)
+    : options_(options), check_cache_(options.check_cache_max_entries) {
+  if (options_.worker_threads > 0) {
+    lane_pool_ = std::make_unique<ThreadPool>(options_.worker_threads);
+  }
+}
+
+ResRuntime::~ResRuntime() = default;
+
+ModuleFacts* ResRuntime::FactsFor(const Module& module) {
+  std::lock_guard<std::mutex> lock(facts_mu_);
+  auto it = facts_.find(&module);
+  if (it == facts_.end()) {
+    it = facts_
+             .emplace(&module, std::make_unique<ModuleFacts>(module, options_))
+             .first;
+  }
+  return it->second.get();
+}
+
+ResRuntime::Promotion ResRuntime::Promote(
+    const Module& module, const ClauseStore& task_cores,
+    const std::vector<CheckKey>& cold_keys, uint64_t solver_fingerprint) {
+  ModuleFacts* facts = FactsFor(module);
+  Promotion result;
+  std::lock_guard<std::mutex> lock(promote_mu_);
+  // Cores in task seq order (itself deterministic commit order); evicted
+  // cores stayed cold in their own run, so only live ones promote.
+  const uint64_t published = task_cores.published();
+  for (uint64_t seq = 0; seq < published; ++seq) {
+    if (task_cores.IsEvicted(seq)) {
+      continue;
+    }
+    if (facts->promoted_clauses.Publish(task_cores.CoreElems(seq))) {
+      ++result.new_cores;
+    }
+  }
+  for (const CheckKey& key : cold_keys) {
+    if (check_cache_.Promote(key, solver_fingerprint)) {
+      ++result.new_keys;
+    }
+  }
+  return result;
+}
+
+}  // namespace res

@@ -1,0 +1,145 @@
+// ResRuntime — the process-wide substrate under fleet-scale triage (paper
+// §3.1: bucketing and rating *streams* of incoming coredumps).
+//
+// A standalone ResEngine spins up everything it needs per run: an ExprPool,
+// a solver check cache, a learned-clause store, a worker pool. That is the
+// right shape for one interactive debugging session and the wrong shape for
+// a triage service: a batch over N dumps pays N cold starts and shares
+// nothing, even when every dump comes from the same module. ResRuntime
+// lifts the shareable substrate into one process-wide object that any
+// number of concurrent engine runs attach to:
+//
+//   - ExprPool: expressions are content-addressed (interning makes
+//     structural equality pointer equality), so sharing the pool is safe
+//     directly — and it is what makes constraints, check-cache entries, and
+//     clause-store cores pointer-comparable ACROSS runs. Engine-minted
+//     variables go through ExprPool::InternVar, keyed by their
+//     deterministic (name, uid): identical search positions in two runs of
+//     the same module re-intern to the same variable node.
+//   - CheckCache: cold-check outcomes are pure functions of (constraint
+//     set, solver fingerprint, decision mode), so a shared cache never
+//     changes any run's output — only its cost. Entries are epoch-tagged
+//     per engine run; a run sees its own entries (exactly the solo-run
+//     cache) plus entries for keys *promoted* by a batch commit thread.
+//   - Per-module facts (FactsFor): the backward CFG, built once per module
+//     instead of once per engine, and the module-global promoted
+//     ClauseStore fed by the promotion protocol below.
+//   - ThreadPool: one shared lane pool for the engines' pipelined
+//     explore/gate/detect tasks (PR 2), so dump-level parallelism and
+//     intra-run parallelism compose under a single thread budget instead of
+//     multiplying. Lane tasks never block, so any number of engines may
+//     share the pool deadlock-free; each engine still waits for its own
+//     outstanding tasks before returning.
+//
+// Promotion protocol (the cross-task analogue of PR 4's commit-order clause
+// protocol): a batch commit thread — TriageService's caller thread —
+// processes completed tasks in dump-submission order and, per task, calls
+// Promote with the task's learned cores (deterministic: published by the
+// task's commit thread in commit order) and its committed cold-check keys
+// (deterministic: merged by the task's commit thread in commit order). The
+// promoted counts are therefore pure functions of the committed searches
+// and the submission order. Engines snapshot the promoted store at
+// construction (a fixed watermark), so within one run every screen verdict
+// remains a pure function of (dump, options, snapshot) — byte-identical at
+// any thread count.
+//
+// Thread-safety: all public methods are thread-safe. Promote serializes
+// internally, preserving a deterministic publication order as long as each
+// batch calls it in submission order.
+#ifndef RES_RES_RUNTIME_H_
+#define RES_RES_RUNTIME_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/cfg/cfg.h"
+#include "src/ir/module.h"
+#include "src/support/thread_pool.h"
+#include "src/symbolic/expr.h"
+#include "src/symbolic/solver.h"
+
+namespace res {
+
+struct ResRuntimeOptions {
+  // Shared lane-pool threads for engines running with num_threads > 1.
+  // 0 = no shared pool; such engines fall back to a private per-run pool.
+  size_t worker_threads = 0;
+  // Shared memo-cache bound (same semantics as the solver's private cache).
+  size_t check_cache_max_entries = 1 << 18;
+  // Core capacity of each module's promoted store. Unlike the run-local
+  // stores, the promoted store NEVER evicts: a running engine's fixed
+  // watermark may cover any promoted core, and the determinism contract
+  // requires the covered prefix to stay visible for the whole run — so at
+  // capacity, promotion simply stops for that module.
+  size_t promoted_clause_capacity = 16384;
+};
+
+// Facts scoped to one module, built on first use and shared by every run
+// over that module. The promoted ClauseStore is published to exclusively by
+// ResRuntime::Promote (single logical publisher, serialized internally).
+struct ModuleFacts {
+  ModuleFacts(const Module& m, const ResRuntimeOptions& options)
+      : module(&m),
+        cfg(ModuleCfg::Build(m)),
+        // live capacity == slot slab: the full-slab check in Publish fires
+        // before any eviction could, so promoted cores are never displaced
+        // out from under a running engine's watermark.
+        promoted_clauses(options.promoted_clause_capacity,
+                         options.promoted_clause_capacity) {}
+
+  const Module* module;
+  ModuleCfg cfg;
+  ClauseStore promoted_clauses;
+};
+
+class ResRuntime {
+ public:
+  explicit ResRuntime(ResRuntimeOptions options = {});
+  ResRuntime(const ResRuntime&) = delete;
+  ResRuntime& operator=(const ResRuntime&) = delete;
+  ~ResRuntime();
+
+  ExprPool* pool() { return &pool_; }
+  CheckCache* check_cache() { return &check_cache_; }
+  // The shared lane pool, or nullptr when worker_threads == 0.
+  ThreadPool* lane_pool() { return lane_pool_.get(); }
+  const ResRuntimeOptions& options() const { return options_; }
+
+  // Fresh check-cache epoch for one engine run.
+  uint32_t NextEpoch() { return epoch_.fetch_add(1, std::memory_order_relaxed); }
+
+  // The shared facts for `module` (created on first use). The returned
+  // pointer stays valid for the runtime's lifetime; `module` must outlive
+  // the runtime.
+  ModuleFacts* FactsFor(const Module& module);
+
+  struct Promotion {
+    uint64_t new_cores = 0;  // cores newly published to the module store
+    uint64_t new_keys = 0;   // check keys newly promoted module-global
+  };
+
+  // Publishes one committed task's module-level facts: its live learned
+  // cores (in task seq order) into the module's promoted ClauseStore, and
+  // its committed cold-check keys into the shared cache's promoted set.
+  // Batch commit threads call this in dump-submission order.
+  Promotion Promote(const Module& module, const ClauseStore& task_cores,
+                    const std::vector<CheckKey>& cold_keys,
+                    uint64_t solver_fingerprint);
+
+ private:
+  ResRuntimeOptions options_;
+  ExprPool pool_;
+  CheckCache check_cache_;
+  std::unique_ptr<ThreadPool> lane_pool_;
+  std::atomic<uint32_t> epoch_{1};  // 0 is the no-runtime default epoch
+  std::mutex facts_mu_;
+  std::map<const Module*, std::unique_ptr<ModuleFacts>> facts_;
+  std::mutex promote_mu_;
+};
+
+}  // namespace res
+
+#endif  // RES_RES_RUNTIME_H_

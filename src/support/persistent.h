@@ -120,183 +120,23 @@ class PersistentVector {
   std::vector<T> tail_;                  // private to this copy
 };
 
-// Insert-only hash set with O(delta) copies: layered like CowOverlay, with
-// the chain flattened once it grows past kMaxChainDepth so lookups stay fast.
-template <typename T, typename Hash = std::hash<T>>
-class PersistentSet {
- public:
-  bool contains(const T& v) const {
-    if (delta_.count(v) != 0) {
-      return true;
-    }
-    for (const Layer* l = frozen_.get(); l != nullptr; l = l->parent.get()) {
-      if (l->entries.count(v) != 0) {
-        return true;
-      }
-    }
-    return false;
-  }
-
-  // Returns true when `v` was newly inserted (mirrors std::set::insert).
-  bool insert(const T& v) {
-    if (contains(v)) {
-      return false;
-    }
-    delta_.insert(v);
-    if (delta_.size() >= kFreezeThreshold) {
-      Freeze();
-    }
-    return true;
-  }
-
-  size_t size() const {
-    size_t n = delta_.size();
-    for (const Layer* l = frozen_.get(); l != nullptr; l = l->parent.get()) {
-      n += l->entries.size();
-    }
-    return n;  // layers are disjoint: insert() checks before inserting
-  }
-
-  size_t LayerDepth() const { return frozen_ ? frozen_->depth : 0; }
-
- private:
-  struct Layer {
-    std::unordered_set<T, Hash> entries;
-    std::shared_ptr<const Layer> parent;
-    size_t depth = 1;  // chain length including this layer
-  };
-
-  static constexpr size_t kFreezeThreshold = 16;
-  static constexpr size_t kMaxChainDepth = 32;
-
-  void Freeze() {
-    size_t depth = frozen_ ? frozen_->depth : 0;
-    auto layer = std::make_shared<Layer>();
-    if (depth + 1 > kMaxChainDepth) {
-      // Chain too deep for fast lookups: flatten everything into one layer.
-      layer->entries = std::move(delta_);
-      for (const Layer* l = frozen_.get(); l != nullptr; l = l->parent.get()) {
-        layer->entries.insert(l->entries.begin(), l->entries.end());
-      }
-      layer->parent = nullptr;
-      layer->depth = 1;
-    } else {
-      layer->entries = std::move(delta_);
-      layer->parent = frozen_;
-      layer->depth = depth + 1;
-    }
-    frozen_ = std::move(layer);
-    delta_.clear();
-  }
-
-  std::shared_ptr<const Layer> frozen_;   // immutable, structure-shared
-  std::unordered_set<T, Hash> delta_;     // private to this copy
-};
-
-// Hash set supporting erase, with O(delta) copies: membership is a
-// last-write-wins boolean over a PersistentMap-style layer chain (erase
-// writes a tombstone), plus a per-copy live count so emptiness checks stay
-// O(1). Used for fold state that both grows and shrinks along a hypothesis
-// chain (e.g. the origin fold's live def-use frontier), where a plain
-// std::set would be value-copied in full at every fork.
-template <typename T, typename Hash = std::hash<T>>
-class PersistentEraseSet {
- public:
-  bool contains(const T& v) const {
-    auto it = delta_.find(v);
-    if (it != delta_.end()) {
-      return it->second;
-    }
-    for (const Layer* l = frozen_.get(); l != nullptr; l = l->parent.get()) {
-      auto lit = l->entries.find(v);
-      if (lit != l->entries.end()) {
-        return lit->second;
-      }
-    }
-    return false;
-  }
-
-  // Returns true when `v` was newly inserted (mirrors std::set::insert).
-  bool insert(const T& v) {
-    if (contains(v)) {
-      return false;
-    }
-    Write(v, true);
-    ++live_;
-    return true;
-  }
-
-  // Returns true when `v` was present (mirrors std::set::erase).
-  bool erase(const T& v) {
-    if (!contains(v)) {
-      return false;
-    }
-    Write(v, false);
-    --live_;
-    return true;
-  }
-
-  size_t size() const { return live_; }
-  bool empty() const { return live_ == 0; }
-  size_t LayerDepth() const { return frozen_ ? frozen_->depth : 0; }
-
- private:
-  struct Layer {
-    std::unordered_map<T, bool, Hash> entries;
-    std::shared_ptr<const Layer> parent;
-    size_t depth = 1;  // chain length including this layer
-  };
-
-  static constexpr size_t kFreezeThreshold = 16;
-  static constexpr size_t kMaxChainDepth = 32;
-
-  void Write(const T& v, bool present) {
-    delta_[v] = present;
-    if (delta_.size() >= kFreezeThreshold) {
-      Freeze();
-    }
-  }
-
-  void Freeze() {
-    size_t depth = frozen_ ? frozen_->depth : 0;
-    auto layer = std::make_shared<Layer>();
-    if (depth + 1 > kMaxChainDepth) {
-      // Chain too deep for fast lookups: flatten to the live members only
-      // (tombstones are meaningless in a single layer).
-      layer->entries.reserve(live_);
-      std::unordered_set<T, Hash> seen;
-      auto keep = [&layer, &seen](const T& v, bool present) {
-        if (seen.insert(v).second && present) {
-          layer->entries.emplace(v, true);
-        }
-      };
-      for (const auto& [v, present] : delta_) {
-        keep(v, present);
-      }
-      for (const Layer* l = frozen_.get(); l != nullptr; l = l->parent.get()) {
-        for (const auto& [v, present] : l->entries) {
-          keep(v, present);
-        }
-      }
-      layer->parent = nullptr;
-      layer->depth = 1;
-    } else {
-      layer->entries = std::move(delta_);
-      layer->parent = frozen_;
-      layer->depth = depth + 1;
-    }
-    frozen_ = std::move(layer);
-    delta_.clear();
-  }
-
-  std::shared_ptr<const Layer> frozen_;     // immutable, structure-shared
-  std::unordered_map<T, bool, Hash> delta_; // private to this copy
-  size_t live_ = 0;                         // live membership count
-};
-
 // Last-write-wins hash map with O(delta) copies. This is the generic form of
-// the snapshot memory overlay (CowOverlay is a thin wrapper around it).
-template <typename K, typename V, typename Hash = std::hash<K>>
+// the snapshot memory overlay (CowOverlay is a thin wrapper around it), and
+// the single home of the layer-chain/freeze/flatten recipe: PersistentSet
+// and PersistentEraseSet below are thin wrappers too.
+//
+// `FlattenKeep` is a stateless predicate over values consulted ONLY when a
+// too-deep chain is flattened into a single parentless layer: entries it
+// rejects are dropped instead of copied, and a dropped key reads as absent —
+// which is exactly the last-write-wins meaning of a tombstone once no older
+// layer remains to shadow. The default keeps everything.
+template <typename V>
+struct FlattenKeepAll {
+  bool operator()(const V&) const { return true; }
+};
+
+template <typename K, typename V, typename Hash = std::hash<K>,
+          typename FlattenKeep = FlattenKeepAll<V>>
 class PersistentMap {
  public:
   // Pointer to the value stored for `key`, or nullptr when absent. The
@@ -363,10 +203,14 @@ class PersistentMap {
     size_t depth = frozen_ ? frozen_->depth : 0;
     auto layer = std::make_shared<Layer>();
     if (depth + 1 > kMaxChainDepth) {
-      // Chain too deep for fast lookups: flatten everything into one layer.
+      // Chain too deep for fast lookups: flatten everything into one layer,
+      // dropping entries FlattenKeep rejects (e.g. tombstones — absent and
+      // rejected read identically once no parent layer remains).
       layer->entries.reserve(delta_.size() + kFreezeThreshold * depth);
       ForEach([&layer](const K& key, const V& value) {
-        layer->entries.emplace(key, value);
+        if (FlattenKeep()(value)) {
+          layer->entries.emplace(key, value);
+        }
       });
       layer->parent = nullptr;
       layer->depth = 1;
@@ -381,6 +225,84 @@ class PersistentMap {
 
   std::shared_ptr<const Layer> frozen_;    // immutable, structure-shared
   std::unordered_map<K, V, Hash> delta_;   // private to this copy
+};
+
+// Insert-only hash set with O(delta) copies: a PersistentMap whose values
+// carry no information. The per-copy size counter rides along with each copy
+// (layers are disjoint because insert() checks membership first), so size()
+// never walks the chain.
+template <typename T, typename Hash = std::hash<T>>
+class PersistentSet {
+ public:
+  bool contains(const T& v) const { return map_.Find(v) != nullptr; }
+
+  // Returns true when `v` was newly inserted (mirrors std::set::insert).
+  bool insert(const T& v) {
+    if (contains(v)) {
+      return false;
+    }
+    map_.Set(v, Unit{});
+    ++size_;
+    return true;
+  }
+
+  size_t size() const { return size_; }
+  size_t LayerDepth() const { return map_.LayerDepth(); }
+
+ private:
+  struct Unit {};
+
+  PersistentMap<T, Unit, Hash> map_;
+  size_t size_ = 0;
+};
+
+// Hash set supporting erase, with O(delta) copies: membership is a
+// last-write-wins boolean over the PersistentMap layer chain (erase writes a
+// tombstone), plus a per-copy live count so emptiness checks stay O(1). Used
+// for fold state that both grows and shrinks along a hypothesis chain (e.g.
+// the origin fold's live def-use frontier), where a plain std::set would be
+// value-copied in full at every fork.
+template <typename T, typename Hash = std::hash<T>>
+class PersistentEraseSet {
+ public:
+  bool contains(const T& v) const {
+    const bool* present = map_.Find(v);
+    return present != nullptr && *present;
+  }
+
+  // Returns true when `v` was newly inserted (mirrors std::set::insert).
+  bool insert(const T& v) {
+    if (contains(v)) {
+      return false;
+    }
+    map_.Set(v, true);
+    ++live_;
+    return true;
+  }
+
+  // Returns true when `v` was present (mirrors std::set::erase).
+  bool erase(const T& v) {
+    if (!contains(v)) {
+      return false;
+    }
+    map_.Set(v, false);
+    --live_;
+    return true;
+  }
+
+  size_t size() const { return live_; }
+  bool empty() const { return live_ == 0; }
+  size_t LayerDepth() const { return map_.LayerDepth(); }
+
+ private:
+  // Flatten filter: keep live members only, so erase-heavy folds do not
+  // accumulate one retained tombstone per ever-inserted key.
+  struct KeepLive {
+    bool operator()(const bool& present) const { return present; }
+  };
+
+  PersistentMap<T, bool, Hash, KeepLive> map_;
+  size_t live_ = 0;  // live membership count
 };
 
 }  // namespace res

@@ -205,6 +205,38 @@ const Expr* ExprPool::Var(const std::string& name, VarOrigin origin, uint64_t ui
   return Intern(node);
 }
 
+const Expr* ExprPool::InternVar(const std::string& name, VarOrigin origin,
+                                uint64_t uid) {
+  VarId id;
+  {
+    std::lock_guard<std::mutex> lock(vars_mu_);
+    auto it = interned_vars_.find(name);
+    if (it != interned_vars_.end() && vars_[it->second].uid == uid) {
+      ++var_intern_hits_;
+      id = it->second;
+    } else {
+      VarInfo info;
+      info.name = name;
+      info.origin = origin;
+      info.uid = uid;
+      info.id = static_cast<VarId>(vars_.size());
+      id = info.id;
+      vars_.push_back(std::move(info));
+      interned_vars_[name] = id;  // uid mismatch: newest registration wins
+    }
+  }
+  Expr node;
+  node.kind = ExprKind::kVar;
+  node.var = id;
+  node.value = static_cast<int64_t>(uid);  // see Expr::value
+  return Intern(node);
+}
+
+uint64_t ExprPool::var_intern_hits() const {
+  std::lock_guard<std::mutex> lock(vars_mu_);
+  return var_intern_hits_;
+}
+
 VarInfo ExprPool::var_info(VarId id) const {
   std::lock_guard<std::mutex> lock(vars_mu_);
   return vars_[id];

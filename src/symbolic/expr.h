@@ -137,6 +137,17 @@ class ExprPool {
   // schedule-dependent.
   const Expr* Var(const std::string& name, VarOrigin origin);
   const Expr* Var(const std::string& name, VarOrigin origin, uint64_t uid);
+  // Content-addressed variant for pools shared across engine runs (the
+  // ResRuntime substrate): returns the existing variable when (name, uid)
+  // was already registered, registering a fresh one otherwise. Within a
+  // single run the reverse engine's names are collision-free (they embed
+  // the deterministic task namespace), so InternVar behaves exactly like
+  // Var there; across runs over the same module, identical search positions
+  // re-intern to the same node — which is what makes constraints, check
+  // cache entries, and learned clauses pointer-comparable across tasks.
+  // Cross-run hits are counted in var_intern_hits() (scheduling-dependent
+  // under speculative parallel exploration; a reuse gauge, not an oracle).
+  const Expr* InternVar(const std::string& name, VarOrigin origin, uint64_t uid);
   const Expr* Binary(BinOp op, const Expr* a, const Expr* b);
   const Expr* Select(const Expr* cond, const Expr* if_true, const Expr* if_false);
 
@@ -150,6 +161,9 @@ class ExprPool {
   VarInfo var_info(VarId id) const;
   size_t var_count() const;
   size_t node_count() const;
+  // Cross-run variable reuse: InternVar calls answered by an existing
+  // registration instead of minting a fresh variable.
+  uint64_t var_intern_hits() const;
 
  private:
   static constexpr size_t kArenaChunkNodes = 1024;
@@ -174,6 +188,9 @@ class ExprPool {
   std::array<Shard, kShardCount> shards_;
   mutable std::mutex vars_mu_;
   std::deque<VarInfo> vars_;  // deque: stable storage under growth
+  // InternVar registry: (name, uid) -> VarId, guarded by vars_mu_.
+  std::unordered_map<std::string, VarId> interned_vars_;
+  uint64_t var_intern_hits_ = 0;  // guarded by vars_mu_
 };
 
 // Concrete evaluation under a variable assignment (missing vars read as 0).

@@ -272,10 +272,68 @@ std::string_view StrategyKindName(StrategyKind k) {
   return "?";
 }
 
-Solver::Solver(ExprPool* pool, uint64_t seed, SolverOptions options)
-    : pool_(pool), seed_(seed), options_(options) {}
+// Pure function of everything that can change a check's outcome: a solver
+// only ever adopts a shared-cache entry written by a solver that would have
+// computed the identical result itself.
+uint64_t SolverFingerprint(uint64_t seed, const SolverOptions& o) {
+  uint64_t f = HashCombine(0x5e55u, seed);
+  f = HashCombine(f, o.max_propagation_rounds);
+  f = HashCombine(f, o.max_enum_vars);
+  f = HashCombine(f, o.max_enum_points);
+  f = HashCombine(f, o.search_restarts);
+  f = HashCombine(f, o.search_steps);
+  f = HashCombine(f, o.budget_steps);
+  f = HashCombine(f, o.enum_slice);
+  f = HashCombine(f, o.search_slice);
+  f = HashCombine(f, o.max_core_size);
+  return f;
+}
+
+Solver::Solver(ExprPool* pool, uint64_t seed, SolverOptions options,
+               CheckCache* shared_cache, uint32_t cache_epoch)
+    : pool_(pool),
+      seed_(seed),
+      options_(options),
+      own_cache_(options.check_cache_max_entries),
+      cache_(shared_cache != nullptr ? shared_cache : &own_cache_),
+      cache_epoch_(cache_epoch),
+      fingerprint_(SolverFingerprint(seed, options)) {}
 
 // --- Learned-clause store. ---
+
+void ClauseStore::EvictOne() {
+  const uint64_t count = count_.load(std::memory_order_relaxed);
+  uint32_t victim = std::numeric_limits<uint32_t>::max();
+  uint32_t victim_hits = 0;
+  for (uint32_t id = 0; id < count; ++id) {
+    if (slots_[id].evicted.load(std::memory_order_relaxed)) {
+      continue;
+    }
+    uint32_t h = slots_[id].hits.load(std::memory_order_relaxed);
+    if (victim == std::numeric_limits<uint32_t>::max() || h < victim_hits) {
+      victim = id;  // ties keep the first (oldest seq) candidate
+      victim_hits = h;
+    }
+  }
+  if (victim == std::numeric_limits<uint32_t>::max()) {
+    return;
+  }
+  // Purge the dedup entry first so the conflict can be re-learned later;
+  // the by_member index keeps the id (probes skip it via the flag).
+  uint64_t h = 0;
+  for (const Expr* e : slots_[victim].elems) {
+    h ^= MixKey(e->det_hash);
+  }
+  auto it = dedup_.find(h);
+  if (it != dedup_.end()) {
+    auto& bucket = it->second;
+    bucket.erase(std::remove(bucket.begin(), bucket.end(), victim),
+                 bucket.end());
+  }
+  slots_[victim].evicted.store(true, std::memory_order_release);
+  live_.fetch_sub(1, std::memory_order_relaxed);
+  evicted_.fetch_add(1, std::memory_order_relaxed);
+}
 
 bool ClauseStore::Publish(std::vector<const Expr*> core) {
   if (core.empty()) {
@@ -283,7 +341,7 @@ bool ClauseStore::Publish(std::vector<const Expr*> core) {
   }
   uint64_t count = count_.load(std::memory_order_relaxed);
   if (count >= slots_.size()) {
-    return false;  // full: stop learning (existing cores keep working)
+    return false;  // slot slab exhausted: stop learning entirely
   }
   uint64_t h = 0;
   for (const Expr* e : core) {
@@ -292,8 +350,11 @@ bool ClauseStore::Publish(std::vector<const Expr*> core) {
   auto& bucket = dedup_[h];
   for (uint32_t id : bucket) {
     if (slots_[id].elems == core) {
-      return false;  // already learned
+      return false;  // already learned (and still live)
     }
+  }
+  if (live_.load(std::memory_order_relaxed) >= live_capacity_) {
+    EvictOne();
   }
   uint32_t id = static_cast<uint32_t>(count);
   slots_[id].elems = std::move(core);
@@ -303,25 +364,47 @@ bool ClauseStore::Publish(std::vector<const Expr*> core) {
     std::lock_guard<std::mutex> lock(shard.mu);
     shard.by_member[e].push_back(id);
   }
+  live_.fetch_add(1, std::memory_order_relaxed);
   // Release: the slot (and its index entries) are fully written before the
   // published count advances past it.
   count_.store(count + 1, std::memory_order_release);
   return true;
 }
 
-// --- Memoized check cache (striped; shared across engine worker threads). ---
+// --- Memoized check cache (striped; shared across engine worker threads
+//     and, through ResRuntime, across engines). ---
 
-void Solver::CacheStore(uint64_t key, std::vector<const Expr*> sorted_unique,
-                        bool portfolio, const SolveOutcome& outcome) {
-  CacheShard& shard = check_cache_[key % kCacheShards];
+void CheckCache::Store(const CheckKey& k, uint64_t fingerprint, uint32_t epoch,
+                       std::vector<const Expr*> sorted_unique,
+                       const SolveOutcome& outcome) {
+  CacheShard& shard = shards_[k.set_key % kCacheShards];
   std::lock_guard<std::mutex> lock(shard.mu);
-  if (shard.entries >= options_.check_cache_max_entries / kCacheShards) {
+  if (shard.entries >= max_entries_ / kCacheShards) {
     shard.map.clear();
     shard.entries = 0;
   }
-  shard.map[key].push_back(
-      CacheEntry{std::move(sorted_unique), portfolio, outcome});
+  shard.map[k.set_key].push_back(
+      Entry{std::move(sorted_unique), k.portfolio, epoch, fingerprint, outcome});
   ++shard.entries;
+}
+
+uint64_t CheckCache::PromoKey(const CheckKey& k, uint64_t fingerprint) {
+  uint64_t h = HashCombine(k.set_key, k.distinct);
+  h = HashCombine(h, k.portfolio ? 2u : 1u);
+  return HashCombine(h, fingerprint);
+}
+
+bool CheckCache::Promote(const CheckKey& k, uint64_t fingerprint) {
+  std::lock_guard<std::mutex> lock(promoted_mu_);
+  bool inserted = promoted_.insert(PromoKey(k, fingerprint)).second;
+  if (inserted) {
+    promoted_count_.store(promoted_.size(), std::memory_order_release);
+  }
+  return inserted;
+}
+
+uint64_t CheckCache::promoted_keys() const {
+  return promoted_count_.load(std::memory_order_acquire);
 }
 
 // --- Phase 1: incremental equality propagation (with conflict provenance). -
@@ -1015,7 +1098,7 @@ SolveOutcome Solver::CheckWith(SolverContext* ctx,
   // misses (which pay a full solve anyway) sort.
   const bool use_cache = ctx->absorbed_ == 0;
   std::vector<const Expr*> cache_vec;
-  uint64_t cache_key = 0;
+  CheckKey cache_key;
   if (use_cache) {
     // Form the full-set key from the context's incrementally-maintained
     // deduped hash plus an O(delta) pass over the unabsorbed suffix. On a
@@ -1032,16 +1115,28 @@ SolveOutcome Solver::CheckWith(SolverContext* ctx,
         ++distinct_delta;
       }
     }
-    cache_key = ctx->set_key_ ^ key_delta;
-    const size_t distinct = ctx->distinct_ + distinct_delta;
+    cache_key.set_key = ctx->set_key_ ^ key_delta;
+    cache_key.distinct = static_cast<uint32_t>(ctx->distinct_ + distinct_delta);
+    cache_key.portfolio = portfolio;
+    // Journal the key (hit or miss) — but only when a shared cache makes
+    // promotion possible: the engine merges these in commit order, and the
+    // batch scheduler promotes a committed run's keys. Private-cache
+    // solvers skip the bookkeeping entirely.
+    if (cache_ != &own_cache_) {
+      stats->cold_check_keys.push_back(cache_key);
+    }
     auto contains = [&](const Expr* e) {
       return fresh_members.count(e) != 0 || ctx->absorbed_set_.contains(e);
     };
     SolveOutcome cached;
     std::vector<const Expr*> canonical;
-    if (CacheLookup(cache_key, distinct, portfolio, contains, &cached,
-                    &canonical)) {
+    bool via_promotion = false;
+    if (cache_->Lookup(cache_key, fingerprint_, cache_epoch_, contains, &cached,
+                       &canonical, &via_promotion)) {
       ++stats->cache_hits;
+      if (via_promotion) {
+        ++stats->promoted_cache_hits;
+      }
       Propagate(ctx, canonical, total, portfolio, stats);
       if (cached.result == SatResult::kSat) {
         ctx->model_ = cached.model;
@@ -1069,7 +1164,8 @@ SolveOutcome Solver::CheckWith(SolverContext* ctx,
     // a later check of the same set (fresh rng state, warmer context) may
     // still decide it, so only definitive verdicts are memoized.
     if (use_cache && o.result != SatResult::kUnknown) {
-      CacheStore(cache_key, std::move(cache_vec), portfolio, o);
+      cache_->Store(cache_key, fingerprint_, cache_epoch_, std::move(cache_vec),
+                    o);
     }
     if (o.result == SatResult::kSat) {
       ctx->model_ = o.model;

@@ -57,6 +57,7 @@
 #include <map>
 #include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/support/persistent.h"
@@ -106,6 +107,17 @@ struct Interval {
   }
 };
 
+// Identity of one memoized cold-check key: the commutative content hash of
+// the deduped constraint set, its cardinality, and the decision-function
+// partition. This is what the cross-task promotion protocol publishes (see
+// CheckCache): a promoted key makes every cache entry for that set visible
+// to all engine epochs.
+struct CheckKey {
+  uint64_t set_key = 0;
+  uint32_t distinct = 0;
+  bool portfolio = false;
+};
+
 struct SolverStats {
   uint64_t checks = 0;
   uint64_t incremental_checks = 0;   // checks that reused a warm context
@@ -132,6 +144,21 @@ struct SolverStats {
   // --- Learned-clause (UNSAT core) counters. ---
   uint64_t clauses_learned = 0;  // cores published to the shared store
   uint64_t clause_hits = 0;      // hypotheses refuted by a stored core
+  uint64_t clauses_evicted = 0;  // cores evicted to keep the store learning
+  // --- Cross-task (ResRuntime) reuse counters. ---
+  // Hypotheses refuted by a core promoted from an earlier task's run
+  // (deterministic: counted by the commit thread against a store snapshot
+  // fixed at engine construction).
+  uint64_t promoted_clause_hits = 0;
+  // Cache hits whose entry was visible only through key promotion, i.e.
+  // answered with another task's cold-solve (scheduling-dependent, like the
+  // other cache counters).
+  uint64_t promoted_cache_hits = 0;
+  // Journal of the cold-check keys this run consulted the shared cache for.
+  // The engine merges per-task journals in deterministic commit order, so a
+  // completed run's journal is a pure function of the committed search —
+  // it is what the batch scheduler promotes (TriageStats::cache_promotions).
+  std::vector<CheckKey> cold_check_keys;
 };
 
 struct SolverOptions {
@@ -232,24 +259,60 @@ class SolverContext {
 // commit thread — a pure function of the committed prefix of the search.
 // Worker-side (speculative) queries are sound but advisory: any refutation
 // they find is re-derived deterministically by the commit-time screen.
+// Bounded learning: the store keeps at most `live_capacity` cores live.
+// Publishing past that bound evicts the live core with the fewest screen
+// hits (ties break toward the oldest seq) instead of refusing to learn —
+// long searches keep learning, and a hot core is never displaced by a cold
+// one. Eviction is a publisher-side action (commit thread, commit order), so
+// screen verdicts remain pure functions of the committed search prefix; an
+// evicted core's payload is never mutated (readers skip it via an atomic
+// flag), and its dedup entry is purged so the conflict can be re-learned if
+// it proves itself again. Hits are recorded only by the commit thread
+// (RecordHit), keeping the eviction order deterministic. The slot slab is
+// finite (`slot_capacity`); a search that exhausts it stops learning, as the
+// pre-eviction store did at live capacity.
 class ClauseStore {
  public:
-  explicit ClauseStore(size_t capacity = 4096) : slots_(capacity) {}
+  explicit ClauseStore(size_t live_capacity = 4096, size_t slot_capacity = 0)
+      : live_capacity_(live_capacity),
+        slots_(slot_capacity == 0 ? live_capacity * 4 : slot_capacity) {}
 
   // Publishes a core (DetExprLess-sorted, deduped). Single-publisher: only
   // the engine's commit thread calls this. Returns true when the core was
-  // new (not a duplicate) and the store had room.
+  // new (not a duplicate) and a slot was available (evicting if needed).
   bool Publish(std::vector<const Expr*> core);
 
-  // Cores published so far (acquire; safe from any thread).
+  // Cores published so far (acquire; safe from any thread). Seq values are
+  // stable: eviction flags a slot, it never renumbers.
   uint64_t published() const { return count_.load(std::memory_order_acquire); }
 
-  // Does a core with seq <= up_to containing `member` refute the set probed
-  // by `contains`? `contains` must answer membership for the querying
-  // hypothesis's constraint set.
+  // Commit-thread bookkeeping for eviction order: one deterministic screen
+  // hit on core `seq`.
+  void RecordHit(uint64_t seq) {
+    slots_[seq].hits.fetch_add(1, std::memory_order_relaxed);
+  }
+  uint64_t evicted_count() const {
+    return evicted_.load(std::memory_order_relaxed);
+  }
+  uint64_t live_count() const { return live_.load(std::memory_order_relaxed); }
+
+  // The core behind `seq` (publisher / post-run readers; a concurrently
+  // evicted core's elements stay valid — eviction never mutates payloads).
+  const std::vector<const Expr*>& CoreElems(uint64_t seq) const {
+    return slots_[seq].elems;
+  }
+  bool IsEvicted(uint64_t seq) const {
+    return slots_[seq].evicted.load(std::memory_order_acquire);
+  }
+
+  // Does a live core with seq <= up_to containing `member` refute the set
+  // probed by `contains`? `contains` must answer membership for the querying
+  // hypothesis's constraint set. On success `hit_seq` (when given) receives
+  // the refuting core's seq, for RecordHit.
   template <typename ContainsFn>
   bool RefutesByMember(const Expr* member, uint64_t up_to,
-                       const ContainsFn& contains) const {
+                       const ContainsFn& contains,
+                       uint64_t* hit_seq = nullptr) const {
     uint64_t limit = std::min(up_to, published());
     const Shard& shard = shards_[ShardOf(member)];
     std::vector<uint32_t> ids;
@@ -262,20 +325,27 @@ class ClauseStore {
       ids = it->second;  // copy out: probe cores without holding the lock
     }
     for (uint32_t id : ids) {
-      if (id < limit && CoreSubsetOf(slots_[id], contains)) {
+      if (id < limit && !IsEvicted(id) && CoreSubsetOf(slots_[id], contains)) {
+        if (hit_seq != nullptr) {
+          *hit_seq = id;
+        }
         return true;
       }
     }
     return false;
   }
 
-  // Does any core with seq in (after, up_to] refute the probed set?
+  // Does any live core with seq in (after, up_to] refute the probed set?
   template <typename ContainsFn>
   bool RefutesNewSince(uint64_t after, uint64_t up_to,
-                       const ContainsFn& contains) const {
+                       const ContainsFn& contains,
+                       uint64_t* hit_seq = nullptr) const {
     uint64_t limit = std::min(up_to, published());
     for (uint64_t id = after; id < limit; ++id) {
-      if (CoreSubsetOf(slots_[id], contains)) {
+      if (!IsEvicted(id) && CoreSubsetOf(slots_[id], contains)) {
+        if (hit_seq != nullptr) {
+          *hit_seq = id;
+        }
         return true;
       }
     }
@@ -285,6 +355,8 @@ class ClauseStore {
  private:
   struct Core {
     std::vector<const Expr*> elems;  // sorted by DetExprLess, deduped
+    std::atomic<uint32_t> hits{0};   // commit-thread screen hits
+    std::atomic<bool> evicted{false};
   };
   static constexpr size_t kShards = 16;
   struct Shard {
@@ -305,12 +377,131 @@ class ClauseStore {
     return true;
   }
 
-  std::vector<Core> slots_;            // preallocated; slot i = seq i+1
+  // Flags the minimum-(hits, seq) live core evicted and purges its dedup
+  // entry. Publisher-only.
+  void EvictOne();
+
+  size_t live_capacity_;
+  std::vector<Core> slots_;            // preallocated; never resized
   std::atomic<uint64_t> count_{0};     // published prefix of slots_
+  std::atomic<uint64_t> live_{0};      // published minus evicted
+  std::atomic<uint64_t> evicted_{0};
   std::array<Shard, kShards> shards_;  // member -> core ids (may run ahead
                                        // of count_; queries bound by it)
   // Publisher-private dedup index (commit thread only; no locking).
   std::unordered_map<uint64_t, std::vector<uint32_t>> dedup_;
+};
+
+// Memoized cold-check cache, extracted from the Solver so a ResRuntime can
+// share one instance across every engine it hosts. Soundness of sharing
+// rests on the pure-function contract (see Solver below): a cold check's
+// outcome is a function of (constraint set, solver fingerprint, decision
+// mode) only, so whichever thread — in whichever engine — computes a set
+// first stores exactly the verdict and model any other would have.
+//
+// Cross-task isolation: every entry is tagged with the owning engine's
+// epoch. A lookup sees entries of its own epoch (exactly the cache a solo
+// run would have built) plus entries for *promoted* keys — constraint sets
+// published module-globally by a batch commit thread, in dump-submission
+// order, after the owning task committed them (the check-cache half of the
+// ResRuntime promotion protocol; the clause half is ClauseStore). Entries
+// additionally carry the solver fingerprint, so engines with different
+// solver options or seeds never exchange outcomes.
+//
+// Thread-safety: fully thread-safe; striped shards exactly like the old
+// in-Solver cache, plus a mutex-guarded promoted-key set.
+class CheckCache {
+ public:
+  explicit CheckCache(size_t max_entries = 1 << 18)
+      : max_entries_(max_entries) {}
+
+  template <typename ContainsFn>
+  bool Lookup(const CheckKey& k, uint64_t fingerprint, uint32_t epoch,
+              const ContainsFn& contains, SolveOutcome* out,
+              std::vector<const Expr*>* canonical, bool* via_promotion) {
+    const bool promoted = IsPromoted(PromoKey(k, fingerprint));
+    CacheShard& shard = shards_[k.set_key % kCacheShards];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(k.set_key);
+    if (it == shard.map.end()) {
+      return false;
+    }
+    for (const Entry& entry : it->second) {
+      if (entry.portfolio != k.portfolio || entry.key.size() != k.distinct ||
+          entry.fingerprint != fingerprint ||
+          (entry.epoch != epoch && !promoted)) {
+        continue;
+      }
+      // Exact set equality by membership (sizes match, both sides deduped).
+      bool equal = true;
+      for (const Expr* e : entry.key) {
+        if (!contains(e)) {
+          equal = false;
+          break;
+        }
+      }
+      if (equal) {
+        *out = entry.outcome;    // copy out: the slot may be cleared later
+        *canonical = entry.key;  // the stored canonical (sorted) vector
+        if (via_promotion != nullptr) {
+          *via_promotion = entry.epoch != epoch;
+        }
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void Store(const CheckKey& k, uint64_t fingerprint, uint32_t epoch,
+             std::vector<const Expr*> sorted_unique,
+             const SolveOutcome& outcome);
+
+  // Marks the constraint set identified by `k` module-global: entries for
+  // it (from any epoch, present or future) become visible to every engine
+  // sharing this cache. Batch commit threads call this in dump-submission
+  // order. Returns true when the key was newly promoted.
+  bool Promote(const CheckKey& k, uint64_t fingerprint);
+
+  uint64_t promoted_keys() const;
+
+ private:
+  struct Entry {
+    std::vector<const Expr*> key;  // sorted, deduped constraint pointers
+    // Which decision function computed `outcome`. Portfolio and fixed
+    // scheduling are two different pure functions of the constraint set
+    // (slicing can change which strategy finds the model first), so
+    // entries never cross modes — otherwise a fixed-pipeline consumer
+    // (EnumerateValues) could adopt a portfolio model, making its values
+    // depend on which speculative task warmed the cache first.
+    bool portfolio = false;
+    uint32_t epoch = 0;        // owning engine run
+    uint64_t fingerprint = 0;  // solver options + seed
+    SolveOutcome outcome;
+  };
+  static constexpr size_t kCacheShards = 16;
+  struct CacheShard {
+    std::mutex mu;
+    std::unordered_map<uint64_t, std::vector<Entry>> map;
+    size_t entries = 0;
+  };
+
+  static uint64_t PromoKey(const CheckKey& k, uint64_t fingerprint);
+  bool IsPromoted(uint64_t promo_key) const {
+    // Fast path: solver-private caches (and runtimes before any batch
+    // committed) never promote, so the hot cold-check path skips the
+    // mutex entirely.
+    if (promoted_count_.load(std::memory_order_acquire) == 0) {
+      return false;
+    }
+    std::lock_guard<std::mutex> lock(promoted_mu_);
+    return promoted_.count(promo_key) != 0;
+  }
+
+  size_t max_entries_;
+  std::array<CacheShard, kCacheShards> shards_;
+  mutable std::mutex promoted_mu_;
+  std::unordered_set<uint64_t> promoted_;
+  std::atomic<uint64_t> promoted_count_{0};
 };
 
 // Thread-safety: Check / CheckIncremental / EnumerateValues may be called
@@ -326,7 +517,12 @@ class ClauseStore {
 // and model any other thread would have.
 class Solver {
  public:
-  explicit Solver(ExprPool* pool, uint64_t seed = 1, SolverOptions options = {});
+  // `shared_cache`, when given, replaces the solver's private memo cache
+  // (the ResRuntime wiring); `cache_epoch` is this engine run's isolation
+  // tag in it — see CheckCache. The default (private cache, epoch 0) is
+  // byte-identical to the historical behavior.
+  explicit Solver(ExprPool* pool, uint64_t seed = 1, SolverOptions options = {},
+                  CheckCache* shared_cache = nullptr, uint32_t cache_epoch = 0);
 
   // Is the conjunction of `constraints` satisfiable? Monolithic entry point:
   // propagates the whole vector against a cold context (still memoized).
@@ -370,20 +566,11 @@ class Solver {
                                        SolverStats* stats = nullptr);
 
   const SolverStats& stats() const { return stats_; }
+  // Hash of every outcome-relevant option plus the seed; the shared-cache
+  // partition tag (see CheckCache) and the promotion key salt.
+  uint64_t fingerprint() const { return fingerprint_; }
 
  private:
-  struct CacheEntry {
-    std::vector<const Expr*> key;  // sorted, deduped constraint pointers
-    // Which decision function computed `outcome`. Portfolio and fixed
-    // scheduling are two different pure functions of the constraint set
-    // (slicing can change which strategy finds the model first), so
-    // entries never cross modes — otherwise a fixed-pipeline consumer
-    // (EnumerateValues) could adopt a portfolio model, making its values
-    // depend on which speculative task warmed the cache first.
-    bool portfolio = false;
-    SolveOutcome outcome;
-  };
-
   // Non-owning view over either constraint-vector representation, so the
   // check core is written once. CopySuffix materializes [from, size()); the
   // full vector is only ever materialized on the cold cache path.
@@ -437,56 +624,18 @@ class Solver {
       const SolverContext& ctx,
       const std::vector<const SolverContext::Prov*>& seeds) const;
 
-  static constexpr size_t kCacheShards = 16;
-  struct CacheShard {
-    std::mutex mu;
-    std::unordered_map<uint64_t, std::vector<CacheEntry>> map;
-    size_t entries = 0;
-  };
-
-  // Memo cache keyed by the commutative content hash of the deduped
-  // interned constraint-pointer set (exact set compared on lookup via
-  // membership probes — `contains` must answer for the probe set — never
-  // by sorting the probe). `portfolio` selects the mode partition (see
-  // CacheEntry::portfolio).
-  template <typename ContainsFn>
-  bool CacheLookup(uint64_t key, size_t distinct, bool portfolio,
-                   const ContainsFn& contains, SolveOutcome* out,
-                   std::vector<const Expr*>* canonical) {
-    CacheShard& shard = check_cache_[key % kCacheShards];
-    std::lock_guard<std::mutex> lock(shard.mu);
-    auto it = shard.map.find(key);
-    if (it == shard.map.end()) {
-      return false;
-    }
-    for (const CacheEntry& entry : it->second) {
-      if (entry.portfolio != portfolio || entry.key.size() != distinct) {
-        continue;
-      }
-      // Exact set equality by membership (sizes match, both sides deduped).
-      bool equal = true;
-      for (const Expr* e : entry.key) {
-        if (!contains(e)) {
-          equal = false;
-          break;
-        }
-      }
-      if (equal) {
-        *out = entry.outcome;    // copy out: the slot may be cleared later
-        *canonical = entry.key;  // the stored canonical (sorted) vector
-        return true;
-      }
-    }
-    return false;
-  }
-  void CacheStore(uint64_t key, std::vector<const Expr*> sorted_unique,
-                  bool portfolio, const SolveOutcome& outcome);
-
   ExprPool* pool_;
   uint64_t seed_;
   SolverOptions options_;
   SolverStats stats_;  // sink for callers that pass no explicit stats
-  std::array<CacheShard, kCacheShards> check_cache_;
+  // The memo cache: private by default, a ResRuntime's shared instance when
+  // one was passed at construction. Entries are partitioned by fingerprint_
+  // (a hash of every outcome-relevant option plus the seed) so differently
+  // configured solvers sharing a cache never adopt each other's verdicts.
+  CheckCache own_cache_;
+  CheckCache* cache_;
+  uint32_t cache_epoch_;
+  uint64_t fingerprint_;
 };
 
 }  // namespace res

@@ -6,19 +6,24 @@ std::string StackBucketer::BucketFor(const Coredump& dump) const {
   return FaultingStackSignature(module_, dump);
 }
 
+std::string BucketFromResult(const Module& module, const Coredump& dump,
+                             const ResResult& result) {
+  if (!result.causes.empty()) {
+    return result.causes.front().BucketSignature(module);
+  }
+  if (result.hardware_error_suspected) {
+    return "hardware_error";
+  }
+  return "stack:" + FaultingStackSignature(module, dump);
+}
+
 std::string ResBucketer::BucketFor(const Coredump& dump, ResStats* stats) const {
   ResEngine engine(module_, dump, options_);
   ResResult result = engine.Run();
   if (stats != nullptr) {
     *stats = result.stats;
   }
-  if (!result.causes.empty()) {
-    return result.causes.front().BucketSignature(module_);
-  }
-  if (result.hardware_error_suspected) {
-    return "hardware_error";
-  }
-  return "stack:" + FaultingStackSignature(module_, dump);
+  return BucketFromResult(module_, dump, result);
 }
 
 double PairwiseBucketingAccuracy(const std::vector<std::string>& buckets,
@@ -75,9 +80,7 @@ Exploitability HeuristicExploitabilityRater::Rate(const Coredump& dump) const {
   }
 }
 
-Exploitability ResExploitabilityRater::Rate(const Coredump& dump) const {
-  ResEngine engine(module_, dump, options_);
-  ResResult result = engine.Run();
+Exploitability RateFromResult(const ResResult& result) {
   if (result.causes.empty()) {
     return Exploitability::kUnknown;
   }
@@ -97,6 +100,16 @@ Exploitability ResExploitabilityRater::Rate(const Coredump& dump) const {
     }
   }
   return Exploitability::kProbablyNotExploitable;
+}
+
+Exploitability ResExploitabilityRater::Rate(const Coredump& dump,
+                                            ResStats* stats) const {
+  ResEngine engine(module_, dump, options_);
+  ResResult result = engine.Run();
+  if (stats != nullptr) {
+    *stats = result.stats;
+  }
+  return RateFromResult(result);
 }
 
 }  // namespace res

@@ -26,6 +26,12 @@
 
 namespace res {
 
+// Result -> verdict mappings shared by the solo classes below and by
+// TriageService (src/triage/triage_service.h), which derives bucket AND
+// rating from one engine run per dump instead of two.
+std::string BucketFromResult(const Module& module, const Coredump& dump,
+                             const ResResult& result);
+
 class StackBucketer {
  public:
   explicit StackBucketer(const Module& module) : module_(module) {}
@@ -64,6 +70,10 @@ enum class Exploitability : uint8_t {
 
 std::string_view ExploitabilityName(Exploitability e);
 
+// The RES taint-based rating over a finished engine run (the other half of
+// the shared result -> verdict logic; see BucketFromResult).
+Exploitability RateFromResult(const ResResult& result);
+
 class HeuristicExploitabilityRater {
  public:
   // Trap-kind heuristics in the spirit of Microsoft !exploitable.
@@ -74,8 +84,9 @@ class ResExploitabilityRater {
  public:
   ResExploitabilityRater(const Module& module, ResOptions options = {})
       : module_(module), options_(options) {}
-  // kExploitable iff RES shows external input feeding the failure.
-  Exploitability Rate(const Coredump& dump) const;
+  // kExploitable iff RES shows external input feeding the failure. When
+  // `stats` is given it receives the engine run's counters (bench records).
+  Exploitability Rate(const Coredump& dump, ResStats* stats = nullptr) const;
 
  private:
   const Module& module_;

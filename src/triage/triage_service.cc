@@ -1,0 +1,184 @@
+#include "src/triage/triage_service.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace res {
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+TriageService::TriageService(ResRuntime* runtime, const Module& module,
+                             TriageOptions options)
+    : runtime_(runtime), module_(module), options_(std::move(options)) {}
+
+std::vector<TriageReport> TriageService::RunBatch(
+    const std::vector<const Coredump*>& dumps, TriageStats* stats_out) {
+  const size_t n = dumps.size();
+  TriageStats tstats;
+  tstats.dumps = n;
+  std::vector<TriageReport> reports(n);
+  if (n == 0) {
+    if (stats_out != nullptr) {
+      *stats_out = tstats;
+    }
+    return reports;
+  }
+
+  ResOptions res_options = options_.res;
+  res_options.runtime = runtime_;
+  res_options.consult_promoted = options_.cross_task_reuse;
+
+  const uint64_t var_hits_before = runtime_->pool()->var_intern_hits();
+  const auto batch_start = std::chrono::steady_clock::now();
+
+  struct Task {
+    std::unique_ptr<ResEngine> engine;
+    ResResult result;
+    double wall_ms = 0;
+    bool done = false;
+  };
+  std::vector<Task> tasks(n);
+
+  // Commit one finished task, in submission order: promotion first (the
+  // deterministic protocol point), then the report, then release the run.
+  auto commit = [&](size_t i) {
+    Task& t = tasks[i];
+    if (options_.cross_task_reuse) {
+      ResRuntime::Promotion promo = runtime_->Promote(
+          module_, t.engine->learned_clauses(),
+          t.result.stats.solver.cold_check_keys, t.engine->solver_fingerprint());
+      tstats.clause_promotions += promo.new_cores;
+      tstats.cache_promotions += promo.new_keys;
+    }
+    // The journal's only consumer was the promotion above; don't carry a
+    // copy of it into every returned report.
+    t.result.stats.solver.cold_check_keys.clear();
+    TriageReport& report = reports[i];
+    report.index = i;
+    report.res_bucket = BucketFromResult(module_, *dumps[i], t.result);
+    report.stack_bucket = StackBucketer(module_).BucketFor(*dumps[i]);
+    report.cause_signature =
+        t.result.causes.empty()
+            ? std::string()
+            : t.result.causes.front().BucketSignature(module_);
+    report.res_rating = RateFromResult(t.result);
+    report.heuristic_rating = HeuristicExploitabilityRater().Rate(*dumps[i]);
+    report.hardware_error_suspected = t.result.hardware_error_suspected;
+    report.stats = t.result.stats;
+    tstats.promoted_clause_hits += report.stats.solver.promoted_clause_hits;
+    tstats.promoted_cache_hits += report.stats.solver.promoted_cache_hits;
+    t.engine.reset();  // release the run's state before later dumps commit
+    if (options_.on_result) {
+      options_.on_result(report);
+    }
+  };
+
+  const size_t parallel =
+      std::min(n, std::max<size_t>(1, options_.max_parallel_dumps));
+  if (parallel == 1) {
+    // Serial pipeline: each engine is constructed after every earlier task's
+    // promotion, so its promoted-store watermark covers tasks 0..i-1 —
+    // maximal intra-batch reuse AND a schedule-independent watermark.
+    for (size_t i = 0; i < n; ++i) {
+      Task& t = tasks[i];
+      const auto t0 = std::chrono::steady_clock::now();
+      t.engine = std::make_unique<ResEngine>(module_, *dumps[i], res_options);
+      t.result = t.engine->Run();
+      t.wall_ms = MsSince(t0);
+      commit(i);
+    }
+  } else {
+    // Parallel pipeline: every task screens against the same batch-start
+    // watermark — pinned here explicitly, so engines can be constructed
+    // lazily inside the workers (peak engine state stays O(parallel), not
+    // O(n)) without worker timing leaking into any snapshot. The commit
+    // loop below still promotes and streams in submission order.
+    if (options_.cross_task_reuse) {
+      res_options.promoted_watermark =
+          runtime_->FactsFor(module_)->promoted_clauses.published();
+    }
+    std::mutex mu;
+    std::condition_variable cv;
+    std::atomic<size_t> next{0};
+    auto worker = [&] {
+      for (;;) {
+        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) {
+          return;
+        }
+        const auto t0 = std::chrono::steady_clock::now();
+        tasks[i].engine =
+            std::make_unique<ResEngine>(module_, *dumps[i], res_options);
+        ResResult result = tasks[i].engine->Run();
+        const double ms = MsSince(t0);
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          tasks[i].result = std::move(result);
+          tasks[i].wall_ms = ms;
+          tasks[i].done = true;
+        }
+        cv.notify_all();
+      }
+    };
+    std::vector<std::thread> workers;
+    workers.reserve(parallel);
+    for (size_t w = 0; w < parallel; ++w) {
+      workers.emplace_back(worker);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return tasks[i].done; });
+      }
+      commit(i);
+    }
+    for (std::thread& w : workers) {
+      w.join();
+    }
+  }
+
+  tstats.wall_ms = MsSince(batch_start);
+  tstats.first_dump_ms = tasks[0].wall_ms;
+  if (n > 1) {
+    double rest = 0;
+    for (size_t i = 1; i < n; ++i) {
+      rest += tasks[i].wall_ms;
+    }
+    const double saved =
+        tstats.first_dump_ms * static_cast<double>(n - 1) - rest;
+    tstats.cold_start_saved_ms = saved > 0 ? saved : 0;
+  }
+  if (tstats.wall_ms > 0) {
+    tstats.dumps_per_sec = static_cast<double>(n) / (tstats.wall_ms / 1000.0);
+  }
+  tstats.expr_reuse_hits =
+      runtime_->pool()->var_intern_hits() - var_hits_before;
+  if (stats_out != nullptr) {
+    *stats_out = tstats;
+  }
+  return reports;
+}
+
+std::vector<TriageReport> TriageService::RunBatch(
+    const std::vector<Coredump>& dumps, TriageStats* stats_out) {
+  std::vector<const Coredump*> ptrs;
+  ptrs.reserve(dumps.size());
+  for (const Coredump& d : dumps) {
+    ptrs.push_back(&d);
+  }
+  return RunBatch(ptrs, stats_out);
+}
+
+}  // namespace res

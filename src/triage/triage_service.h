@@ -1,0 +1,122 @@
+// TriageService — fleet-scale batch triage over a shared ResRuntime.
+//
+// The paper's headline use case (§3.1) is a WER-style backend consuming a
+// *stream* of coredumps. The solo classes in triage.h spin up a fresh engine
+// per call; this service instead schedules per-dump RES tasks over one
+// ResRuntime (shared ExprPool, check cache, per-module facts, lane pool) and
+// commits results on the calling thread in dump-submission order:
+//
+//   submit dumps ──> per-dump engine runs (up to max_parallel_dumps
+//                    concurrently, each itself running ResOptions::num_threads
+//                    pipelined lanes on the runtime's shared pool)
+//              ──> commit thread: promote the task's module-level facts
+//                  (learned cores, cold-check keys) in submission order,
+//                  derive bucket + ratings from the ONE engine run, stream
+//                  the report.
+//
+// Output contract: every report's res_bucket / cause_signature / res_rating
+// is byte-identical to a solo ResBucketer::BucketFor /
+// ResExploitabilityRater::Rate run over the same dump with the same
+// ResOptions (tests/triage_batch_test.cc pins this across engine thread
+// counts and batch parallelism). Cross-task reuse changes cost, not output.
+//
+// Determinism of the reuse counters: TriageStats::clause_promotions and
+// cache_promotions are computed by the commit thread from per-task artifacts
+// that are themselves deterministic (cores published in commit order,
+// cold-check keys merged in commit order), promoted in submission order —
+// so at a fixed batch configuration they are pure functions of (dumps,
+// options). Engines snapshot the promoted store at construction: serial
+// batches (max_parallel_dumps == 1) construct each engine after the
+// previous task's promotion (maximal intra-batch reuse); parallel batches
+// pin the batch-start watermark before any worker runs (intra-batch
+// independence, cross-batch reuse) — either way the watermarks are
+// schedule-independent. The *_hits gauges are reuse gauges, not oracles:
+// promoted_clause_hits is deterministic at a fixed configuration, but
+// promoted_cache_hits (key promotion is consulted live at lookup time) and
+// expr_reuse_hits can vary with timing whenever anything runs concurrently
+// — num_threads > 1 OR max_parallel_dumps > 1 — like the solver cache
+// counters they extend (see ResStats).
+#ifndef RES_TRIAGE_TRIAGE_SERVICE_H_
+#define RES_TRIAGE_TRIAGE_SERVICE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/coredump/coredump.h"
+#include "src/ir/module.h"
+#include "src/res/reverse_engine.h"
+#include "src/res/runtime.h"
+#include "src/triage/triage.h"
+
+namespace res {
+
+// One dump's triage verdicts, all derived from a single RES run (plus the
+// two cheap symptom-side baselines for comparison columns).
+struct TriageReport {
+  size_t index = 0;                 // dump-submission index
+  std::string res_bucket;           // == ResBucketer::BucketFor
+  std::string stack_bucket;         // WER-style baseline (StackBucketer)
+  std::string cause_signature;      // first root cause's signature, or ""
+  Exploitability res_rating = Exploitability::kUnknown;
+  Exploitability heuristic_rating = Exploitability::kUnknown;
+  bool hardware_error_suspected = false;
+  ResStats stats;                   // the engine run's merged counters
+};
+
+struct TriageStats {
+  size_t dumps = 0;
+  // Deterministic promotion counters (commit thread, submission order).
+  uint64_t clause_promotions = 0;  // cores newly published module-global
+  uint64_t cache_promotions = 0;   // check keys newly promoted
+  // Cross-task reuse gauges summed over the batch's runs.
+  uint64_t promoted_clause_hits = 0;  // hypotheses refuted by promoted cores
+  uint64_t promoted_cache_hits = 0;   // cache hits via promoted keys
+  uint64_t expr_reuse_hits = 0;       // shared-pool variable re-interns
+  // Wall-clock shape of the batch (machine-dependent).
+  double wall_ms = 0;
+  double first_dump_ms = 0;
+  // Rough cold-start economy: what the tail dumps saved versus paying the
+  // first dump's cost again, (first - mean(rest)) * (n - 1), floored at 0.
+  double cold_start_saved_ms = 0;
+  double dumps_per_sec = 0;
+};
+
+struct TriageOptions {
+  // Per-dump engine configuration. `runtime` and `consult_promoted` are
+  // overwritten by the service (it wires its own runtime and
+  // cross_task_reuse); everything else is honored as-is.
+  ResOptions res;
+  // Dump-level parallelism: how many RES tasks may be in flight at once.
+  size_t max_parallel_dumps = 1;
+  // Consult and publish module-level facts across tasks. Off = every task
+  // is a cold solo run (still sharing the pool and lane threads).
+  bool cross_task_reuse = true;
+  // Streamed per-report callback, invoked on the commit thread in
+  // submission order (before RunBatch returns).
+  std::function<void(const TriageReport&)> on_result;
+};
+
+// Thread-safety: RunBatch is driven from one thread at a time per service
+// instance; distinct services (even over the same runtime and module) may
+// run batches concurrently.
+class TriageService {
+ public:
+  // `runtime` and `module` must outlive the service and its reports.
+  TriageService(ResRuntime* runtime, const Module& module,
+                TriageOptions options = {});
+
+  std::vector<TriageReport> RunBatch(const std::vector<const Coredump*>& dumps,
+                                     TriageStats* stats = nullptr);
+  std::vector<TriageReport> RunBatch(const std::vector<Coredump>& dumps,
+                                     TriageStats* stats = nullptr);
+
+ private:
+  ResRuntime* runtime_;
+  const Module& module_;
+  TriageOptions options_;
+};
+
+}  // namespace res
+
+#endif  // RES_TRIAGE_TRIAGE_SERVICE_H_

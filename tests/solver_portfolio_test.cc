@@ -208,6 +208,54 @@ TEST(ClauseStoreTest, PublishAndRefute) {
   EXPECT_FALSE(store.RefutesNewSince(/*after=*/1, store.published(), in_abc));
 }
 
+TEST(ClauseStoreTest, EvictionKeepsLearningAndFollowsHits) {
+  ExprPool pool;
+  const Expr* a = pool.Var("a", VarOrigin::kInput);
+  const Expr* b = pool.Var("b", VarOrigin::kInput);
+  const Expr* c = pool.Var("c", VarOrigin::kInput);
+  const Expr* d = pool.Var("d", VarOrigin::kInput);
+  auto core = [](std::vector<const Expr*> elems) {
+    std::sort(elems.begin(), elems.end(), DetExprLess);
+    return elems;
+  };
+
+  ClauseStore store(/*live_capacity=*/2, /*slot_capacity=*/8);
+  ASSERT_TRUE(store.Publish(core({a, b})));  // seq 0
+  ASSERT_TRUE(store.Publish(core({a, c})));  // seq 1
+  EXPECT_EQ(store.evicted_count(), 0u);
+
+  // Protect seq 0 with a screen hit: the eviction forced by the third core
+  // must pick seq 1 (fewest hits; ties would go to the oldest).
+  store.RecordHit(0);
+  ASSERT_TRUE(store.Publish(core({a, d})));  // seq 2, evicts seq 1
+  EXPECT_EQ(store.published(), 3u);
+  EXPECT_EQ(store.evicted_count(), 1u);
+  EXPECT_EQ(store.live_count(), 2u);
+  EXPECT_TRUE(store.IsEvicted(1));
+
+  // An evicted core no longer refutes...
+  auto in_ac = [&](const Expr* e) { return e == a || e == c; };
+  EXPECT_FALSE(store.RefutesByMember(a, store.published(), in_ac));
+  EXPECT_FALSE(store.RefutesNewSince(0, store.published(), in_ac));
+  // ...while the survivors still do.
+  auto in_ab = [&](const Expr* e) { return e == a || e == b; };
+  auto in_ad = [&](const Expr* e) { return e == a || e == d; };
+  uint64_t hit_seq = 99;
+  EXPECT_TRUE(store.RefutesByMember(a, store.published(), in_ab, &hit_seq));
+  EXPECT_EQ(hit_seq, 0u);
+  EXPECT_TRUE(store.RefutesByMember(a, store.published(), in_ad, &hit_seq));
+  EXPECT_EQ(hit_seq, 2u);
+
+  // A re-derived conflict re-learns into a fresh slot (dedup was purged).
+  store.RecordHit(0);
+  store.RecordHit(2);
+  EXPECT_TRUE(store.Publish(core({a, c})));  // seq 3, evicts seq 2 (1 hit < 2)
+  EXPECT_EQ(store.published(), 4u);
+  EXPECT_EQ(store.evicted_count(), 2u);
+  EXPECT_TRUE(store.RefutesByMember(a, store.published(), in_ac, &hit_seq));
+  EXPECT_EQ(hit_seq, 3u);
+}
+
 // ---------------------------------------------------------------------------
 // Engine-level: the portfolio (and its clause sharing) must not change what
 // the engine concludes — only what the work costs.

@@ -18,8 +18,15 @@ Baselines format:
   {
     "tolerance": 0.10,                 # allowed relative growth per metric
     "metrics": ["propagated_constraints", ...],
+    "floor_metrics": ["clause_promotions", ...],   # optional, see below
     "records": {"<name>": {"<metric>": <value>, ...}, ...}
   }
+
+`metrics` gate against growth (more solver work = regression). The
+cross-task reuse counters point the other way: LOSING promotions or reuse
+hits is the regression — `floor_metrics` gate against shrinkage by the same
+tolerance. A record only participates in a gate for the metrics it has
+baselined values for.
 
 Only names present in the baselines are gated (the thread-scaling records,
 whose cache-dependent counters vary with scheduling, are deliberately not
@@ -54,6 +61,7 @@ def load_bench_records(path):
 def check(bench_records, baseline):
     tolerance = baseline.get("tolerance", 0.10)
     metrics = baseline.get("metrics", [])
+    floors = baseline.get("floor_metrics", [])
     failures = []
     improvements = []
     for name, expected in sorted(baseline.get("records", {}).items()):
@@ -78,19 +86,47 @@ def check(bench_records, baseline):
             elif base and got < base * (1.0 - tolerance):
                 improvements.append(
                     f"{name}: {metric} improved {base} -> {got}")
+        for metric in floors:
+            if metric not in expected:
+                continue
+            base = expected[metric]
+            got = record.get(metric)
+            if got is None:
+                failures.append(f"{name}: metric {metric} missing from record")
+                continue
+            if got < base * (1.0 - tolerance):
+                drop = (1.0 - got / base) * 100 if base else 0.0
+                failures.append(
+                    f"{name}: {metric} reuse dropped {base} -> {got} "
+                    f"(-{drop:.1f}%, tolerance {tolerance:.0%})")
+            elif got > base * (1.0 + tolerance):
+                improvements.append(
+                    f"{name}: {metric} reuse grew {base} -> {got}")
     return failures, improvements
 
 
 def update_baselines(bench_records, baseline):
-    """Refresh every baselined value (and keep the gated name set) in place."""
+    """Refresh every baselined value (and keep the gated name set) in place.
+
+    Growth metrics refresh uniformly; floor metrics refresh only where a
+    record already baselines them (reuse counters are opt-in per record —
+    most records legitimately have zero promotions).
+    """
     metrics = baseline.get("metrics", [])
-    for name in baseline.get("records", {}):
+    floors = baseline.get("floor_metrics", [])
+    for name, expected in baseline.get("records", {}).items():
         record = bench_records.get(name)
         if record is None:
             raise SystemExit(f"cannot update: {name} missing from bench output")
-        baseline["records"][name] = {
+        refreshed = {
             metric: record[metric] for metric in metrics if metric in record
         }
+        refreshed.update({
+            metric: record[metric]
+            for metric in floors
+            if metric in record and metric in expected
+        })
+        baseline["records"][name] = refreshed
     return baseline
 
 
