@@ -1,6 +1,7 @@
 // T2 — root-cause triaging vs WER-style stack bucketing (paper §3.1; WER
 // "can incorrectly bucket up to 37% of the bug reports").
 #include "bench/bench_util.h"
+#include "src/coredump/serialize.h"
 #include "src/res/runtime.h"
 #include "src/support/string_util.h"
 #include "src/triage/triage.h"
@@ -171,6 +172,107 @@ int main() {
       res_options.max_units = 48;
       res_options.max_hypotheses = 1000;
       run_batch("racy_wide", module, dumps, res_options);
+    }
+  }
+
+  // --- T2c: the failure surface — corrupted wire blobs and step deadlines.
+  //     The quarantine/degradation counters are deterministic and baseline-
+  //     gated as floors: a stream that stops isolating corrupt dumps or
+  //     stops retrying degraded is the regression.
+  PrintHeader("T2c: fault-tolerant triage (quarantine + degraded retry)");
+
+  // A WER-style ingest stream where half the blobs arrive damaged: one
+  // truncated mid-wire, one with a corrupted magic. Both must quarantine;
+  // both survivors must still triage.
+  {
+    WorkloadSpec spec = WorkloadByName("use_after_free");
+    Module module = spec.build();
+    std::vector<std::vector<uint8_t>> blobs;
+    for (int64_t input : {1, 2, 1, 2}) {
+      WorkloadSpec dspec = spec;
+      dspec.channel0_inputs = {input};
+      auto run = RunToFailure(module, dspec, {});
+      if (run.ok()) {
+        blobs.push_back(SerializeCoredump(run.value().dump));
+      }
+    }
+    if (blobs.size() == 4) {
+      blobs[1].resize(blobs[1].size() / 2);  // truncated upload
+      blobs[3][0] ^= 0xff;                   // corrupted magic
+      ResRuntime runtime;
+      TriageOptions options;
+      TriageService service(&runtime, module, options);
+      TriageStats tstats;
+      WallTimer timer;
+      std::vector<TriageReport> reports =
+          service.RunBatchSerialized(blobs, &tstats);
+      BenchRecord record;
+      record.name = StrFormat("table2_triage/batch=corrupted_stream/dumps=%zu",
+                              blobs.size());
+      record.wall_ms = timer.ElapsedMs();
+      for (const TriageReport& report : reports) {
+        record.Accumulate(report.stats);
+      }
+      record.FromBatch(tstats);
+      json.Append(record);
+      std::printf("corrupted_stream: %zu dumps, %llu quarantined, "
+                  "%llu triaged ok\n",
+                  tstats.dumps,
+                  static_cast<unsigned long long>(tstats.quarantined),
+                  static_cast<unsigned long long>(tstats.dumps -
+                                                  tstats.quarantined));
+    }
+  }
+
+  // The degraded-retry stream: a step deadline the full-fidelity profile
+  // overshoots but the degraded retry (half depth, classic solver, half
+  // budget) fits. Calibrated on the engine's own deterministic abstract
+  // clock (ResStats::committed_units), so the stream behaves identically on
+  // any machine.
+  {
+    Module module = BuildRacyCounterWide(4);
+    WorkloadSpec spec = WorkloadByName("racy_counter");
+    FailureRunOptions run_options;
+    run_options.require_live_peers = spec.requires_live_peers;
+    auto run = RunToFailure(module, spec, run_options);
+    if (run.ok()) {
+      ResOptions res_options;
+      res_options.stop_at_root_cause = false;
+      res_options.max_units = 4;
+      res_options.max_hypotheses = 1000;
+      ResOptions degraded = res_options;  // mirrors TriageService's profile
+      degraded.max_units = res_options.max_units / 2;
+      degraded.solver_portfolio = false;
+      degraded.solver_budget_steps = res_options.solver_budget_steps / 2;
+      const uint64_t u_deg = ResEngine(module, run.value().dump, degraded)
+                                 .Run()
+                                 .stats.committed_units;
+      res_options.deadline_units = u_deg;
+      std::vector<Coredump> dumps(2, run.value().dump);
+      ResRuntime runtime;
+      TriageOptions options;
+      options.res = res_options;
+      TriageService service(&runtime, module, options);
+      TriageStats tstats;
+      WallTimer timer;
+      std::vector<TriageReport> reports = service.RunBatch(dumps, &tstats);
+      BenchRecord record;
+      record.name = StrFormat("table2_triage/batch=deadline_degraded/dumps=%zu",
+                              dumps.size());
+      record.wall_ms = timer.ElapsedMs();
+      for (const TriageReport& report : reports) {
+        record.Accumulate(report.stats);
+      }
+      record.FromBatch(tstats);
+      json.Append(record);
+      std::printf("deadline_degraded: %zu dumps, deadline %llu units, "
+                  "%llu deadline cancels, %llu degraded retries, "
+                  "%llu quarantined\n",
+                  tstats.dumps,
+                  static_cast<unsigned long long>(res_options.deadline_units),
+                  static_cast<unsigned long long>(tstats.deadline_exceeded),
+                  static_cast<unsigned long long>(tstats.degraded_retries),
+                  static_cast<unsigned long long>(tstats.quarantined));
     }
   }
   return 0;

@@ -75,6 +75,11 @@ struct BenchRecord {
   uint64_t cache_promotions = 0;        // check keys promoted module-global
   uint64_t expr_reuse_hits = 0;         // shared-pool variable re-interns
   double dumps_per_sec = 0;             // batch throughput (wall-dependent)
+  // Failure-surface counters (deterministic; baselined as floors: losing
+  // quarantine/degradation coverage is the regression, see bench/README.md).
+  uint64_t quarantined = 0;             // reports isolated by the batch
+  uint64_t deadline_exceeded = 0;       // runs stopped by the step deadline
+  uint64_t degraded_retries = 0;        // degraded-profile retries launched
 
   // Adds an engine run's counters into this record (benches that aggregate
   // several runs per record call this once per run; single-run records get
@@ -106,6 +111,9 @@ struct BenchRecord {
     cache_promotions = batch.cache_promotions;
     expr_reuse_hits = batch.expr_reuse_hits;
     dumps_per_sec = batch.dumps_per_sec;
+    quarantined = batch.quarantined;
+    deadline_exceeded = batch.deadline_exceeded;
+    degraded_retries = batch.degraded_retries;
   }
 
   // Fills every counter field from a single engine run's merged stats.
@@ -139,7 +147,9 @@ class BenchJsonWriter {
         "\"strategy_wins_enumeration\": %llu, \"strategy_wins_search\": %llu, "
         "\"clauses_evicted\": %llu, \"promoted_clause_hits\": %llu, "
         "\"clause_promotions\": %llu, \"cache_promotions\": %llu, "
-        "\"expr_reuse_hits\": %llu, \"dumps_per_sec\": %.3f}\n",
+        "\"expr_reuse_hits\": %llu, \"dumps_per_sec\": %.3f, "
+        "\"quarantined\": %llu, \"deadline_exceeded\": %llu, "
+        "\"degraded_retries\": %llu}\n",
         r.name.c_str(), r.wall_ms,
         static_cast<unsigned long long>(r.hypotheses_explored),
         static_cast<unsigned long long>(r.solver_checks),
@@ -156,7 +166,10 @@ class BenchJsonWriter {
         static_cast<unsigned long long>(r.promoted_clause_hits),
         static_cast<unsigned long long>(r.clause_promotions),
         static_cast<unsigned long long>(r.cache_promotions),
-        static_cast<unsigned long long>(r.expr_reuse_hits), r.dumps_per_sec);
+        static_cast<unsigned long long>(r.expr_reuse_hits), r.dumps_per_sec,
+        static_cast<unsigned long long>(r.quarantined),
+        static_cast<unsigned long long>(r.deadline_exceeded),
+        static_cast<unsigned long long>(r.degraded_retries));
     std::fclose(f);
   }
 

@@ -2,6 +2,116 @@
 
 namespace res {
 
+namespace {
+
+bool PcInModule(const Module& module, const Pc& pc) {
+  if (pc.func >= module.functions().size()) {
+    return false;
+  }
+  const Function& fn = module.function(pc.func);
+  if (pc.block >= fn.blocks.size()) {
+    return false;
+  }
+  // Frame indices point at the next instruction to execute and trap PCs at
+  // the trapping instruction; both are strictly inside the block (every
+  // block ends with a terminator that transfers control before the index
+  // can run off the end).
+  return pc.index < fn.blocks[pc.block].instructions.size();
+}
+
+}  // namespace
+
+RES_FAULT_SITE(kFaultValidate, "coredump.validate", StatusCode::kDataLoss);
+
+Status Coredump::Validate(const Module& module,
+                          const FaultScope& faults) const {
+  RES_RETURN_IF_ERROR(faults.Check(kFaultValidate));
+  if (static_cast<uint8_t>(trap.kind) >
+      static_cast<uint8_t>(TrapKind::kStepLimit)) {
+    return DataLoss("trap kind out of range");
+  }
+  if (trap.kind == TrapKind::kNone) {
+    return DataLoss("coredump carries no trap");
+  }
+  if (trap.thread >= threads.size()) {
+    return DataLoss("trap thread index out of range");
+  }
+  if (!PcInModule(module, trap.pc)) {
+    return DataLoss("trap pc outside module");
+  }
+  if (threads[trap.thread].frames.empty()) {
+    return DataLoss("faulting thread has no frames");
+  }
+  for (size_t i = 0; i < threads.size(); ++i) {
+    const ThreadDump& t = threads[i];
+    if (t.id != i) {
+      return DataLoss("thread id does not match its slot");
+    }
+    // kUnborn is replay-internal; a captured dump never contains it.
+    if (static_cast<uint8_t>(t.state) >
+        static_cast<uint8_t>(ThreadState::kExited)) {
+      return DataLoss("thread state out of range");
+    }
+    for (size_t j = 0; j < t.frames.size(); ++j) {
+      const Frame& f = t.frames[j];
+      if (!PcInModule(module, f.pc())) {
+        return DataLoss("frame pc outside module");
+      }
+      if (f.regs.size() != module.function(f.func).num_regs) {
+        return DataLoss("frame register file size mismatch");
+      }
+      if (j == 0) {
+        if (f.caller_result_reg != kNoReg) {
+          return DataLoss("outermost frame expects a return value");
+        }
+      } else if (f.caller_result_reg != kNoReg &&
+                 f.caller_result_reg >=
+                     module.function(t.frames[j - 1].func).num_regs) {
+        return DataLoss("caller result register out of range");
+      }
+    }
+    if (t.lbr.size() > kLbrDepth) {
+      return DataLoss("LBR ring deeper than hardware");
+    }
+    for (const BranchRecord& b : t.lbr) {
+      if (!PcInModule(module, b.source) || !PcInModule(module, b.dest)) {
+        return DataLoss("LBR entry outside module");
+      }
+    }
+  }
+  uint64_t prev_end = 0;
+  for (const Allocation& a : heap_allocations) {
+    if (static_cast<uint8_t>(a.state) >
+        static_cast<uint8_t>(AllocState::kFreed)) {
+      return DataLoss("allocation state out of range");
+    }
+    if (a.size_words > (UINT64_MAX - a.base) / 8) {
+      return DataLoss("allocation extent overflows");
+    }
+    // The bump allocator hands out ascending, non-overlapping extents and
+    // the serializer emits them in base order.
+    if (a.base < prev_end) {
+      return DataLoss("allocation table not ascending");
+    }
+    prev_end = a.base + a.size_words * 8;
+    if (a.alloc_seq == 0 || a.alloc_seq >= heap_next_seq) {
+      return DataLoss("allocation sequence outside heap epoch");
+    }
+  }
+  for (const ErrorLogEntry& e : error_log) {
+    if (e.thread >= threads.size()) {
+      return DataLoss("error-log thread index out of range");
+    }
+    if (!PcInModule(module, e.pc)) {
+      return DataLoss("error-log pc outside module");
+    }
+    if (e.message != kNoStr && e.message >= module.strings().size()) {
+      return DataLoss("error-log message string out of range");
+    }
+  }
+  return OkStatus();
+}
+
 Coredump CaptureCoredump(const Vm& vm) {
   Coredump dump;
   dump.trap = vm.trap();

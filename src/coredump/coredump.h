@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "src/support/faultpoint.h"
+#include "src/support/status.h"
 #include "src/vm/breadcrumbs.h"
 #include "src/vm/heap.h"
 #include "src/vm/thread.h"
@@ -46,6 +48,17 @@ struct Coredump {
 
   // The faulting thread's dump.
   const ThreadDump& FaultingThread() const { return threads[trap.thread]; }
+
+  // Semantic admission check against the module this dump claims to be a
+  // crash of. DeserializeCoredump only guarantees the bytes were
+  // well-formed; a hostile or corrupted dump can still carry out-of-range
+  // PCs, wrong register-file sizes, impossible thread states, or a
+  // malformed heap table — any of which would index out of bounds inside
+  // the engine. Every cross-reference (PC -> module, thread/frame/string
+  // indices, allocation table monotonicity) is checked here; failures are
+  // kDataLoss so the triage service quarantines the dump before an engine
+  // is ever constructed. `faults` carries the "coredump.validate" site.
+  Status Validate(const Module& module, const FaultScope& faults = {}) const;
 };
 
 // Snapshots a stopped VM (after a failure trap or deadlock).

@@ -79,16 +79,28 @@ class Reader {
   }
   bool Str(std::string* s) {
     uint64_t n;
-    if (!U64(&n) || pos_ + n > buf_.size()) {
+    // Compare against the remaining byte count, never against pos_ + n: an
+    // adversarial n near UINT64_MAX would wrap the addition and pass.
+    if (!U64(&n) || n > Remaining()) {
       return false;
     }
-    s->assign(reinterpret_cast<const char*>(buf_.data()) + pos_, n);
-    pos_ += n;
+    s->assign(reinterpret_cast<const char*>(buf_.data()) + pos_,
+              static_cast<size_t>(n));
+    pos_ += static_cast<size_t>(n);
     return true;
   }
   bool PcVal(Pc* pc) {
     return U32(&pc->func) && U32(&pc->block) && U32(&pc->index);
   }
+  // Sanity gate for untrusted element counts: a table of `count` elements,
+  // each at least `min_element_bytes` on the wire, cannot be larger than
+  // the remaining payload. Checked BEFORE any loop or allocation sized by
+  // the count, so corrupt dumps can neither drive unbounded resize() nor
+  // spin a read loop that only fails at the end.
+  bool FitsRemaining(uint64_t count, uint64_t min_element_bytes) const {
+    return count <= Remaining() / min_element_bytes;
+  }
+  uint64_t Remaining() const { return buf_.size() - pos_; }
   bool AtEnd() const { return pos_ == buf_.size(); }
 
  private:
@@ -165,7 +177,12 @@ std::vector<uint8_t> SerializeCoredump(const Coredump& dump) {
   return w.Take();
 }
 
-Result<Coredump> DeserializeCoredump(const std::vector<uint8_t>& bytes) {
+RES_FAULT_SITE(kFaultDeserialize, "coredump.deserialize",
+               StatusCode::kDataLoss);
+
+Result<Coredump> DeserializeCoredump(const std::vector<uint8_t>& bytes,
+                                     const FaultScope& faults) {
+  RES_RETURN_IF_ERROR(faults.Check(kFaultDeserialize));
   Reader r(bytes);
   uint64_t magic;
   uint32_t version;
@@ -189,6 +206,9 @@ Result<Coredump> DeserializeCoredump(const std::vector<uint8_t>& bytes) {
   if (!r.U8(&has_memory) || !r.U64(&word_count)) {
     return DataLoss("truncated memory header");
   }
+  if (!r.FitsRemaining(word_count, 16)) {
+    return DataLoss("memory image larger than payload");
+  }
   dump.has_memory = has_memory != 0;
   for (uint64_t i = 0; i < word_count; ++i) {
     uint64_t addr;
@@ -203,6 +223,9 @@ Result<Coredump> DeserializeCoredump(const std::vector<uint8_t>& bytes) {
   if (!r.U64(&thread_count)) {
     return DataLoss("truncated thread table");
   }
+  if (!r.FitsRemaining(thread_count, 21)) {
+    return DataLoss("thread table larger than payload");
+  }
   for (uint64_t i = 0; i < thread_count; ++i) {
     ThreadDump t;
     uint8_t state;
@@ -210,6 +233,9 @@ Result<Coredump> DeserializeCoredump(const std::vector<uint8_t>& bytes) {
     if (!r.U32(&t.id) || !r.U8(&state) || !r.U64(&t.blocked_on) ||
         !r.U64(&frame_count)) {
       return DataLoss("truncated thread record");
+    }
+    if (!r.FitsRemaining(frame_count, 24)) {
+      return DataLoss("frame table larger than payload");
     }
     t.state = static_cast<ThreadState>(state);
     for (uint64_t j = 0; j < frame_count; ++j) {
@@ -219,6 +245,9 @@ Result<Coredump> DeserializeCoredump(const std::vector<uint8_t>& bytes) {
       if (!r.U32(&f.func) || !r.U32(&f.block) || !r.U32(&f.index) ||
           !r.U32(&result_reg) || !r.U64(&reg_count)) {
         return DataLoss("truncated frame record");
+      }
+      if (!r.FitsRemaining(reg_count, 8)) {
+        return DataLoss("register file larger than payload");
       }
       f.caller_result_reg = static_cast<RegId>(result_reg);
       f.regs.resize(reg_count);
@@ -233,6 +262,9 @@ Result<Coredump> DeserializeCoredump(const std::vector<uint8_t>& bytes) {
     if (!r.U64(&lbr_count)) {
       return DataLoss("truncated LBR record");
     }
+    if (!r.FitsRemaining(lbr_count, 24)) {
+      return DataLoss("LBR ring larger than payload");
+    }
     for (uint64_t j = 0; j < lbr_count; ++j) {
       BranchRecord b;
       if (!r.PcVal(&b.source) || !r.PcVal(&b.dest)) {
@@ -246,6 +278,9 @@ Result<Coredump> DeserializeCoredump(const std::vector<uint8_t>& bytes) {
   uint64_t alloc_count;
   if (!r.U64(&alloc_count)) {
     return DataLoss("truncated heap table");
+  }
+  if (!r.FitsRemaining(alloc_count, 25)) {
+    return DataLoss("heap table larger than payload");
   }
   for (uint64_t i = 0; i < alloc_count; ++i) {
     Allocation a;
@@ -264,6 +299,9 @@ Result<Coredump> DeserializeCoredump(const std::vector<uint8_t>& bytes) {
   uint64_t log_count;
   if (!r.U64(&log_count)) {
     return DataLoss("truncated error log");
+  }
+  if (!r.FitsRemaining(log_count, 36)) {
+    return DataLoss("error log larger than payload");
   }
   for (uint64_t i = 0; i < log_count; ++i) {
     ErrorLogEntry e;

@@ -7,13 +7,24 @@
 #include <vector>
 
 #include "src/coredump/coredump.h"
+#include "src/support/faultpoint.h"
 #include "src/support/status.h"
 
 namespace res {
 
 // Little-endian, versioned container. Round-trips exactly.
 std::vector<uint8_t> SerializeCoredump(const Coredump& dump);
-Result<Coredump> DeserializeCoredump(const std::vector<uint8_t>& bytes);
+
+// Parses an UNTRUSTED byte stream. Every length field is checked against
+// the remaining payload before it is trusted (no out-of-bounds reads, no
+// attacker-controlled allocations), and every failure — truncation, bad
+// magic, oversized counts, trailing garbage — returns kDataLoss. A
+// structurally well-formed result may still be semantically garbage; run
+// Coredump::Validate against the module before handing it to an engine.
+// `faults` carries the "coredump.deserialize" fault site (tests / the
+// RES_FAULT_PLAN env can make this call fail deterministically).
+Result<Coredump> DeserializeCoredump(const std::vector<uint8_t>& bytes,
+                                     const FaultScope& faults = {});
 
 }  // namespace res
 

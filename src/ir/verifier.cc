@@ -91,7 +91,10 @@ Status VerifyInstruction(const Module& module, const Function& fn, const Pc& pc,
 
 }  // namespace
 
-Status VerifyModule(const Module& module) {
+RES_FAULT_SITE(kFaultVerify, "ir.verify", StatusCode::kInternal);
+
+Status VerifyModule(const Module& module, const FaultScope& faults) {
+  RES_RETURN_IF_ERROR(faults.Check(kFaultVerify));
   if (module.entry() == kNoFunc || module.entry() >= module.functions().size()) {
     return InvalidArgument("module has no entry function");
   }

@@ -7,6 +7,7 @@
 #define RES_IR_VERIFIER_H_
 
 #include "src/ir/module.h"
+#include "src/support/faultpoint.h"
 #include "src/support/status.h"
 
 namespace res {
@@ -20,7 +21,9 @@ namespace res {
 //  - all callees exist; call argument counts match callee num_params
 //  - globals do not overlap and fit in the globals segment
 //  - string ids are in range
-Status VerifyModule(const Module& module);
+// `faults` carries the "ir.verify" fault site (kInternal when fired), so
+// the triage service's batch-admission failure path is testable.
+Status VerifyModule(const Module& module, const FaultScope& faults = {});
 
 }  // namespace res
 

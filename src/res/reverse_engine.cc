@@ -91,6 +91,10 @@ std::string_view StopReasonName(StopReason r) {
       return "budget";
     case StopReason::kInconsistentDump:
       return "inconsistent_dump";
+    case StopReason::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case StopReason::kTaskFailed:
+      return "task_failed";
   }
   return "?";
 }
@@ -230,6 +234,8 @@ SolverOptions MakeSolverOptions(const ResOptions& options) {
   SolverOptions s;
   s.portfolio = options.solver_portfolio;
   s.budget_steps = options.solver_budget_steps;
+  s.fault_plan = options.fault_plan;
+  s.fault_task = options.fault_task;
   return s;
 }
 
@@ -275,6 +281,16 @@ ResEngine::ResEngine(const Module& module, const Coredump& dump, ResOptions opti
   }
   // A full ring means older entries may have rotated out.
   log_was_full_ = dump.error_log.size() >= 64;
+  faults_.plan = options_.fault_plan;
+  faults_.task = options_.fault_task;
+}
+
+void ResEngine::RecordFault(Status status) {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  if (!faulted_.load(std::memory_order_relaxed)) {
+    fault_status_ = std::move(status);
+    faulted_.store(true, std::memory_order_release);
+  }
 }
 
 const Expr* ResEngine::FreshVar(TaskCtx* tctx, const char* tag, VarOrigin origin) {
@@ -547,6 +563,14 @@ void ResEngine::GateNode(SpecNode* n) {
     outcome = solver_.CheckIncremental(&n->ctx, n->h.constraints, &n->gate_sstats);
   } else {
     outcome = solver_.Check(n->h.constraints, &n->gate_sstats);
+  }
+  if (!outcome.fault.ok()) {
+    // Injected solver failure: fail the RUN, not the hypothesis — treating
+    // it as UNSAT/unknown would silently change the verdict. The node is
+    // left un-passed so nothing downstream consumes the poisoned check.
+    RecordFault(std::move(outcome.fault));
+    n->gate_passed = false;
+    return;
   }
   switch (outcome.result) {
     case SatResult::kUnsat:
@@ -1528,7 +1552,19 @@ std::vector<ResEngine::Hypothesis> ResEngine::Expand(const Hypothesis& h,
   return out;
 }
 
+RES_FAULT_SITE(kFaultExplore, "engine.lane.explore", StatusCode::kInternal);
+RES_FAULT_SITE(kFaultDetect, "engine.lane.detect", StatusCode::kInternal);
+
 void ResEngine::ExploreNode(SpecNode* n) {
+  {
+    Status fault = faults_.Check(kFaultExplore);
+    if (!fault.ok()) {
+      // Neutral lane result (no children); the run-level verdict comes from
+      // the post-quiescence fault check in Run, never from this node.
+      RecordFault(std::move(fault));
+      return;
+    }
+  }
   TaskCtx tctx;
   tctx.ns = n->ns;
   n->explore_out = Expand(n->h, &tctx);
@@ -1537,6 +1573,13 @@ void ResEngine::ExploreNode(SpecNode* n) {
 }
 
 void ResEngine::DetectNode(SpecNode* n) {
+  {
+    Status fault = faults_.Check(kFaultDetect);
+    if (!fault.ok()) {
+      RecordFault(std::move(fault));
+      return;
+    }
+  }
   if (!options_.incremental_root_causes) {
     // The full-rescan oracle: materialize the suffix and run every detector
     // pass over it.
@@ -2011,6 +2054,7 @@ ResResult ResEngine::Run() {
     }
   };
 
+  uint64_t committed_pops = 0;
   auto finish = [&](ResResult&& r) {
     shutdown();
     stats_.solver.clauses_evicted = clause_store_.evicted_count();
@@ -2032,15 +2076,46 @@ ResResult ResEngine::Run() {
                    wait_ms[2], (unsigned long long)pre_done[2],
                    (unsigned long long)waited[2], wait_ms[3]);
     }
+    if (faulted_.load(std::memory_order_acquire)) {
+      // Post-quiescence override: the pool has drained, so EVERY lane task
+      // that was ever started has run its fault check — any armed site on a
+      // committed path has fired by now, on every schedule. Discarding the
+      // in-progress result (stats included) makes the kTaskFailed output a
+      // constant, byte-identical at any thread count.
+      std::lock_guard<std::mutex> lock(fault_mu_);
+      ResResult failed;
+      failed.stop = StopReason::kTaskFailed;
+      failed.status = fault_status_;
+      return failed;
+    }
+    stats_.committed_units = committed_pops;
     r.stats = stats_;
     return std::move(r);
   };
 
   bool budget_hit = false;
+  bool deadline_hit = false;
   // RES_CLAUSE_DEBUG=1 dumps every published core to stderr (the clause-
   // sharing analogue of RES_SCHED_DEBUG).
   const bool clause_debug = std::getenv("RES_CLAUSE_DEBUG") != nullptr;
   while (!stack.empty()) {
+    // Injected/internal lane failure: stop committing immediately (cheap
+    // relaxed poll; the authoritative re-check happens after shutdown in
+    // finish, so the verdict itself never depends on when this poll wins).
+    if (faulted_.load(std::memory_order_relaxed)) {
+      break;
+    }
+    // Step-deadline watchdog: counts every committed pop — screen-refuted
+    // and gate-failed nodes included — so UNSAT-heavy searches that barely
+    // advance hypotheses_explored still terminate. Committed pops happen in
+    // single-thread DFS order, so the deadline verdict is byte-identical at
+    // any thread count (wall clock never enters the decision).
+    ++committed_pops;
+    if (options_.deadline_units != 0 &&
+        committed_pops > options_.deadline_units) {
+      deadline_hit = true;
+      break;
+    }
     std::shared_ptr<SpecNode> n = stack.back();
     committing = n;
     // Deterministic learned-clause screen: refute this hypothesis from the
@@ -2190,9 +2265,16 @@ ResResult ResEngine::Run() {
     result.causes = std::move(candidate_causes);
     return finish(std::move(result));
   }
-  result.stop = budget_hit ? StopReason::kBudget : StopReason::kFrontierExhausted;
+  result.stop = deadline_hit ? StopReason::kDeadlineExceeded
+                : budget_hit ? StopReason::kBudget
+                             : StopReason::kFrontierExhausted;
+  if (deadline_hit) {
+    ++stats_.deadline_cancels;
+  }
   if (best.has && best.h.depth() > 0) {
-    if (best.h.depth() >= options_.max_units) {
+    // A deadline stop keeps its reason even when the best suffix happens to
+    // sit at max depth: the triage layer's degraded-retry logic keys off it.
+    if (!deadline_hit && best.h.depth() >= options_.max_units) {
       result.stop = StopReason::kMaxDepth;
     }
     result.suffix = Finalize(best.h, best.model, best.verified);
@@ -2204,8 +2286,10 @@ ResResult ResEngine::Run() {
   }
   // Hardware verdict: the search space was exhausted and no feasible suffix
   // of the required confidence depth exists — no execution of P can have
-  // produced this coredump (paper §3.2).
-  if (!budget_hit && stats_.max_sat_depth < options_.hw_confidence_depth) {
+  // produced this coredump (paper §3.2). A truncated search (budget or
+  // deadline) never claims it: the evidence is incomplete.
+  if (!budget_hit && !deadline_hit &&
+      stats_.max_sat_depth < options_.hw_confidence_depth) {
     result.hardware_error_suspected = true;
   }
   return finish(std::move(result));

@@ -18,8 +18,10 @@
 #ifndef RES_RES_REVERSE_ENGINE_H_
 #define RES_RES_REVERSE_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -30,6 +32,8 @@
 #include "src/res/root_cause.h"
 #include "src/res/snapshot.h"
 #include "src/res/suffix.h"
+#include "src/support/faultpoint.h"
+#include "src/support/status.h"
 #include "src/symbolic/expr.h"
 #include "src/symbolic/solver.h"
 
@@ -74,6 +78,21 @@ struct ResOptions {
   // exhaustion only occurs when configured tighter.
   uint64_t solver_budget_steps = 1 << 17;
   uint64_t solver_seed = 7;
+  // Deterministic step deadline: the total number of hypotheses the commit
+  // loop may pop (committed work, NOT wall clock — so the deadline verdict
+  // is byte-identical at any thread count) before the run cancels its
+  // in-flight lanes and stops with kDeadlineExceeded. 0 = no deadline.
+  // Unlike max_hypotheses (which only counts solver-verified expansions),
+  // this bounds EVERY committed node, so UNSAT-heavy pathological dumps
+  // that explore without verifying still terminate.
+  uint64_t deadline_units = 0;
+  // Fault injection (see src/support/faultpoint.h): plan consulted by the
+  // engine-lane sites ("engine.lane.explore", "engine.lane.detect"), and
+  // forwarded to the solver ("solver.strategy"). nullptr falls back to the
+  // RES_FAULT_PLAN env plan; fault_task scopes hits to this engine's batch
+  // index. A fired fault fails the run with kTaskFailed (see ResResult).
+  FaultPlan* fault_plan = nullptr;
+  int fault_task = FaultPlan::kAnyTask;
   // A feasible suffix of at least this many units must exist for the dump to
   // be considered software-explainable; otherwise Run reports a suspected
   // hardware error when the frontier exhausts. Depth 1 is trivially
@@ -118,6 +137,8 @@ enum class StopReason : uint8_t {
   kFrontierExhausted = 3,// no hypothesis could be extended further
   kBudget = 4,           // max_hypotheses explored
   kInconsistentDump = 5, // the dump state cannot even produce the trap
+  kDeadlineExceeded = 6, // deadline_units committed without finishing
+  kTaskFailed = 7,       // internal failure (fault injection / invariant)
 };
 
 std::string_view StopReasonName(StopReason r);
@@ -150,6 +171,13 @@ struct ResStats {
   // (verified hypotheses x suffix depth).
   uint64_t detector_units_scanned = 0;
   uint64_t detector_rescans_avoided = 0;
+  // Nodes popped by the commit loop — the deterministic abstract clock the
+  // step deadline (ResOptions::deadline_units) is measured against.
+  // Identical at every thread count (single-thread DFS commit order).
+  uint64_t committed_units = 0;
+  // Runs aborted by the step-deadline watchdog (0 or 1 per Run; summed by
+  // batch callers). Deterministic: the deadline counts committed pops.
+  uint64_t deadline_cancels = 0;
   size_t max_depth = 0;
   size_t max_sat_depth = 0;
   SolverStats solver;
@@ -161,6 +189,10 @@ struct ResResult {
   std::vector<RootCause> causes;            // detectors applied to `suffix`
   bool hardware_error_suspected = false;
   bool dump_inconsistent_at_trap = false;   // depth-0 contradiction
+  // Non-OK exactly when stop == kTaskFailed: the first injected/internal
+  // fault the run hit. The run then carries no suffix, no causes, and no
+  // verdict — callers must quarantine it and promote nothing from it.
+  Status status;
   ResStats stats;
 };
 
@@ -289,6 +321,13 @@ class ResEngine {
 
   void MergeStats(const ResStats& delta, const SolverStats& solver_delta);
 
+  // Records the first injected/internal fault any lane hits (thread-safe;
+  // later faults are dropped). The commit loop polls faulted_ to fast-abort,
+  // and Run re-checks it AFTER the worker pool has quiesced, so the
+  // kTaskFailed verdict is schedule-independent whenever the armed site lies
+  // on a path every schedule commits (see faultpoint.h).
+  void RecordFault(Status status);
+
   const Module& module_;
   const Coredump& dump_;
   ResOptions options_;
@@ -315,6 +354,13 @@ class ResEngine {
   // Per-thread error-log entries (oldest first), split from the global log.
   std::vector<std::vector<ErrorLogEntry>> thread_logs_;
   bool log_was_full_ = false;
+  // Fault-injection scope for the engine-lane sites (two words; copies of
+  // options_.fault_plan / fault_task).
+  FaultScope faults_;
+  // First fault recorded by any lane (see RecordFault).
+  std::atomic<bool> faulted_{false};
+  std::mutex fault_mu_;
+  Status fault_status_;
 };
 
 }  // namespace res

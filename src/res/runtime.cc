@@ -22,11 +22,19 @@ ModuleFacts* ResRuntime::FactsFor(const Module& module) {
   return it->second.get();
 }
 
+RES_FAULT_SITE(kFaultPromote, "runtime.promote", StatusCode::kInternal);
+
 ResRuntime::Promotion ResRuntime::Promote(
     const Module& module, const ClauseStore& task_cores,
-    const std::vector<CheckKey>& cold_keys, uint64_t solver_fingerprint) {
+    const std::vector<CheckKey>& cold_keys, uint64_t solver_fingerprint,
+    const FaultScope& faults) {
   ModuleFacts* facts = FactsFor(module);
   Promotion result;
+  // Before the first store write: a faulted promotion publishes nothing.
+  result.status = faults.Check(kFaultPromote);
+  if (!result.status.ok()) {
+    return result;
+  }
   std::lock_guard<std::mutex> lock(promote_mu_);
   // Cores in task seq order (itself deterministic commit order); evicted
   // cores stayed cold in their own run, so only live ones promote.

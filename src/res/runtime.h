@@ -57,6 +57,8 @@
 
 #include "src/cfg/cfg.h"
 #include "src/ir/module.h"
+#include "src/support/faultpoint.h"
+#include "src/support/status.h"
 #include "src/support/thread_pool.h"
 #include "src/symbolic/expr.h"
 #include "src/symbolic/solver.h"
@@ -119,15 +121,20 @@ class ResRuntime {
   struct Promotion {
     uint64_t new_cores = 0;  // cores newly published to the module store
     uint64_t new_keys = 0;   // check keys newly promoted module-global
+    // Non-OK when the "runtime.promote" fault site fired: NOTHING was
+    // published (the site is checked before the first store write, so a
+    // failed promotion is all-or-nothing from the caller's view).
+    Status status;
   };
 
   // Publishes one committed task's module-level facts: its live learned
   // cores (in task seq order) into the module's promoted ClauseStore, and
   // its committed cold-check keys into the shared cache's promoted set.
-  // Batch commit threads call this in dump-submission order.
+  // Batch commit threads call this in dump-submission order. `faults`
+  // carries the "runtime.promote" fault site.
   Promotion Promote(const Module& module, const ClauseStore& task_cores,
                     const std::vector<CheckKey>& cold_keys,
-                    uint64_t solver_fingerprint);
+                    uint64_t solver_fingerprint, const FaultScope& faults = {});
 
  private:
   ResRuntimeOptions options_;

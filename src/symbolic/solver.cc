@@ -1034,10 +1034,23 @@ bool Solver::ConstraintInput::AllSatisfied(const Assignment& model) const {
   return ok;
 }
 
+RES_FAULT_SITE(kFaultSolver, "solver.strategy", StatusCode::kInternal);
+
 SolveOutcome Solver::CheckWith(SolverContext* ctx,
                                const ConstraintInput& constraints,
                                SolverStats* stats, bool allow_portfolio) {
   SolveOutcome out;
+  {
+    Status fault = FaultScope{options_.fault_plan, options_.fault_task}
+                       .Check(kFaultSolver);
+    if (!fault.ok()) {
+      // Bail before touching the context, the cache, or the clause store:
+      // a faulted check must leave no reusable state behind.
+      out.fault = std::move(fault);
+      ++stats->unknown;
+      return out;
+    }
+  }
   if (ctx->unsat_) {
     // Constraints are append-only, so a proven-UNSAT prefix stays UNSAT.
     out.result = SatResult::kUnsat;

@@ -60,8 +60,10 @@
 #include <unordered_set>
 #include <vector>
 
+#include "src/support/faultpoint.h"
 #include "src/support/persistent.h"
 #include "src/support/rng.h"
+#include "src/support/status.h"
 #include "src/symbolic/expr.h"
 
 namespace res {
@@ -84,6 +86,10 @@ struct SolveOutcome {
   // Empty when no small core could be derived (soundness never depends on
   // it; it exists purely so callers can learn and share the conflict).
   std::vector<const Expr*> core;
+  // Non-OK only when the "solver.strategy" fault site fired on this check
+  // (result is then kUnknown and nothing was cached). The engine treats it
+  // as a task-fatal internal failure, not a solver verdict.
+  Status fault;
 };
 
 // Closed interval over int64 with the usual lattice operations; empty when
@@ -182,6 +188,13 @@ struct SolverOptions {
   // Largest conflict (in constraints) still reported as an UNSAT core;
   // 0 disables core derivation entirely.
   size_t max_core_size = 12;
+  // --- Fault injection (see src/support/faultpoint.h). ---
+  // Plan consulted by the "solver.strategy" site at every check; nullptr
+  // falls back to the RES_FAULT_PLAN env plan. Not part of the solver
+  // fingerprint: a fired fault returns before anything is cached or
+  // learned, so it cannot poison cross-task reuse.
+  FaultPlan* fault_plan = nullptr;
+  int fault_task = FaultPlan::kAnyTask;
 };
 
 // Per-hypothesis persistent solving state. The reverse engine stores one per

@@ -7,6 +7,9 @@
 #include <mutex>
 #include <thread>
 
+#include "src/coredump/serialize.h"
+#include "src/ir/verifier.h"
+
 namespace res {
 
 namespace {
@@ -17,7 +20,32 @@ double MsSince(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+// The deterministic degraded retry profile: half the suffix depth, the
+// classic (non-portfolio) solver pipeline, half the per-check step budget.
+// Same deadline — the point is to fit under it with a cheaper search, not
+// to wait longer.
+ResOptions DegradedProfile(ResOptions base) {
+  base.max_units = std::max<size_t>(1, base.max_units / 2);
+  base.solver_portfolio = false;
+  base.solver_budget_steps = base.solver_budget_steps == 0
+                                 ? (1 << 16)
+                                 : std::max<uint64_t>(1, base.solver_budget_steps / 2);
+  return base;
+}
+
 }  // namespace
+
+std::string_view TriageOutcomeName(TriageOutcome o) {
+  switch (o) {
+    case TriageOutcome::kOk:
+      return "ok";
+    case TriageOutcome::kDegraded:
+      return "degraded";
+    case TriageOutcome::kQuarantined:
+      return "quarantined";
+  }
+  return "?";
+}
 
 TriageService::TriageService(ResRuntime* runtime, const Module& module,
                              TriageOptions options)
@@ -25,6 +53,32 @@ TriageService::TriageService(ResRuntime* runtime, const Module& module,
 
 std::vector<TriageReport> TriageService::RunBatch(
     const std::vector<const Coredump*>& dumps, TriageStats* stats_out) {
+  return RunBatchImpl(dumps, std::vector<Status>(dumps.size(), OkStatus()),
+                      stats_out);
+}
+
+std::vector<TriageReport> TriageService::RunBatchSerialized(
+    const std::vector<std::vector<uint8_t>>& blobs, TriageStats* stats_out) {
+  const size_t n = blobs.size();
+  std::vector<Coredump> storage(n);
+  std::vector<const Coredump*> ptrs(n, nullptr);
+  std::vector<Status> admit(n, OkStatus());
+  for (size_t i = 0; i < n; ++i) {
+    Result<Coredump> parsed = DeserializeCoredump(
+        blobs[i], FaultScope{options_.fault_plan, static_cast<int>(i)});
+    if (parsed.ok()) {
+      storage[i] = std::move(parsed).value();
+      ptrs[i] = &storage[i];
+    } else {
+      admit[i] = parsed.status();
+    }
+  }
+  return RunBatchImpl(ptrs, std::move(admit), stats_out);
+}
+
+std::vector<TriageReport> TriageService::RunBatchImpl(
+    const std::vector<const Coredump*>& dumps, std::vector<Status> admit,
+    TriageStats* stats_out) {
   const size_t n = dumps.size();
   TriageStats tstats;
   tstats.dumps = n;
@@ -36,9 +90,56 @@ std::vector<TriageReport> TriageService::RunBatch(
     return reports;
   }
 
+  // A quarantined slot carries only its identity and failure: the dump may
+  // be arbitrary garbage, so neither an engine nor the baseline bucketers
+  // ever touch it, and none of its (nonexistent) facts promote.
+  auto quarantine = [&](size_t i, Status status) {
+    TriageReport& report = reports[i];
+    report = TriageReport{};
+    report.index = i;
+    report.outcome = TriageOutcome::kQuarantined;
+    report.res_bucket =
+        "quarantine:" + std::string(StatusCodeName(status.code()));
+    report.status = std::move(status);
+    ++tstats.quarantined;
+    if (options_.on_result) {
+      options_.on_result(report);
+    }
+  };
+
+  // Batch admission, stage 1: the module. A module that fails verification
+  // (or an "ir.verify" fault arm with batch scope) fails EVERY slot — no
+  // engine can trust the IR.
+  {
+    Status module_ok =
+        VerifyModule(module_, FaultScope{options_.fault_plan});
+    if (!module_ok.ok()) {
+      for (size_t i = 0; i < n; ++i) {
+        quarantine(i, module_ok);
+      }
+      if (stats_out != nullptr) {
+        *stats_out = tstats;
+      }
+      return reports;
+    }
+  }
+  // Batch admission, stage 2: per-dump semantic validation, before any
+  // engine exists. Missing slots (RunBatchSerialized parse failures) keep
+  // their parse status.
+  for (size_t i = 0; i < n; ++i) {
+    if (dumps[i] == nullptr && admit[i].ok()) {
+      admit[i] = DataLoss("coredump slot empty");
+    }
+    if (dumps[i] != nullptr && admit[i].ok()) {
+      admit[i] = dumps[i]->Validate(
+          module_, FaultScope{options_.fault_plan, static_cast<int>(i)});
+    }
+  }
+
   ResOptions res_options = options_.res;
   res_options.runtime = runtime_;
   res_options.consult_promoted = options_.cross_task_reuse;
+  res_options.fault_plan = options_.fault_plan;
 
   const uint64_t var_hits_before = runtime_->pool()->var_intern_hits();
   const auto batch_start = std::chrono::steady_clock::now();
@@ -47,18 +148,76 @@ std::vector<TriageReport> TriageService::RunBatch(
     std::unique_ptr<ResEngine> engine;
     ResResult result;
     double wall_ms = 0;
+    uint32_t deadline_events = 0;  // runs (first try + retry) that timed out
+    bool retried = false;          // degraded retry launched
+    bool degraded = false;         // retry finished under the deadline
     bool done = false;
   };
   std::vector<Task> tasks(n);
 
+  // Runs one admitted dump to completion: first try at full fidelity, then
+  // — only if the step deadline fired — exactly one retry under the
+  // deterministic degraded profile. Both the decision and the profile are
+  // pure functions of (dump, options), so the outcome is schedule-free.
+  auto run_task = [&](size_t i, Task* t) {
+    ResOptions task_options = res_options;
+    task_options.fault_task = static_cast<int>(i);
+    const auto t0 = std::chrono::steady_clock::now();
+    t->engine = std::make_unique<ResEngine>(module_, *dumps[i], task_options);
+    t->result = t->engine->Run();
+    if (t->result.stop == StopReason::kDeadlineExceeded) {
+      ++t->deadline_events;
+      t->retried = true;
+      ResOptions degraded_options = DegradedProfile(task_options);
+      t->engine =
+          std::make_unique<ResEngine>(module_, *dumps[i], degraded_options);
+      t->result = t->engine->Run();
+      if (t->result.stop == StopReason::kDeadlineExceeded) {
+        ++t->deadline_events;
+      } else if (t->result.stop != StopReason::kTaskFailed) {
+        t->degraded = true;
+      }
+    }
+    t->wall_ms = MsSince(t0);
+  };
+
   // Commit one finished task, in submission order: promotion first (the
-  // deterministic protocol point), then the report, then release the run.
+  // deterministic protocol point — and ONLY for full-fidelity successes:
+  // quarantined tasks have no trustworthy facts and degraded tasks ran a
+  // different profile, so neither publishes anything), then the report,
+  // then release the run.
   auto commit = [&](size_t i) {
     Task& t = tasks[i];
-    if (options_.cross_task_reuse) {
+    tstats.deadline_exceeded += t.deadline_events;
+    if (t.retried) {
+      ++tstats.degraded_retries;
+    }
+    if (!admit[i].ok()) {
+      quarantine(i, admit[i]);
+      return;
+    }
+    if (t.result.stop == StopReason::kTaskFailed) {
+      t.engine.reset();
+      quarantine(i, t.result.status);
+      return;
+    }
+    if (t.result.stop == StopReason::kDeadlineExceeded) {
+      t.engine.reset();
+      quarantine(i, ResourceExhausted("step deadline exceeded twice"));
+      return;
+    }
+    if (options_.cross_task_reuse && !t.degraded) {
       ResRuntime::Promotion promo = runtime_->Promote(
           module_, t.engine->learned_clauses(),
-          t.result.stats.solver.cold_check_keys, t.engine->solver_fingerprint());
+          t.result.stats.solver.cold_check_keys, t.engine->solver_fingerprint(),
+          FaultScope{options_.fault_plan, static_cast<int>(i)});
+      if (!promo.status.ok()) {
+        // All-or-nothing: a faulted promotion published nothing, so the
+        // batch's promoted state matches a batch without this dump.
+        t.engine.reset();
+        quarantine(i, promo.status);
+        return;
+      }
       tstats.clause_promotions += promo.new_cores;
       tstats.cache_promotions += promo.new_keys;
     }
@@ -67,6 +226,9 @@ std::vector<TriageReport> TriageService::RunBatch(
     t.result.stats.solver.cold_check_keys.clear();
     TriageReport& report = reports[i];
     report.index = i;
+    report.outcome =
+        t.degraded ? TriageOutcome::kDegraded : TriageOutcome::kOk;
+    report.degraded = t.degraded;
     report.res_bucket = BucketFromResult(module_, *dumps[i], t.result);
     report.stack_bucket = StackBucketer(module_).BucketFor(*dumps[i]);
     report.cause_signature =
@@ -91,12 +253,12 @@ std::vector<TriageReport> TriageService::RunBatch(
     // Serial pipeline: each engine is constructed after every earlier task's
     // promotion, so its promoted-store watermark covers tasks 0..i-1 —
     // maximal intra-batch reuse AND a schedule-independent watermark.
+    // Quarantined slots promote nothing, so the watermark every later task
+    // sees equals a batch submitted without them.
     for (size_t i = 0; i < n; ++i) {
-      Task& t = tasks[i];
-      const auto t0 = std::chrono::steady_clock::now();
-      t.engine = std::make_unique<ResEngine>(module_, *dumps[i], res_options);
-      t.result = t.engine->Run();
-      t.wall_ms = MsSince(t0);
+      if (admit[i].ok()) {
+        run_task(i, &tasks[i]);
+      }
       commit(i);
     }
   } else {
@@ -118,15 +280,13 @@ std::vector<TriageReport> TriageService::RunBatch(
         if (i >= n) {
           return;
         }
-        const auto t0 = std::chrono::steady_clock::now();
-        tasks[i].engine =
-            std::make_unique<ResEngine>(module_, *dumps[i], res_options);
-        ResResult result = tasks[i].engine->Run();
-        const double ms = MsSince(t0);
+        Task local;
+        if (admit[i].ok()) {
+          run_task(i, &local);
+        }
         {
           std::lock_guard<std::mutex> lock(mu);
-          tasks[i].result = std::move(result);
-          tasks[i].wall_ms = ms;
+          tasks[i] = std::move(local);
           tasks[i].done = true;
         }
         cv.notify_all();

@@ -39,6 +39,7 @@
 #ifndef RES_TRIAGE_TRIAGE_SERVICE_H_
 #define RES_TRIAGE_TRIAGE_SERVICE_H_
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -47,14 +48,40 @@
 #include "src/ir/module.h"
 #include "src/res/reverse_engine.h"
 #include "src/res/runtime.h"
+#include "src/support/faultpoint.h"
+#include "src/support/status.h"
 #include "src/triage/triage.h"
 
 namespace res {
+
+// How one dump's task ended. Failure isolation contract: a batch NEVER
+// fails as a whole — a dump that cannot be parsed, validated, triaged
+// within its deadline, or promoted yields a kQuarantined report, every
+// other dump's report stays byte-identical to a batch submitted without
+// the failed dump, and nothing from a quarantined or degraded task is
+// promoted module-global (see ARCHITECTURE.md §7).
+enum class TriageOutcome : uint8_t {
+  kOk = 0,          // full-fidelity run, facts promoted
+  kDegraded = 1,    // deadline hit; report from the degraded retry profile
+  kQuarantined = 2, // parse/validate/internal/deadline failure; no verdict
+};
+
+std::string_view TriageOutcomeName(TriageOutcome o);
 
 // One dump's triage verdicts, all derived from a single RES run (plus the
 // two cheap symptom-side baselines for comparison columns).
 struct TriageReport {
   size_t index = 0;                 // dump-submission index
+  TriageOutcome outcome = TriageOutcome::kOk;
+  // Non-OK exactly when outcome == kQuarantined: the failure that stopped
+  // this dump (kDataLoss parse/validate, kInternal invariant/fault,
+  // kResourceExhausted deadline). Quarantined reports carry ONLY index,
+  // outcome, status, and a "quarantine:<code>" res_bucket — the dump may be
+  // arbitrary garbage, so no baseline bucketer runs over it either.
+  Status status;
+  // True for outcome == kDegraded: the step deadline fired and the verdicts
+  // below come from the deterministic degraded retry profile.
+  bool degraded = false;
   std::string res_bucket;           // == ResBucketer::BucketFor
   std::string stack_bucket;         // WER-style baseline (StackBucketer)
   std::string cause_signature;      // first root cause's signature, or ""
@@ -73,6 +100,12 @@ struct TriageStats {
   uint64_t promoted_clause_hits = 0;  // hypotheses refuted by promoted cores
   uint64_t promoted_cache_hits = 0;   // cache hits via promoted keys
   uint64_t expr_reuse_hits = 0;       // shared-pool variable re-interns
+  // Failure-surface counters (deterministic: derived by the commit thread
+  // from per-task outcomes that are pure functions of (dumps, options,
+  // fault plan, batch config)).
+  uint64_t quarantined = 0;         // reports with outcome kQuarantined
+  uint64_t deadline_exceeded = 0;   // engine runs stopped by the deadline
+  uint64_t degraded_retries = 0;    // degraded-profile retries launched
   // Wall-clock shape of the batch (machine-dependent).
   double wall_ms = 0;
   double first_dump_ms = 0;
@@ -92,8 +125,14 @@ struct TriageOptions {
   // Consult and publish module-level facts across tasks. Off = every task
   // is a cold solo run (still sharing the pool and lane threads).
   bool cross_task_reuse = true;
+  // Fault-injection plan threaded through every failure domain the batch
+  // touches (deserialize, validate, verify, solver, engine lanes,
+  // promotion), scoped per dump index. nullptr falls back to the
+  // RES_FAULT_PLAN env plan. See src/support/faultpoint.h.
+  FaultPlan* fault_plan = nullptr;
   // Streamed per-report callback, invoked on the commit thread in
-  // submission order (before RunBatch returns).
+  // submission order (before RunBatch returns). Quarantined and degraded
+  // reports stream too.
   std::function<void(const TriageReport&)> on_result;
 };
 
@@ -110,8 +149,19 @@ class TriageService {
                                      TriageStats* stats = nullptr);
   std::vector<TriageReport> RunBatch(const std::vector<Coredump>& dumps,
                                      TriageStats* stats = nullptr);
+  // The wire-facing entry: each blob is deserialized (bounds-hardened;
+  // "coredump.deserialize" site scoped to its index) and validated before
+  // admission — a corrupt blob quarantines only its own slot.
+  std::vector<TriageReport> RunBatchSerialized(
+      const std::vector<std::vector<uint8_t>>& blobs,
+      TriageStats* stats = nullptr);
 
  private:
+  // `dumps[i] == nullptr` means slot i failed admission with `admit[i]`.
+  std::vector<TriageReport> RunBatchImpl(
+      const std::vector<const Coredump*>& dumps, std::vector<Status> admit,
+      TriageStats* stats);
+
   ResRuntime* runtime_;
   const Module& module_;
   TriageOptions options_;

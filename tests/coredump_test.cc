@@ -160,5 +160,160 @@ TEST(CorruptorTest, MemoryFlipOnMinidumpFails) {
   EXPECT_FALSE(InjectMemoryBitFlip(&mini, &rng).has_value());
 }
 
+// --- Untrusted-input hardening (ISSUE 6 satellite): random corruption of
+// the wire bytes must never crash, OOB-read, or OOM the deserializer —
+// every failure is a kDataLoss Status, and anything that still parses must
+// survive semantic validation without crashing either. ---
+
+struct WorkloadDump {
+  Module module;
+  Coredump dump;
+};
+
+WorkloadDump ModuleAndDumpOf(const char* workload) {
+  const WorkloadSpec& spec = WorkloadByName(workload);
+  WorkloadDump wd{spec.build(), {}};
+  FailureRunOptions options;
+  options.require_live_peers = spec.requires_live_peers;
+  auto run = RunToFailure(wd.module, spec, options);
+  EXPECT_TRUE(run.ok()) << run.status().ToString();
+  if (run.ok()) {
+    wd.dump = std::move(run).value().dump;
+  }
+  return wd;
+}
+
+TEST(SerializeTest, CorruptionFuzzSweepNeverCrashes) {
+  for (const char* workload :
+       {"div_by_zero_input", "use_after_free", "racy_counter"}) {
+    WorkloadDump wd = ModuleAndDumpOf(workload);
+    const std::vector<uint8_t> bytes = SerializeCoredump(wd.dump);
+    ASSERT_GT(bytes.size(), 16u);
+    for (uint64_t seed = 0; seed < 8; ++seed) {
+      Rng rng(0xC0FFEE ^ seed);
+      for (int iter = 0; iter < 128; ++iter) {
+        std::vector<uint8_t> mutated = bytes;
+        switch (rng.NextBelow(4)) {
+          case 0:  // scattered byte corruption
+            for (uint64_t k = 0; k <= rng.NextBelow(8); ++k) {
+              mutated[rng.NextBelow(mutated.size())] ^=
+                  static_cast<uint8_t>(1 + rng.NextBelow(255));
+            }
+            break;
+          case 1: {  // length-field attack: splice a hostile u64 anywhere
+            const size_t pos = rng.NextBelow(mutated.size() - 8);
+            // Bias toward the adversarial extremes (huge / near-overflow).
+            const uint64_t v = rng.NextBool() ? rng.Next()
+                                              : UINT64_MAX - rng.NextBelow(16);
+            for (int b = 0; b < 8; ++b) {
+              mutated[pos + b] = static_cast<uint8_t>(v >> (8 * b));
+            }
+            break;
+          }
+          case 2:  // truncation
+            mutated.resize(rng.NextBelow(mutated.size()));
+            break;
+          default: {  // duplicate an interior chunk (structure shear)
+            const size_t from = rng.NextBelow(mutated.size());
+            const size_t len =
+                rng.NextBelow(mutated.size() - from) + 1;
+            mutated.insert(mutated.begin() + static_cast<ptrdiff_t>(from),
+                           mutated.begin() + static_cast<ptrdiff_t>(from),
+                           mutated.begin() + static_cast<ptrdiff_t>(from + len));
+            break;
+          }
+        }
+        auto parsed = DeserializeCoredump(mutated);
+        if (!parsed.ok()) {
+          EXPECT_EQ(parsed.status().code(), StatusCode::kDataLoss)
+              << workload << " seed=" << seed << " iter=" << iter << ": "
+              << parsed.status().ToString();
+        } else {
+          // Structurally fine but possibly semantic garbage: Validate must
+          // classify it (either way) without crashing.
+          (void)parsed.value().Validate(wd.module);
+        }
+      }
+    }
+  }
+}
+
+TEST(ValidateTest, LegitimateCorpusPasses) {
+  for (const char* workload :
+       {"div_by_zero_input", "use_after_free", "deadlock", "racy_counter",
+        "buffer_overflow"}) {
+    WorkloadDump wd = ModuleAndDumpOf(workload);
+    Status s = wd.dump.Validate(wd.module);
+    EXPECT_TRUE(s.ok()) << workload << ": " << s.ToString();
+    // And survives a serialization round trip.
+    auto restored = DeserializeCoredump(SerializeCoredump(wd.dump));
+    ASSERT_TRUE(restored.ok());
+    s = restored.value().Validate(wd.module);
+    EXPECT_TRUE(s.ok()) << workload << ": " << s.ToString();
+  }
+}
+
+TEST(ValidateTest, RejectsSemanticGarbage) {
+  WorkloadDump wd = ModuleAndDumpOf("use_after_free");
+  auto expect_rejected = [&](Coredump mutant, const char* what) {
+    Status s = mutant.Validate(wd.module);
+    EXPECT_FALSE(s.ok()) << what;
+    EXPECT_EQ(s.code(), StatusCode::kDataLoss) << what;
+  };
+
+  {
+    Coredump m = wd.dump;
+    m.trap.kind = static_cast<TrapKind>(200);
+    expect_rejected(std::move(m), "trap kind out of range");
+  }
+  {
+    Coredump m = wd.dump;
+    m.trap.thread = static_cast<uint32_t>(m.threads.size());
+    expect_rejected(std::move(m), "trap thread out of range");
+  }
+  {
+    Coredump m = wd.dump;
+    m.trap.pc.func = static_cast<FuncId>(wd.module.functions().size());
+    expect_rejected(std::move(m), "trap pc outside module");
+  }
+  {
+    Coredump m = wd.dump;
+    m.FaultingThread();  // ensure the faulting thread exists
+    m.threads[m.trap.thread].frames.back().regs.push_back(0);
+    expect_rejected(std::move(m), "register file size mismatch");
+  }
+  {
+    Coredump m = wd.dump;
+    m.threads[0].state = static_cast<ThreadState>(9);
+    expect_rejected(std::move(m), "thread state out of range");
+  }
+  {
+    Coredump m = wd.dump;
+    m.threads[0].frames[0].block = 0xfffffff0u;
+    expect_rejected(std::move(m), "frame block outside function");
+  }
+  {
+    Coredump m = wd.dump;
+    BranchRecord junk;
+    junk.source = Pc{0, 0, 0};
+    junk.dest = Pc{static_cast<FuncId>(wd.module.functions().size()), 0, 0};
+    m.threads[0].lbr.assign(1, junk);
+    expect_rejected(std::move(m), "LBR entry outside module");
+  }
+  if (!wd.dump.heap_allocations.empty()) {
+    Coredump m = wd.dump;
+    m.heap_allocations.front().alloc_seq = m.heap_next_seq + 7;
+    expect_rejected(std::move(m), "allocation sequence outside heap epoch");
+    m = wd.dump;
+    m.heap_allocations.front().size_words = UINT64_MAX / 4;
+    expect_rejected(std::move(m), "allocation extent overflows");
+  }
+  if (!wd.dump.error_log.empty()) {
+    Coredump m = wd.dump;
+    m.error_log.front().thread = static_cast<uint32_t>(m.threads.size() + 3);
+    expect_rejected(std::move(m), "error-log thread out of range");
+  }
+}
+
 }  // namespace
 }  // namespace res

@@ -1,0 +1,376 @@
+// Failure isolation must be total and invisible: poisoning any registered
+// fault site under one dump of a batch quarantines exactly that dump — the
+// batch completes, every surviving report is byte-identical to a batch
+// submitted without the poisoned dump, and nothing from a failed or
+// degraded task promotes module-global. The step-deadline watchdog is
+// measured on the same abstract clock as the search itself (committed
+// pops), so deadline verdicts, degraded retries, and quarantines are
+// byte-identical at any engine thread count and any dump-level parallelism.
+// See docs/ARCHITECTURE.md §7 for the contract and src/support/faultpoint.h
+// for the injection machinery.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/coredump/serialize.h"
+#include "src/support/faultpoint.h"
+#include "src/triage/triage_service.h"
+#include "src/workloads/harness.h"
+#include "src/workloads/workloads.h"
+
+namespace res {
+namespace {
+
+// ---------------------------------------------------------------------------
+// FaultPlan mechanics.
+
+TEST(FaultPlanTest, RegistryHasEveryPipelineSite) {
+  const std::vector<std::string_view> sites = RegisteredFaultSites();
+  auto has = [&](std::string_view name) {
+    return std::find(sites.begin(), sites.end(), name) != sites.end();
+  };
+  EXPECT_TRUE(has("coredump.deserialize"));
+  EXPECT_TRUE(has("coredump.validate"));
+  EXPECT_TRUE(has("ir.verify"));
+  EXPECT_TRUE(has("solver.strategy"));
+  EXPECT_TRUE(has("engine.lane.explore"));
+  EXPECT_TRUE(has("engine.lane.detect"));
+  EXPECT_TRUE(has("runtime.promote"));
+}
+
+TEST(FaultPlanTest, ParseArmsCountAndTaskScopes) {
+  FaultPlan plan;
+  ASSERT_TRUE(plan.Parse("coredump.deserialize,solver.strategy=3@1").ok());
+  EXPECT_FALSE(plan.empty());
+  // nth=3 under task scope 1: mismatched scopes don't even consume hits.
+  EXPECT_FALSE(plan.Fire("solver.strategy", 0));
+  EXPECT_FALSE(plan.Fire("solver.strategy", 1));  // hit 1
+  EXPECT_FALSE(plan.Fire("solver.strategy", 1));  // hit 2
+  EXPECT_TRUE(plan.Fire("solver.strategy", 1));   // hit 3: fires
+  EXPECT_FALSE(plan.Fire("solver.strategy", 1));  // spent
+  // An unscoped arm matches any task, once.
+  EXPECT_TRUE(plan.Fire("coredump.deserialize", 7));
+  EXPECT_FALSE(plan.Fire("coredump.deserialize", 7));
+  EXPECT_EQ(plan.fired(), 2u);
+  plan.Clear();
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(plan.fired(), 0u);
+}
+
+TEST(FaultPlanTest, ParseRejectsMalformedSpecs) {
+  FaultPlan plan;
+  EXPECT_EQ(plan.Parse("site=0").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(plan.Parse("site=abc").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(plan.Parse("site@-1").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(plan.Parse("site@x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(plan.Parse("=3").code(), StatusCode::kInvalidArgument);
+  // Unknown site names are legal (they never fire) and empty entries skip.
+  EXPECT_TRUE(plan.Parse("no.such.site,,other=2").ok());
+}
+
+TEST(FaultPlanTest, TaskScopedArmIgnoresOtherScopes) {
+  FaultPlan plan;
+  plan.Arm("ir.verify", 1, 1);
+  EXPECT_FALSE(plan.Fire("ir.verify"));  // batch-scoped hit (kAnyTask)
+  EXPECT_FALSE(plan.Fire("ir.verify", 0));
+  EXPECT_TRUE(plan.Fire("ir.verify", 1));
+}
+
+// ---------------------------------------------------------------------------
+// Batch fault sweep: three use_after_free dumps (two distinct crash paths);
+// dump 1 is the poison target, dumps 0 and 2 must be untouched.
+
+class TriageFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    WorkloadSpec spec = WorkloadByName("use_after_free");
+    module_ = spec.build();
+    const std::vector<std::vector<int64_t>> inputs = {{1}, {2}, {1}};
+    for (size_t d = 0; d < inputs.size(); ++d) {
+      WorkloadSpec dspec = spec;
+      dspec.channel0_inputs = inputs[d];
+      FailureRunOptions run_options;
+      run_options.require_live_peers = spec.requires_live_peers;
+      run_options.first_seed = 1 + d * 37;
+      auto run = RunToFailure(module_, dspec, run_options);
+      ASSERT_TRUE(run.ok()) << run.status().ToString();
+      blobs_.push_back(SerializeCoredump(std::move(run).value().dump));
+    }
+  }
+
+  std::vector<TriageReport> RunBlobs(
+      const std::vector<std::vector<uint8_t>>& blobs, FaultPlan* plan,
+      size_t threads, size_t parallel, TriageStats* stats) {
+    ResRuntimeOptions rt_options;
+    rt_options.worker_threads = threads > 1 ? 4 : 0;
+    ResRuntime runtime(rt_options);
+    TriageOptions options;
+    options.res.num_threads = threads;
+    options.max_parallel_dumps = parallel;
+    options.fault_plan = plan;
+    TriageService service(&runtime, module_, options);
+    return service.RunBatchSerialized(blobs, stats);
+  }
+
+  static void ExpectSameVerdict(const TriageReport& got,
+                                const TriageReport& want,
+                                const std::string& label) {
+    EXPECT_EQ(got.outcome, want.outcome) << label;
+    EXPECT_EQ(got.degraded, want.degraded) << label;
+    EXPECT_EQ(got.res_bucket, want.res_bucket) << label;
+    EXPECT_EQ(got.stack_bucket, want.stack_bucket) << label;
+    EXPECT_EQ(got.cause_signature, want.cause_signature) << label;
+    EXPECT_EQ(got.res_rating, want.res_rating) << label;
+    EXPECT_EQ(got.heuristic_rating, want.heuristic_rating) << label;
+    EXPECT_EQ(got.hardware_error_suspected, want.hardware_error_suspected)
+        << label;
+  }
+
+  Module module_;
+  std::vector<std::vector<uint8_t>> blobs_;
+};
+
+TEST_F(TriageFaultTest, SiteSweepQuarantinesExactlyThePoisonedDump) {
+  struct SiteCase {
+    std::string_view site;
+    StatusCode code;
+  };
+  // Every per-task site in the pipeline, with the failure it surfaces as.
+  // ("ir.verify" is batch-scoped — covered by ModuleVerifyFaultFailsEverySlot.)
+  const SiteCase cases[] = {
+      {"coredump.deserialize", StatusCode::kDataLoss},
+      {"coredump.validate", StatusCode::kDataLoss},
+      {"solver.strategy", StatusCode::kInternal},
+      {"engine.lane.explore", StatusCode::kInternal},
+      {"engine.lane.detect", StatusCode::kInternal},
+      {"runtime.promote", StatusCode::kInternal},
+  };
+  for (size_t threads : {1u, 2u, 8u}) {
+    for (size_t parallel : {1u, 2u}) {
+      // Reference: the same batch submitted without the poisoned dump.
+      const std::vector<std::vector<uint8_t>> survivors = {blobs_[0],
+                                                           blobs_[2]};
+      TriageStats ref_stats;
+      std::vector<TriageReport> ref =
+          RunBlobs(survivors, nullptr, threads, parallel, &ref_stats);
+      ASSERT_EQ(ref.size(), 2u);
+      ASSERT_EQ(ref[0].outcome, TriageOutcome::kOk);
+      ASSERT_EQ(ref[1].outcome, TriageOutcome::kOk);
+
+      for (const SiteCase& c : cases) {
+        const std::string label = std::string(c.site) +
+                                  "/threads=" + std::to_string(threads) +
+                                  "/parallel=" + std::to_string(parallel);
+        FaultPlan plan;
+        plan.Arm(c.site, 1, 1);  // poison dump 1, first hit
+        TriageStats stats;
+        std::vector<TriageReport> reports =
+            RunBlobs(blobs_, &plan, threads, parallel, &stats);
+        ASSERT_EQ(reports.size(), 3u) << label;
+        EXPECT_GE(plan.fired(), 1u) << label << ": site never reached";
+        EXPECT_EQ(reports[1].outcome, TriageOutcome::kQuarantined) << label;
+        EXPECT_EQ(reports[1].status.code(), c.code) << label;
+        EXPECT_EQ(reports[1].res_bucket,
+                  "quarantine:" + std::string(StatusCodeName(c.code)))
+            << label;
+        EXPECT_TRUE(reports[1].cause_signature.empty()) << label;
+        EXPECT_EQ(stats.quarantined, 1u) << label;
+        EXPECT_EQ(stats.deadline_exceeded, 0u) << label;
+        // Failure isolation: the surviving reports are byte-identical to the
+        // batch that never saw the poisoned dump...
+        ExpectSameVerdict(reports[0], ref[0], label + "/dump0");
+        ExpectSameVerdict(reports[2], ref[1], label + "/dump2");
+        // ...and so is everything the batch promoted (poison-free promotion:
+        // a failed task publishes no cores and no check keys).
+        EXPECT_EQ(stats.clause_promotions, ref_stats.clause_promotions)
+            << label;
+        EXPECT_EQ(stats.cache_promotions, ref_stats.cache_promotions) << label;
+        EXPECT_EQ(stats.promoted_clause_hits, ref_stats.promoted_clause_hits)
+            << label;
+      }
+    }
+  }
+}
+
+TEST_F(TriageFaultTest, ModuleVerifyFaultFailsEverySlot) {
+  // Module admission is batch-scoped: an unscoped ir.verify arm fails every
+  // slot (no engine can trust the IR)...
+  for (size_t parallel : {1u, 2u}) {
+    FaultPlan plan;
+    plan.Arm("ir.verify");
+    TriageStats stats;
+    std::vector<TriageReport> reports =
+        RunBlobs(blobs_, &plan, 1, parallel, &stats);
+    ASSERT_EQ(reports.size(), 3u);
+    for (const TriageReport& r : reports) {
+      EXPECT_EQ(r.outcome, TriageOutcome::kQuarantined) << r.index;
+      EXPECT_EQ(r.status.code(), StatusCode::kInternal) << r.index;
+    }
+    EXPECT_EQ(stats.quarantined, 3u);
+  }
+  // ...while a task-scoped arm never matches it: module health is not
+  // attributable to any one dump.
+  FaultPlan scoped;
+  scoped.Arm("ir.verify", 1, 1);
+  TriageStats stats;
+  std::vector<TriageReport> reports = RunBlobs(blobs_, &scoped, 1, 1, &stats);
+  EXPECT_EQ(scoped.fired(), 0u);
+  ASSERT_EQ(reports.size(), 3u);
+  for (const TriageReport& r : reports) {
+    EXPECT_EQ(r.outcome, TriageOutcome::kOk) << r.index;
+  }
+}
+
+TEST_F(TriageFaultTest, CorruptBlobQuarantinesOnlyItsSlot) {
+  std::vector<std::vector<uint8_t>> blobs = blobs_;
+  blobs[1].resize(blobs[1].size() / 2);  // truncated mid-wire
+  TriageStats stats;
+  std::vector<TriageReport> reports = RunBlobs(blobs, nullptr, 1, 1, &stats);
+  ASSERT_EQ(reports.size(), 3u);
+  EXPECT_EQ(reports[1].outcome, TriageOutcome::kQuarantined);
+  EXPECT_EQ(reports[1].status.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(reports[0].outcome, TriageOutcome::kOk);
+  EXPECT_EQ(reports[2].outcome, TriageOutcome::kOk);
+  EXPECT_EQ(stats.quarantined, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Step-deadline watchdog: measured in committed pops, so verdicts are pure
+// functions of (dump, options) — never of wall clock or thread count.
+
+class DeadlineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    module_ = BuildRacyCounterWide(4);
+    WorkloadSpec spec = WorkloadByName("racy_counter");
+    FailureRunOptions run_options;
+    run_options.require_live_peers = spec.requires_live_peers;
+    auto run = RunToFailure(module_, spec, run_options);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    dump_ = std::move(run).value().dump;
+    res_options_.stop_at_root_cause = false;
+    res_options_.max_units = 48;
+    res_options_.max_hypotheses = 1000;
+  }
+
+  Module module_;
+  Coredump dump_;
+  ResOptions res_options_;
+};
+
+TEST_F(DeadlineTest, EngineDeadlineIsDeterministicAcrossThreads) {
+  ResOptions options = res_options_;
+  options.num_threads = 1;
+  const ResResult full = ResEngine(module_, dump_, options).Run();
+  ASSERT_NE(full.stop, StopReason::kDeadlineExceeded);
+  const uint64_t u_full = full.stats.committed_units;
+  ASSERT_GT(u_full, 2u);
+  // The abstract clock itself is thread-count invariant (single-thread DFS
+  // commit order), so a deadline CAN be deterministic at all.
+  for (size_t threads : {2u, 8u}) {
+    ResOptions t = options;
+    t.num_threads = threads;
+    EXPECT_EQ(ResEngine(module_, dump_, t).Run().stats.committed_units, u_full)
+        << "threads=" << threads;
+  }
+  // A deadline below the run's length cancels it identically everywhere;
+  // a truncated search never claims a hardware-error verdict.
+  for (size_t threads : {1u, 8u}) {
+    ResOptions t = options;
+    t.num_threads = threads;
+    t.deadline_units = u_full / 2;
+    const ResResult r = ResEngine(module_, dump_, t).Run();
+    EXPECT_EQ(r.stop, StopReason::kDeadlineExceeded) << "threads=" << threads;
+    EXPECT_EQ(r.stats.deadline_cancels, 1u) << "threads=" << threads;
+    EXPECT_EQ(r.stats.committed_units, u_full / 2 + 1)
+        << "threads=" << threads;
+    EXPECT_FALSE(r.hardware_error_suspected) << "threads=" << threads;
+  }
+}
+
+TEST_F(DeadlineTest, DeadlineTriggersDegradedRetryThenQuarantine) {
+  // Shallow profile so the calibration runs are cheap: the full profile
+  // explores to depth 4, the degraded retry (max_units halved, portfolio
+  // off, budget halved — mirrors TriageService's DegradedProfile) to 2.
+  ResOptions full_options = res_options_;
+  full_options.max_units = 4;
+  full_options.num_threads = 1;
+  const uint64_t u_full =
+      ResEngine(module_, dump_, full_options).Run().stats.committed_units;
+  ResOptions degraded_options = full_options;
+  degraded_options.max_units = full_options.max_units / 2;
+  degraded_options.solver_portfolio = false;
+  degraded_options.solver_budget_steps = full_options.solver_budget_steps / 2;
+  const uint64_t u_deg =
+      ResEngine(module_, dump_, degraded_options).Run().stats.committed_units;
+  ASSERT_GT(u_deg, 1u);
+  ASSERT_LT(u_deg, u_full);
+
+  // Deadline exactly at the degraded run's length: the full-fidelity attempt
+  // overshoots, the degraded retry fits. Same plan at every configuration.
+  std::string degraded_bucket;
+  for (size_t threads : {1u, 2u, 8u}) {
+    for (size_t parallel : {1u, 2u}) {
+      const std::string label = "threads=" + std::to_string(threads) +
+                                "/parallel=" + std::to_string(parallel);
+      ResRuntimeOptions rt_options;
+      rt_options.worker_threads = threads > 1 ? 4 : 0;
+      ResRuntime runtime(rt_options);
+      TriageOptions options;
+      options.res = full_options;
+      options.res.num_threads = threads;
+      options.res.deadline_units = u_deg;
+      options.max_parallel_dumps = parallel;
+      TriageService service(&runtime, module_, options);
+      TriageStats stats;
+      std::vector<TriageReport> reports =
+          service.RunBatch(std::vector<const Coredump*>{&dump_}, &stats);
+      ASSERT_EQ(reports.size(), 1u) << label;
+      EXPECT_EQ(reports[0].outcome, TriageOutcome::kDegraded) << label;
+      EXPECT_TRUE(reports[0].degraded) << label;
+      EXPECT_TRUE(reports[0].status.ok()) << label;
+      EXPECT_FALSE(reports[0].res_bucket.empty()) << label;
+      EXPECT_EQ(reports[0].stats.committed_units, u_deg) << label;
+      EXPECT_EQ(stats.deadline_exceeded, 1u) << label;
+      EXPECT_EQ(stats.degraded_retries, 1u) << label;
+      EXPECT_EQ(stats.quarantined, 0u) << label;
+      // The degraded verdict itself is deterministic across configurations.
+      if (degraded_bucket.empty()) {
+        degraded_bucket = reports[0].res_bucket;
+      } else {
+        EXPECT_EQ(reports[0].res_bucket, degraded_bucket) << label;
+      }
+    }
+  }
+
+  // A deadline even the degraded profile can't meet: retry once, then
+  // quarantine as resource exhaustion — never hang, never crash.
+  for (size_t threads : {1u, 8u}) {
+    const std::string label = "threads=" + std::to_string(threads);
+    ResRuntimeOptions rt_options;
+    rt_options.worker_threads = threads > 1 ? 4 : 0;
+    ResRuntime runtime(rt_options);
+    TriageOptions options;
+    options.res = full_options;
+    options.res.num_threads = threads;
+    options.res.deadline_units = 1;
+    TriageService service(&runtime, module_, options);
+    TriageStats stats;
+    std::vector<TriageReport> reports =
+        service.RunBatch(std::vector<const Coredump*>{&dump_}, &stats);
+    ASSERT_EQ(reports.size(), 1u) << label;
+    EXPECT_EQ(reports[0].outcome, TriageOutcome::kQuarantined) << label;
+    EXPECT_EQ(reports[0].status.code(), StatusCode::kResourceExhausted)
+        << label;
+    EXPECT_EQ(reports[0].res_bucket, "quarantine:resource_exhausted") << label;
+    EXPECT_EQ(stats.deadline_exceeded, 2u) << label;
+    EXPECT_EQ(stats.degraded_retries, 1u) << label;
+    EXPECT_EQ(stats.quarantined, 1u) << label;
+  }
+}
+
+}  // namespace
+}  // namespace res
