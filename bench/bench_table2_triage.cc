@@ -9,6 +9,8 @@
 #include "src/workloads/harness.h"
 #include "src/workloads/workloads.h"
 
+#include "src/triage/triage_daemon.h"
+
 using namespace res;  // NOLINT
 
 int main() {
@@ -273,6 +275,77 @@ int main() {
                   static_cast<unsigned long long>(tstats.deadline_exceeded),
                   static_cast<unsigned long long>(tstats.degraded_retries),
                   static_cast<unsigned long long>(tstats.quarantined));
+    }
+  }
+
+  // --- T2d: the standing daemon — a mixed-module stream through the wave
+  //     scheduler. Serial waves (num_threads = 1, wave parallelism 1), so
+  //     every promotion/wave counter is deterministic and baseline-gated
+  //     (wave_promotions floored: a daemon that stops promoting between
+  //     waves has lost the wave-scheduling payoff).
+  PrintHeader("T2d: standing daemon, wave-scheduled mixed stream");
+  {
+    WorkloadSpec uaf_spec = WorkloadByName("use_after_free");
+    Module uaf = uaf_spec.build();
+    std::vector<Coredump> uaf_dumps;
+    for (int64_t input : {1, 2, 1, 2}) {
+      WorkloadSpec dspec = uaf_spec;
+      dspec.channel0_inputs = {input};
+      auto run = RunToFailure(uaf, dspec, {});
+      if (run.ok()) {
+        uaf_dumps.push_back(std::move(run).value().dump);
+      }
+    }
+    Module racy = BuildRacyCounterWide(4);
+    WorkloadSpec racy_spec = WorkloadByName("racy_counter");
+    FailureRunOptions run_options;
+    run_options.require_live_peers = racy_spec.requires_live_peers;
+    auto racy_run = RunToFailure(racy, racy_spec, run_options);
+    if (uaf_dumps.size() == 4 && racy_run.ok()) {
+      const Coredump& racy_dump = racy_run.value().dump;
+      ResRuntime runtime;
+      TriageDaemonOptions options;
+      options.triage.res.stop_at_root_cause = false;
+      options.triage.res.max_units = 48;
+      options.triage.res.max_hypotheses = 1000;
+      options.wave_size = 2;
+      BenchRecord record;
+      options.on_report = [&record](const TriageReport& report) {
+        record.Accumulate(report.stats);
+      };
+      TriageDaemon daemon(&runtime, options);
+      WallTimer timer;
+      // Interleaved arrivals: u r u r u r u — each module's waves cut at
+      // its own K-th dump, promotions land between waves, tail dumps of
+      // BOTH modules run warm.
+      size_t submitted = 0;
+      for (size_t i = 0; i < 4; ++i) {
+        if (daemon.Submit(uaf, uaf_dumps[i]).ok()) {
+          ++submitted;
+        }
+        if (i < 3 && daemon.Submit(racy, racy_dump).ok()) {
+          ++submitted;
+        }
+        daemon.Pump();
+      }
+      daemon.Shutdown();
+      const double wall_ms = timer.ElapsedMs();
+      TriageDaemonStats dstats = daemon.stats();
+      record.name =
+          StrFormat("table2_triage/daemon=mixed_stream/dumps=%zu", submitted);
+      record.wall_ms = wall_ms;
+      record.FromDaemon(dstats);
+      record.dumps_per_sec =
+          wall_ms > 0 ? 1000.0 * static_cast<double>(submitted) / wall_ms : 0;
+      json.Append(record);
+      std::printf("daemon_stream: %zu dumps, %llu waves, %llu wave "
+                  "promotions, %llu promoted-clause hits, %llu shared-var "
+                  "reuses, %.1f dumps/sec\n",
+                  submitted, static_cast<unsigned long long>(dstats.waves),
+                  static_cast<unsigned long long>(dstats.wave_promotions),
+                  static_cast<unsigned long long>(dstats.promoted_clause_hits),
+                  static_cast<unsigned long long>(dstats.expr_reuse_hits),
+                  record.dumps_per_sec);
     }
   }
   return 0;

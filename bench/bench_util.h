@@ -80,6 +80,9 @@ struct BenchRecord {
   uint64_t quarantined = 0;             // reports isolated by the batch
   uint64_t deadline_exceeded = 0;       // runs stopped by the step deadline
   uint64_t degraded_retries = 0;        // degraded-profile retries launched
+  // --- Daemon (wave-scheduled) fields; zero for batch/single records. ---
+  uint64_t waves = 0;                   // RunBatch calls the daemon issued
+  uint64_t wave_promotions = 0;         // facts promoted at wave boundaries
 
   // Adds an engine run's counters into this record (benches that aggregate
   // several runs per record call this once per run; single-run records get
@@ -116,6 +119,20 @@ struct BenchRecord {
     degraded_retries = batch.degraded_retries;
   }
 
+  // Daemon-level counters from a TriageDaemon run (FromBatch's superset:
+  // daemon stats carry the aggregated batch counters too).
+  template <typename TriageDaemonStatsT>
+  void FromDaemon(const TriageDaemonStatsT& daemon) {
+    clause_promotions = daemon.clause_promotions;
+    cache_promotions = daemon.cache_promotions;
+    expr_reuse_hits = daemon.expr_reuse_hits;
+    quarantined = daemon.quarantined;
+    deadline_exceeded = daemon.deadline_exceeded;
+    degraded_retries = daemon.degraded_retries;
+    waves = daemon.waves;
+    wave_promotions = daemon.wave_promotions;
+  }
+
   // Fills every counter field from a single engine run's merged stats.
   void FromStats(const ResStats& stats) {
     *this = BenchRecord{name, wall_ms, num_threads};
@@ -149,7 +166,8 @@ class BenchJsonWriter {
         "\"clause_promotions\": %llu, \"cache_promotions\": %llu, "
         "\"expr_reuse_hits\": %llu, \"dumps_per_sec\": %.3f, "
         "\"quarantined\": %llu, \"deadline_exceeded\": %llu, "
-        "\"degraded_retries\": %llu}\n",
+        "\"degraded_retries\": %llu, \"waves\": %llu, "
+        "\"wave_promotions\": %llu}\n",
         r.name.c_str(), r.wall_ms,
         static_cast<unsigned long long>(r.hypotheses_explored),
         static_cast<unsigned long long>(r.solver_checks),
@@ -169,7 +187,9 @@ class BenchJsonWriter {
         static_cast<unsigned long long>(r.expr_reuse_hits), r.dumps_per_sec,
         static_cast<unsigned long long>(r.quarantined),
         static_cast<unsigned long long>(r.deadline_exceeded),
-        static_cast<unsigned long long>(r.degraded_retries));
+        static_cast<unsigned long long>(r.degraded_retries),
+        static_cast<unsigned long long>(r.waves),
+        static_cast<unsigned long long>(r.wave_promotions));
     std::fclose(f);
   }
 

@@ -259,6 +259,12 @@ ResEngine::ResEngine(const Module& module, const Coredump& dump, ResOptions opti
               options.runtime != nullptr ? options.runtime->check_cache()
                                          : nullptr,
               options.runtime != nullptr ? options.runtime->NextEpoch() : 0) {
+  // Shared-pool watermark for the deterministic expr_reuse_hits counter.
+  // 0 for a private pool (nothing predates the run). Taken at construction:
+  // serial batch/wave schedulers construct each engine after the previous
+  // task committed, making the watermark — and with it the counter —
+  // schedule-independent.
+  var_watermark_ = pool_->var_count();
   if (facts_ != nullptr && options_.consult_promoted) {
     // Fixed snapshot: every screen in this run sees exactly this prefix, so
     // verdicts stay pure functions of (dump, options, snapshot) at any
@@ -302,7 +308,15 @@ const Expr* ResEngine::FreshVar(TaskCtx* tctx, const char* tag, VarOrigin origin
   // InternVar, not Var: under a shared runtime pool, the identical search
   // position in another run over this module re-uses the same node (within
   // one run the names are collision-free, so this is plain registration).
-  return pool_->InternVar(name, origin, uid);
+  const Expr* v = pool_->InternVar(name, origin, uid);
+  // Reuse hit iff the variable predates this run (construction watermark):
+  // a deterministic property of the variable, not of call timing. Counted
+  // into the task-local stats so only committed tasks contribute — see
+  // ResStats::expr_reuse_hits.
+  if (v->var < var_watermark_) {
+    ++tctx->stats.expr_reuse_hits;
+  }
+  return v;
 }
 
 uint64_t ResEngine::solver_fingerprint() const { return solver_.fingerprint(); }
@@ -317,6 +331,7 @@ void ResEngine::MergeStats(const ResStats& d, const SolverStats& sd) {
   stats_.address_unresolved += d.address_unresolved;
   stats_.unknown_kept += d.unknown_kept;
   stats_.duplicate_constraints += d.duplicate_constraints;
+  stats_.expr_reuse_hits += d.expr_reuse_hits;
   stats_.detector_units_scanned += d.detector_units_scanned;
   stats_.detector_rescans_avoided += d.detector_rescans_avoided;
 

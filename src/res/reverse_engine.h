@@ -163,6 +163,14 @@ struct ResStats {
   // Pointer-identical constraints dropped before reaching the solver
   // (interning makes structural duplicates pointer-equal).
   uint64_t duplicate_constraints = 0;
+  // Cross-run variable reuse: FreshVar calls answered by a variable
+  // registered in the shared pool BEFORE this run began (engine-construction
+  // watermark; always 0 without a runtime). Unlike the pool's raw
+  // var_intern_hits gauge, this is a commit-order deterministic counter:
+  // lane tasks count below-watermark interns locally and the single-thread
+  // commit loop merges exactly the committed tasks, so at a fixed watermark
+  // the total is a pure function of (dump, options) at ANY num_threads.
+  uint64_t expr_reuse_hits = 0;
   // Detector work economy (see DetectorStats in root_cause.h): units visited
   // by any root-cause detector pass, and whole-suffix passes answered from
   // the incremental context instead of a rescan. With
@@ -334,7 +342,9 @@ class ResEngine {
   // Runtime-shared module facts (nullptr without a runtime); owned_* hold
   // the private fallbacks, and cfg_/pool_ always point at whichever is
   // active — declaration order here is load-bearing (ctor init order).
-  ModuleFacts* facts_ = nullptr;
+  // Holding the shared_ptr pins the facts against runtime eviction for the
+  // whole run (see ResRuntime::FactsFor).
+  std::shared_ptr<ModuleFacts> facts_;
   std::unique_ptr<ModuleCfg> owned_cfg_;
   const ModuleCfg* cfg_;
   std::unique_ptr<ExprPool> owned_pool_;
@@ -348,6 +358,11 @@ class ResEngine {
   // read/record-hit view bounded by the watermark taken at construction.
   ClauseStore* promoted_ = nullptr;
   uint64_t promoted_watermark_ = 0;
+  // Pool variable count at construction: FreshVar counts a reuse hit iff
+  // the interned variable's id precedes this watermark (i.e. it was
+  // registered by an earlier run over the shared pool) — see
+  // ResStats::expr_reuse_hits.
+  size_t var_watermark_ = 0;
   ResStats stats_;
   // Per-engine immutable detector precomputation (incremental mode only).
   RootCauseSetup rc_setup_;

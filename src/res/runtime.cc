@@ -11,15 +11,90 @@ ResRuntime::ResRuntime(ResRuntimeOptions options)
 
 ResRuntime::~ResRuntime() = default;
 
-ModuleFacts* ResRuntime::FactsFor(const Module& module) {
+std::shared_ptr<ModuleFacts> ResRuntime::FactsFor(const Module& module) {
   std::lock_guard<std::mutex> lock(facts_mu_);
   auto it = facts_.find(&module);
   if (it == facts_.end()) {
-    it = facts_
-             .emplace(&module, std::make_unique<ModuleFacts>(module, options_))
-             .first;
+    FactsEntry entry;
+    entry.facts = std::make_shared<ModuleFacts>(module, options_);
+    it = facts_.emplace(&module, std::move(entry)).first;
   }
-  return it->second.get();
+  it->second.last_use_tick = facts_tick_;
+  ++it->second.uses;
+  return it->second.facts;
+}
+
+uint64_t ResRuntime::AdvanceFactsTick() {
+  std::lock_guard<std::mutex> lock(facts_mu_);
+  return ++facts_tick_;
+}
+
+ResRuntime::FactsEviction ResRuntime::EvictIdleFacts(size_t max_resident,
+                                                     uint64_t ttl_ticks) {
+  FactsEviction out;
+  std::lock_guard<std::mutex> lock(facts_mu_);
+  // Pinned = somebody besides the registry holds the shared_ptr (an engine
+  // mid-run); such entries are invisible to both passes.
+  auto pinned = [](const FactsEntry& e) { return e.facts.use_count() > 1; };
+  if (ttl_ticks > 0) {
+    for (auto it = facts_.begin(); it != facts_.end();) {
+      const FactsEntry& e = it->second;
+      if (!pinned(e) && facts_tick_ - e.last_use_tick >= ttl_ticks) {
+        out.cores_dropped += e.facts->promoted_clauses.live_count();
+        ++out.facts_evicted;
+        ++out.ttl_evicted;
+        it = facts_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (max_resident > 0) {
+    while (facts_.size() > max_resident) {
+      auto victim = facts_.end();
+      for (auto it = facts_.begin(); it != facts_.end(); ++it) {
+        if (pinned(it->second)) {
+          continue;
+        }
+        if (victim == facts_.end() ||
+            it->second.uses < victim->second.uses ||
+            (it->second.uses == victim->second.uses &&
+             it->second.last_use_tick < victim->second.last_use_tick)) {
+          victim = it;
+        }
+      }
+      if (victim == facts_.end()) {
+        break;  // everything left is pinned; retry at the next boundary
+      }
+      out.cores_dropped += victim->second.facts->promoted_clauses.live_count();
+      ++out.facts_evicted;
+      facts_.erase(victim);
+    }
+  }
+  return out;
+}
+
+ResRuntime::Reclaim ResRuntime::ReclaimSubstrate() {
+  Reclaim out;
+  // facts_mu_ held end-to-end: FactsFor (and with it any new engine
+  // construction against this runtime) blocks for the duration, so the
+  // quiescence the caller promises cannot be broken by a racing attach.
+  std::lock_guard<std::mutex> facts_lock(facts_mu_);
+  for (const auto& [module, entry] : facts_) {
+    if (entry.facts.use_count() > 1) {
+      return out;  // a run is in flight: refuse, touch nothing
+    }
+  }
+  for (auto& [module, entry] : facts_) {
+    out.cores_dropped += entry.facts->promoted_clauses.live_count();
+    entry.facts->promoted_clauses.Clear();
+  }
+  out.keys_dropped = check_cache_.promoted_keys();
+  check_cache_.Clear();
+  out.nodes_reclaimed = pool_.node_count();
+  pool_.Reclaim();
+  out.reclaimed = true;
+  return out;
 }
 
 RES_FAULT_SITE(kFaultPromote, "runtime.promote", StatusCode::kInternal);
@@ -28,7 +103,7 @@ ResRuntime::Promotion ResRuntime::Promote(
     const Module& module, const ClauseStore& task_cores,
     const std::vector<CheckKey>& cold_keys, uint64_t solver_fingerprint,
     const FaultScope& faults) {
-  ModuleFacts* facts = FactsFor(module);
+  std::shared_ptr<ModuleFacts> facts = FactsFor(module);
   Promotion result;
   // Before the first store write: a faulted promotion publishes nothing.
   result.status = faults.Check(kFaultPromote);

@@ -72,10 +72,12 @@ struct ResRuntimeOptions {
   // Shared memo-cache bound (same semantics as the solver's private cache).
   size_t check_cache_max_entries = 1 << 18;
   // Core capacity of each module's promoted store. Unlike the run-local
-  // stores, the promoted store NEVER evicts: a running engine's fixed
-  // watermark may cover any promoted core, and the determinism contract
-  // requires the covered prefix to stay visible for the whole run — so at
-  // capacity, promotion simply stops for that module.
+  // stores, the promoted store NEVER evicts individual cores: a running
+  // engine's fixed watermark may cover any promoted core, and the
+  // determinism contract requires the covered prefix to stay visible for
+  // the whole run — so at capacity, promotion simply stops for that module.
+  // (Whole-entry residency is bounded separately: EvictIdleFacts /
+  // ReclaimSubstrate drop a module's facts only while no run pins them.)
   size_t promoted_clause_capacity = 16384;
 };
 
@@ -113,10 +115,56 @@ class ResRuntime {
   // Fresh check-cache epoch for one engine run.
   uint32_t NextEpoch() { return epoch_.fetch_add(1, std::memory_order_relaxed); }
 
-  // The shared facts for `module` (created on first use). The returned
-  // pointer stays valid for the runtime's lifetime; `module` must outlive
-  // the runtime.
-  ModuleFacts* FactsFor(const Module& module);
+  // The shared facts for `module` (created on first use). Holding the
+  // returned shared_ptr pins the facts: an engine keeps it for the whole
+  // run, so eviction (below) can never pull a promoted store out from
+  // under a live watermark — an evicted entry just stops being findable by
+  // later FactsFor calls, which rebuild fresh facts. `module` must outlive
+  // every holder.
+  std::shared_ptr<ModuleFacts> FactsFor(const Module& module);
+
+  // --- Bounded residency for long-lived runtimes (the standing daemon). --
+  // Without these, FactsFor entries and the shared ExprPool grow for the
+  // runtime's lifetime — fine for one batch, fatal for an always-on
+  // service. Both knobs are cost-only: cross-task reuse changes cost, never
+  // output, so dropping facts can only force later runs to re-derive them.
+
+  // Advances the facts clock by one tick (the daemon calls this once per
+  // wave boundary) and returns the new tick. FactsFor stamps each entry
+  // with the clock at last use.
+  uint64_t AdvanceFactsTick();
+
+  struct FactsEviction {
+    uint64_t facts_evicted = 0;   // entries dropped (TTL + capacity)
+    uint64_t ttl_evicted = 0;     // the subset dropped by the TTL pass
+    uint64_t cores_dropped = 0;   // live promoted cores on dropped entries
+  };
+
+  // Evicts idle ModuleFacts. Two passes: every unpinned entry idle for
+  // >= ttl_ticks ticks (ttl_ticks > 0), then — while more than max_resident
+  // entries remain (max_resident > 0) — the unpinned entry with the fewest
+  // FactsFor uses, ties broken oldest-last-use-first. Entries pinned by a
+  // live holder (an engine mid-run) are never touched.
+  FactsEviction EvictIdleFacts(size_t max_resident, uint64_t ttl_ticks);
+
+  struct Reclaim {
+    bool reclaimed = false;        // false: runs in flight, nothing touched
+    uint64_t nodes_reclaimed = 0;  // ExprPool nodes freed
+    uint64_t cores_dropped = 0;    // promoted cores cleared across modules
+    uint64_t keys_dropped = 0;     // promoted check keys cleared
+  };
+
+  // Reclaims the shared substrate: clears every module's promoted
+  // ClauseStore and the shared CheckCache (both hold Expr* into the pool),
+  // then resets the ExprPool to its empty baseline. Module CFGs survive
+  // (they reference only the Module). REQUIRES quiescence — the daemon
+  // calls this only between waves; if any facts entry is pinned by a live
+  // holder the call refuses and returns reclaimed = false. Previously
+  // returned SynthesizedSuffix objects hold Expr* too, so callers keeping
+  // ResResults alive across a reclaim must not dereference their suffix
+  // expressions afterwards (TriageReports hold only strings and counters
+  // and are safe).
+  Reclaim ReclaimSubstrate();
 
   struct Promotion {
     uint64_t new_cores = 0;  // cores newly published to the module store
@@ -142,8 +190,14 @@ class ResRuntime {
   CheckCache check_cache_;
   std::unique_ptr<ThreadPool> lane_pool_;
   std::atomic<uint32_t> epoch_{1};  // 0 is the no-runtime default epoch
+  struct FactsEntry {
+    std::shared_ptr<ModuleFacts> facts;
+    uint64_t last_use_tick = 0;  // facts clock at the last FactsFor
+    uint64_t uses = 0;           // FactsFor calls answered by this entry
+  };
   std::mutex facts_mu_;
-  std::map<const Module*, std::unique_ptr<ModuleFacts>> facts_;
+  std::map<const Module*, FactsEntry> facts_;
+  uint64_t facts_tick_ = 0;  // guarded by facts_mu_
   std::mutex promote_mu_;
 };
 

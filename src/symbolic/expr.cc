@@ -237,6 +237,29 @@ uint64_t ExprPool::var_intern_hits() const {
   return var_intern_hits_;
 }
 
+size_t ExprPool::Reclaim() {
+  // Quiesced by contract (see header), but take every lock anyway so a
+  // misuse shows up as a deadlock/tsan report instead of silent corruption.
+  size_t freed = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    freed += shard.count;
+    shard.interned.clear();
+    shard.arena.clear();
+    shard.count = 0;
+  }
+  std::lock_guard<std::mutex> lock(vars_mu_);
+  vars_.clear();
+  interned_vars_.clear();
+  ++reclaim_epochs_;
+  return freed;
+}
+
+uint64_t ExprPool::reclaim_epochs() const {
+  std::lock_guard<std::mutex> lock(vars_mu_);
+  return reclaim_epochs_;
+}
+
 VarInfo ExprPool::var_info(VarId id) const {
   std::lock_guard<std::mutex> lock(vars_mu_);
   return vars_[id];

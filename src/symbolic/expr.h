@@ -165,6 +165,21 @@ class ExprPool {
   // registration instead of minting a fresh variable.
   uint64_t var_intern_hits() const;
 
+  // Drops every interned node and registered variable, returning the pool
+  // to its empty just-constructed baseline (cumulative counters like
+  // var_intern_hits survive). Returns the number of nodes freed. This is
+  // the reclaimable-epoch hook for long-lived shared pools: a standing
+  // daemon whose pool outgrows its budget reclaims between waves instead of
+  // growing forever. REQUIRES external quiescence — no concurrent pool use,
+  // and every holder of Expr* / VarId from this pool (check caches, clause
+  // stores, synthesized suffixes) dropped or cleared first; stale pointers
+  // dangle after reclaim. ResRuntime::ReclaimSubstrate orchestrates that
+  // ordering — callers should go through it rather than calling this
+  // directly.
+  size_t Reclaim();
+  // Completed Reclaim() calls (monotone across the pool's lifetime).
+  uint64_t reclaim_epochs() const;
+
  private:
   static constexpr size_t kArenaChunkNodes = 1024;
   static constexpr size_t kShardCount = 16;
@@ -191,6 +206,7 @@ class ExprPool {
   // InternVar registry: (name, uid) -> VarId, guarded by vars_mu_.
   std::unordered_map<std::string, VarId> interned_vars_;
   uint64_t var_intern_hits_ = 0;  // guarded by vars_mu_
+  uint64_t reclaim_epochs_ = 0;   // guarded by vars_mu_
 };
 
 // Concrete evaluation under a variable assignment (missing vars read as 0).

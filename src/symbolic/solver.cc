@@ -335,6 +335,25 @@ void ClauseStore::EvictOne() {
   evicted_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void ClauseStore::Clear() {
+  // Quiesced by contract (see header); locks taken so misuse is loud.
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.by_member.clear();
+  }
+  dedup_.clear();
+  const uint64_t count = count_.load(std::memory_order_relaxed);
+  for (uint64_t id = 0; id < count; ++id) {
+    slots_[id].elems.clear();
+    slots_[id].elems.shrink_to_fit();
+    slots_[id].hits.store(0, std::memory_order_relaxed);
+    slots_[id].evicted.store(false, std::memory_order_relaxed);
+  }
+  live_.store(0, std::memory_order_relaxed);
+  evicted_.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_release);
+}
+
 bool ClauseStore::Publish(std::vector<const Expr*> core) {
   if (core.empty()) {
     return false;
@@ -405,6 +424,17 @@ bool CheckCache::Promote(const CheckKey& k, uint64_t fingerprint) {
 
 uint64_t CheckCache::promoted_keys() const {
   return promoted_count_.load(std::memory_order_acquire);
+}
+
+void CheckCache::Clear() {
+  for (CacheShard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.clear();
+    shard.entries = 0;
+  }
+  std::lock_guard<std::mutex> lock(promoted_mu_);
+  promoted_.clear();
+  promoted_count_.store(0, std::memory_order_release);
 }
 
 // --- Phase 1: incremental equality propagation (with conflict provenance). -

@@ -394,6 +394,17 @@ class ClauseStore {
   // entry. Publisher-only.
   void EvictOne();
 
+ public:
+  // Drops every published core and resets seq numbering to 0. The substrate
+  // eviction hook for ResRuntime::ReclaimSubstrate: promoted cores hold
+  // Expr* into the shared pool, so they must be cleared before the pool
+  // reclaims. REQUIRES quiescence (no engine holds a watermark over this
+  // store) — unlike EvictOne, Clear breaks the "seq values are stable"
+  // guarantee, which is only sound when nobody is watching.
+  void Clear();
+
+ private:
+
   size_t live_capacity_;
   std::vector<Core> slots_;            // preallocated; never resized
   std::atomic<uint64_t> count_{0};     // published prefix of slots_
@@ -476,6 +487,13 @@ class CheckCache {
   bool Promote(const CheckKey& k, uint64_t fingerprint);
 
   uint64_t promoted_keys() const;
+
+  // Drops every entry and every promoted key. The substrate eviction hook
+  // for ResRuntime::ReclaimSubstrate: entries hold Expr* into the shared
+  // pool, so the cache must be emptied before the pool reclaims. Cost-only
+  // (outcomes are memoized pure functions); REQUIRES quiescence — no
+  // concurrent Lookup/Store.
+  void Clear();
 
  private:
   struct Entry {

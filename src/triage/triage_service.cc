@@ -76,6 +76,13 @@ std::vector<TriageReport> TriageService::RunBatchSerialized(
   return RunBatchImpl(ptrs, std::move(admit), stats_out);
 }
 
+std::vector<TriageReport> TriageService::RunBatchAdmitted(
+    const std::vector<const Coredump*>& dumps, std::vector<Status> admit,
+    TriageStats* stats_out) {
+  admit.resize(dumps.size(), OkStatus());
+  return RunBatchImpl(dumps, std::move(admit), stats_out);
+}
+
 std::vector<TriageReport> TriageService::RunBatchImpl(
     const std::vector<const Coredump*>& dumps, std::vector<Status> admit,
     TriageStats* stats_out) {
@@ -141,7 +148,6 @@ std::vector<TriageReport> TriageService::RunBatchImpl(
   res_options.consult_promoted = options_.cross_task_reuse;
   res_options.fault_plan = options_.fault_plan;
 
-  const uint64_t var_hits_before = runtime_->pool()->var_intern_hits();
   const auto batch_start = std::chrono::steady_clock::now();
 
   struct Task {
@@ -241,6 +247,10 @@ std::vector<TriageReport> TriageService::RunBatchImpl(
     report.stats = t.result.stats;
     tstats.promoted_clause_hits += report.stats.solver.promoted_clause_hits;
     tstats.promoted_cache_hits += report.stats.solver.promoted_cache_hits;
+    // Commit-order deterministic (PR 5 tail c): each engine counts its own
+    // below-watermark re-interns per committed task, replacing the old
+    // batch-wide pool-gauge delta that raced with concurrent batches.
+    tstats.expr_reuse_hits += report.stats.expr_reuse_hits;
     t.engine.reset();  // release the run's state before later dumps commit
     if (options_.on_result) {
       options_.on_result(report);
@@ -323,8 +333,6 @@ std::vector<TriageReport> TriageService::RunBatchImpl(
   if (tstats.wall_ms > 0) {
     tstats.dumps_per_sec = static_cast<double>(n) / (tstats.wall_ms / 1000.0);
   }
-  tstats.expr_reuse_hits =
-      runtime_->pool()->var_intern_hits() - var_hits_before;
   if (stats_out != nullptr) {
     *stats_out = tstats;
   }

@@ -30,12 +30,16 @@
 // previous task's promotion (maximal intra-batch reuse); parallel batches
 // pin the batch-start watermark before any worker runs (intra-batch
 // independence, cross-batch reuse) — either way the watermarks are
-// schedule-independent. The *_hits gauges are reuse gauges, not oracles:
-// promoted_clause_hits is deterministic at a fixed configuration, but
-// promoted_cache_hits (key promotion is consulted live at lookup time) and
-// expr_reuse_hits can vary with timing whenever anything runs concurrently
-// — num_threads > 1 OR max_parallel_dumps > 1 — like the solver cache
-// counters they extend (see ResStats).
+// schedule-independent. promoted_clause_hits and expr_reuse_hits are
+// deterministic counters at a fixed configuration: both are counted per
+// task against a construction-time watermark and merged by the commit
+// thread in commit order, so with max_parallel_dumps == 1 they are pure
+// functions of (dumps, options) at ANY engine thread count. With
+// max_parallel_dumps > 1, engines construct concurrently, so the
+// expr-reuse var watermark (unlike the explicitly pinned clause watermark)
+// can vary with worker timing; promoted_cache_hits (key promotion is
+// consulted live at lookup time) stays a reuse gauge whenever anything
+// runs concurrently — like the solver cache counters it extends.
 #ifndef RES_TRIAGE_TRIAGE_SERVICE_H_
 #define RES_TRIAGE_TRIAGE_SERVICE_H_
 
@@ -96,10 +100,11 @@ struct TriageStats {
   // Deterministic promotion counters (commit thread, submission order).
   uint64_t clause_promotions = 0;  // cores newly published module-global
   uint64_t cache_promotions = 0;   // check keys newly promoted
-  // Cross-task reuse gauges summed over the batch's runs.
+  // Cross-task reuse counters summed over the batch's committed runs (see
+  // the header comment for which are deterministic at which configuration).
   uint64_t promoted_clause_hits = 0;  // hypotheses refuted by promoted cores
   uint64_t promoted_cache_hits = 0;   // cache hits via promoted keys
-  uint64_t expr_reuse_hits = 0;       // shared-pool variable re-interns
+  uint64_t expr_reuse_hits = 0;       // below-watermark variable re-interns
   // Failure-surface counters (deterministic: derived by the commit thread
   // from per-task outcomes that are pure functions of (dumps, options,
   // fault plan, batch config)).
@@ -154,6 +159,15 @@ class TriageService {
   // admission — a corrupt blob quarantines only its own slot.
   std::vector<TriageReport> RunBatchSerialized(
       const std::vector<std::vector<uint8_t>>& blobs,
+      TriageStats* stats = nullptr);
+  // The wave-scheduler entry (TriageDaemon): like RunBatch, but a slot may
+  // arrive pre-failed from upstream admission — `dumps[i] == nullptr` means
+  // slot i failed with `admit[i]` (ingest fault, parse failure, wave
+  // poisoning) and quarantines through the standard path, keeping report
+  // order, counters, and promotion watermarks identical to a batch
+  // submitted without it.
+  std::vector<TriageReport> RunBatchAdmitted(
+      const std::vector<const Coredump*>& dumps, std::vector<Status> admit,
       TriageStats* stats = nullptr);
 
  private:

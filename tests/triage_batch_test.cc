@@ -165,6 +165,9 @@ TEST_F(SameModuleBatch, PromotionCountersDeterministicAndPositive) {
       EXPECT_GT(stats.promoted_clause_hits, 0u)
           << "threads=" << threads
           << ": later tasks re-derived conflicts instead of reusing them";
+      EXPECT_GT(stats.expr_reuse_hits, 0u)
+          << "threads=" << threads
+          << ": identical dumps must re-intern earlier tasks' variables";
       if (repeat == 0 && threads == 1) {
         reference = stats;
       } else {
@@ -173,6 +176,11 @@ TEST_F(SameModuleBatch, PromotionCountersDeterministicAndPositive) {
         EXPECT_EQ(stats.cache_promotions, reference.cache_promotions)
             << "threads=" << threads << " repeat=" << repeat;
         EXPECT_EQ(stats.promoted_clause_hits, reference.promoted_clause_hits)
+            << "threads=" << threads << " repeat=" << repeat;
+        // PR 5 tail c: no longer a racy pool gauge — a commit-order counter
+        // against the construction watermark, thread-count invariant in
+        // serial batches.
+        EXPECT_EQ(stats.expr_reuse_hits, reference.expr_reuse_hits)
             << "threads=" << threads << " repeat=" << repeat;
       }
     }

@@ -1,0 +1,555 @@
+// The standing daemon must be observationally invisible scheduling: for a
+// given submission order, TriageDaemon's report stream must be
+// byte-identical to a sequence of TriageService::RunBatch calls over the
+// same per-module chunks at the same wave boundaries — at every (engine
+// threads × wave parallelism × wave size) combination, with or without the
+// bounded-memory knobs (facts eviction, substrate reclaim) engaged: reuse
+// changes cost, never output. Backpressure must reject deterministically,
+// shutdown must drain everything admitted, and the daemon's own fault sites
+// must quarantine exactly the poisoned submission. See
+// src/triage/triage_daemon.h for the contract and docs/ARCHITECTURE.md §8.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/coredump/serialize.h"
+#include "src/support/faultpoint.h"
+#include "src/triage/triage_daemon.h"
+#include "src/triage/triage_service.h"
+#include "src/workloads/harness.h"
+#include "src/workloads/workloads.h"
+
+namespace res {
+namespace {
+
+void ExpectSameVerdict(const TriageReport& got, const TriageReport& want,
+                       const std::string& label) {
+  EXPECT_EQ(got.outcome, want.outcome) << label;
+  EXPECT_EQ(got.degraded, want.degraded) << label;
+  EXPECT_EQ(got.res_bucket, want.res_bucket) << label;
+  EXPECT_EQ(got.stack_bucket, want.stack_bucket) << label;
+  EXPECT_EQ(got.cause_signature, want.cause_signature) << label;
+  EXPECT_EQ(got.res_rating, want.res_rating) << label;
+  EXPECT_EQ(got.heuristic_rating, want.heuristic_rating) << label;
+  EXPECT_EQ(got.hardware_error_suspected, want.hardware_error_suspected)
+      << label;
+}
+
+ResRuntimeOptions RuntimeFor(size_t threads) {
+  ResRuntimeOptions rt;
+  rt.worker_threads = threads > 1 ? 4 : 0;
+  return rt;
+}
+
+TriageOptions TriageFor(size_t threads, size_t parallel,
+                        ResOptions res = ResOptions{}) {
+  TriageOptions options;
+  options.res = std::move(res);
+  options.res.num_threads = threads;
+  options.max_parallel_dumps = parallel;
+  return options;
+}
+
+// One submission of the mixed-module stream under test.
+struct Sub {
+  const Module* module;
+  const Coredump* dump;
+};
+
+// Drives a daemon over `stream` (Pump after every submit — the streaming
+// shape; the wave cut is a pure function of submission order, so pump
+// timing cannot matter), drains, and returns the reports keyed by
+// submission seq.
+std::map<uint64_t, TriageReport> RunDaemonStream(
+    const std::vector<Sub>& stream, const TriageDaemonOptions& base,
+    size_t threads, TriageDaemonStats* stats_out = nullptr) {
+  ResRuntime runtime(RuntimeFor(threads));
+  std::map<uint64_t, TriageReport> reports;
+  std::mutex mu;
+  TriageDaemonOptions options = base;
+  options.on_report = [&](const TriageReport& r) {
+    std::lock_guard<std::mutex> lock(mu);
+    reports[r.index] = r;
+  };
+  TriageDaemon daemon(&runtime, options);
+  for (size_t i = 0; i < stream.size(); ++i) {
+    Result<uint64_t> seq = daemon.Submit(*stream[i].module, *stream[i].dump);
+    EXPECT_TRUE(seq.ok()) << "submit " << i;
+    if (seq.ok()) {
+      EXPECT_EQ(seq.value(), i);
+    }
+    daemon.Pump();
+  }
+  daemon.Shutdown();
+  if (stats_out != nullptr) {
+    *stats_out = daemon.stats();
+  }
+  return reports;
+}
+
+// The determinism oracle: the same per-module chunks, issued as explicit
+// RunBatch calls on one shared runtime in wave order. For a single-module
+// stream the wave boundaries are simply chunks of wave_size in submission
+// order (trailing partial last).
+std::vector<TriageReport> ReferenceBatches(
+    const Module& module, const std::vector<const Coredump*>& dumps,
+    size_t wave_size, size_t threads, size_t parallel,
+    TriageStats* agg = nullptr) {
+  ResRuntime runtime(RuntimeFor(threads));
+  std::vector<TriageReport> out;
+  const size_t k = wave_size == 0 ? dumps.size() : wave_size;
+  for (size_t start = 0; start < dumps.size(); start += k) {
+    const size_t end = std::min(dumps.size(), start + k);
+    std::vector<const Coredump*> chunk(dumps.begin() + start,
+                                       dumps.begin() + end);
+    TriageService service(&runtime, module, TriageFor(threads, parallel));
+    TriageStats stats;
+    std::vector<TriageReport> reports = service.RunBatch(chunk, &stats);
+    out.insert(out.end(), reports.begin(), reports.end());
+    if (agg != nullptr) {
+      agg->clause_promotions += stats.clause_promotions;
+      agg->cache_promotions += stats.cache_promotions;
+      agg->promoted_clause_hits += stats.promoted_clause_hits;
+      agg->expr_reuse_hits += stats.expr_reuse_hits;
+    }
+  }
+  return out;
+}
+
+class TriageDaemonTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    WorkloadSpec spec = WorkloadByName("use_after_free");
+    module_ = spec.build();
+    // Two crash paths alternating: tail dumps genuinely reuse facts.
+    const std::vector<std::vector<int64_t>> inputs = {{1}, {2}, {1},
+                                                      {2}, {1}, {2}};
+    for (size_t d = 0; d < inputs.size(); ++d) {
+      WorkloadSpec dspec = spec;
+      dspec.channel0_inputs = inputs[d];
+      FailureRunOptions run_options;
+      run_options.require_live_peers = spec.requires_live_peers;
+      run_options.first_seed = 1 + d * 37;
+      auto run = RunToFailure(module_, dspec, run_options);
+      ASSERT_TRUE(run.ok()) << run.status().ToString();
+      dumps_.push_back(std::move(run).value().dump);
+    }
+  }
+
+  std::vector<Sub> SingleModuleStream() const {
+    std::vector<Sub> stream;
+    for (const Coredump& d : dumps_) {
+      stream.push_back({&module_, &d});
+    }
+    return stream;
+  }
+
+  std::vector<const Coredump*> DumpPtrs() const {
+    std::vector<const Coredump*> ptrs;
+    for (const Coredump& d : dumps_) {
+      ptrs.push_back(&d);
+    }
+    return ptrs;
+  }
+
+  Module module_;
+  std::vector<Coredump> dumps_;
+};
+
+// --- The tentpole contract: daemon == RunBatch sequence, everywhere. ------
+
+TEST_F(TriageDaemonTest, DaemonMatchesRunBatchAcrossConfigs) {
+  const std::vector<Sub> stream = SingleModuleStream();
+  for (size_t threads : {1u, 2u, 8u}) {
+    for (size_t parallel : {1u, 2u}) {
+      for (size_t wave_size : {1u, 3u, 0u}) {  // 0 = one wave holds all
+        const std::string label = "threads=" + std::to_string(threads) +
+                                  "/parallel=" + std::to_string(parallel) +
+                                  "/wave=" + std::to_string(wave_size);
+        TriageStats ref_agg;
+        std::vector<TriageReport> ref = ReferenceBatches(
+            module_, DumpPtrs(), wave_size, threads, parallel, &ref_agg);
+        ASSERT_EQ(ref.size(), stream.size()) << label;
+
+        TriageDaemonOptions options;
+        options.triage = TriageFor(threads, parallel);
+        options.wave_size = wave_size;
+        TriageDaemonStats dstats;
+        std::map<uint64_t, TriageReport> got =
+            RunDaemonStream(stream, options, threads, &dstats);
+        ASSERT_EQ(got.size(), stream.size()) << label;
+        for (size_t i = 0; i < ref.size(); ++i) {
+          ASSERT_TRUE(got.count(i)) << label << "/seq=" << i;
+          ExpectSameVerdict(got[i], ref[i],
+                            label + "/seq=" + std::to_string(i));
+        }
+        // Promotion counters are deterministic per wave, so the daemon's
+        // aggregates equal the explicit batch sequence's.
+        EXPECT_EQ(dstats.clause_promotions, ref_agg.clause_promotions)
+            << label;
+        EXPECT_EQ(dstats.cache_promotions, ref_agg.cache_promotions) << label;
+        EXPECT_EQ(dstats.promoted_clause_hits, ref_agg.promoted_clause_hits)
+            << label;
+        EXPECT_EQ(dstats.wave_promotions,
+                  ref_agg.clause_promotions + ref_agg.cache_promotions)
+            << label;
+        if (parallel == 1) {
+          // Commit-order deterministic counter (ROADMAP PR 5 tail c):
+          // thread-invariant whenever engines construct serially.
+          EXPECT_EQ(dstats.expr_reuse_hits, ref_agg.expr_reuse_hits) << label;
+        }
+        const size_t n = stream.size();
+        const size_t k = wave_size == 0 ? n : wave_size;
+        EXPECT_EQ(dstats.waves, (n + k - 1) / k) << label;
+        EXPECT_EQ(dstats.completed, n) << label;
+        EXPECT_EQ(dstats.quarantined, 0u) << label;
+      }
+    }
+  }
+}
+
+TEST_F(TriageDaemonTest, MixedModuleStreamCutsWavesPerModule) {
+  // A second, structurally independent module interleaved with the first:
+  // wave assembly is per-module, so each module's reports must match its
+  // own chunked RunBatch sequence regardless of the interleaving.
+  WorkloadSpec ospec = WorkloadByName("buffer_overflow");
+  ospec.channel0_inputs = {5};
+  Module other = ospec.build();
+  auto run = RunToFailure(other, ospec, {});
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  Coredump other_dump = std::move(run).value().dump;
+
+  // u o u o u o — uaf seqs {0,2,4}, overflow seqs {1,3,5}, wave_size 2:
+  // waves are uaf{0,2}, ovf{1,3}, then drain flushes uaf{4}, ovf{5}.
+  std::vector<Sub> stream;
+  for (size_t i = 0; i < 3; ++i) {
+    stream.push_back({&module_, &dumps_[i]});
+    stream.push_back({&other, &other_dump});
+  }
+  TriageDaemonOptions options;
+  options.triage = TriageFor(1, 1);
+  options.wave_size = 2;
+  TriageDaemonStats dstats;
+  std::map<uint64_t, TriageReport> got =
+      RunDaemonStream(stream, options, 1, &dstats);
+  ASSERT_EQ(got.size(), 6u);
+  EXPECT_EQ(dstats.waves, 4u);
+
+  std::vector<const Coredump*> uaf = {&dumps_[0], &dumps_[1], &dumps_[2]};
+  std::vector<TriageReport> uaf_ref =
+      ReferenceBatches(module_, uaf, 2, 1, 1);
+  std::vector<const Coredump*> ovf(3, &other_dump);
+  std::vector<TriageReport> ovf_ref = ReferenceBatches(other, ovf, 2, 1, 1);
+  for (size_t i = 0; i < 3; ++i) {
+    ExpectSameVerdict(got[i * 2], uaf_ref[i],
+                      "uaf/seq=" + std::to_string(i * 2));
+    ExpectSameVerdict(got[i * 2 + 1], ovf_ref[i],
+                      "ovf/seq=" + std::to_string(i * 2 + 1));
+  }
+}
+
+// --- Bounded memory: eviction and reclaim change cost, never output. ------
+
+TEST_F(TriageDaemonTest, FactsEvictionBoundKeepsOutputByteIdentical) {
+  // Two distinct Module instances (same program) alternate, with facts
+  // residency pinned to one module and a one-wave TTL: every wave boundary
+  // evicts the other module's facts. Output must not move.
+  WorkloadSpec spec = WorkloadByName("use_after_free");
+  Module second = spec.build();
+  std::vector<Coredump> second_dumps;
+  for (int64_t input : {1, 2}) {
+    WorkloadSpec dspec = spec;
+    dspec.channel0_inputs = {input};
+    auto run = RunToFailure(second, dspec, {});
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    second_dumps.push_back(std::move(run).value().dump);
+  }
+  std::vector<Sub> stream = {{&module_, &dumps_[0]},
+                             {&second, &second_dumps[0]},
+                             {&module_, &dumps_[1]},
+                             {&second, &second_dumps[1]}};
+  for (size_t threads : {1u, 2u}) {
+    for (size_t parallel : {1u, 2u}) {
+      const std::string label = "threads=" + std::to_string(threads) +
+                                "/parallel=" + std::to_string(parallel);
+      TriageDaemonOptions unbounded;
+      unbounded.triage = TriageFor(threads, parallel);
+      unbounded.wave_size = 2;
+      std::map<uint64_t, TriageReport> want =
+          RunDaemonStream(stream, unbounded, threads);
+
+      TriageDaemonOptions bounded = unbounded;
+      bounded.facts_max_resident = 1;
+      bounded.facts_ttl_waves = 1;
+      TriageDaemonStats dstats;
+      std::map<uint64_t, TriageReport> got =
+          RunDaemonStream(stream, bounded, threads, &dstats);
+      ASSERT_EQ(got.size(), want.size()) << label;
+      for (const auto& [seq, report] : want) {
+        ExpectSameVerdict(got[seq], report,
+                          label + "/seq=" + std::to_string(seq));
+      }
+      EXPECT_GT(dstats.facts_evicted, 0u) << label;
+      EXPECT_GT(dstats.facts_ttl_evicted, 0u) << label;
+      EXPECT_EQ(dstats.quarantined, 0u) << label;
+    }
+  }
+}
+
+TEST_F(TriageDaemonTest, SubstrateReclaimKeepsOutputByteIdentical) {
+  // The clause-learning module (it genuinely promotes cores and check
+  // keys), with the pool budget pinned below any real pool: the daemon
+  // reclaims the whole substrate at EVERY wave boundary. Warm-start savings
+  // are forfeited; verdicts must not move, and the reclaim counters must
+  // show promoted state actually being dropped.
+  Module module = BuildRacyCounterWide(4);
+  WorkloadSpec spec = WorkloadByName("racy_counter");
+  FailureRunOptions run_options;
+  run_options.require_live_peers = spec.requires_live_peers;
+  auto run = RunToFailure(module, spec, run_options);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  Coredump dump = std::move(run).value().dump;
+  ResOptions res;
+  res.stop_at_root_cause = false;
+  res.max_units = 48;
+  res.max_hypotheses = 1000;
+
+  std::vector<Sub> stream(3, Sub{&module, &dump});
+  TriageDaemonOptions unbounded;
+  unbounded.triage = TriageFor(1, 1, res);
+  unbounded.wave_size = 1;
+  TriageDaemonStats warm_stats;
+  std::map<uint64_t, TriageReport> want =
+      RunDaemonStream(stream, unbounded, 1, &warm_stats);
+  ASSERT_GT(warm_stats.clause_promotions, 0u);
+  ASSERT_GT(warm_stats.promoted_clause_hits, 0u);
+
+  TriageDaemonOptions bounded = unbounded;
+  bounded.expr_pool_node_budget = 1;
+  TriageDaemonStats dstats;
+  std::map<uint64_t, TriageReport> got =
+      RunDaemonStream(stream, bounded, 1, &dstats);
+  ASSERT_EQ(got.size(), want.size());
+  for (const auto& [seq, report] : want) {
+    ExpectSameVerdict(got[seq], report, "seq=" + std::to_string(seq));
+  }
+  EXPECT_GT(dstats.pool_reclaims, 0u);
+  EXPECT_GT(dstats.pool_nodes_reclaimed, 0u);
+  EXPECT_GT(dstats.promoted_cores_dropped, 0u);
+  EXPECT_GT(dstats.promoted_keys_dropped, 0u);
+  // Reclaim forfeits cross-wave reuse: every wave is cold again.
+  EXPECT_EQ(dstats.promoted_clause_hits, 0u);
+}
+
+// --- Backpressure and teardown. -------------------------------------------
+
+TEST_F(TriageDaemonTest, BackpressureRejectsDeterministicallyWhenFull) {
+  ResRuntime runtime;
+  TriageDaemonOptions options;
+  options.triage = TriageFor(1, 1);
+  options.wave_size = 2;
+  options.queue_capacity = 2;
+  std::map<uint64_t, TriageReport> reports;
+  options.on_report = [&](const TriageReport& r) { reports[r.index] = r; };
+  TriageDaemon daemon(&runtime, options);
+
+  ASSERT_TRUE(daemon.Submit(module_, dumps_[0]).ok());
+  ASSERT_TRUE(daemon.Submit(module_, dumps_[1]).ok());
+  // Queue full: reject-with-status, nothing enqueued, no seq consumed.
+  Result<uint64_t> rejected = daemon.Submit(module_, dumps_[2]);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(daemon.pending(), 2u);
+  EXPECT_EQ(daemon.stats().rejected, 1u);
+
+  // Draining frees capacity; the retried submission takes the NEXT seq (2):
+  // the rejected call consumed nothing.
+  EXPECT_EQ(daemon.Drain(), 2u);
+  Result<uint64_t> retried = daemon.Submit(module_, dumps_[2]);
+  ASSERT_TRUE(retried.ok());
+  EXPECT_EQ(retried.value(), 2u);
+  daemon.Shutdown();
+  ASSERT_EQ(reports.size(), 3u);
+  for (const auto& [seq, report] : reports) {
+    EXPECT_EQ(report.outcome, TriageOutcome::kOk) << seq;
+  }
+  TriageDaemonStats stats = daemon.stats();
+  EXPECT_EQ(stats.submitted, 4u);  // 3 accepted + 1 rejected
+  EXPECT_EQ(stats.admitted, 3u);
+  EXPECT_EQ(stats.completed, 3u);
+}
+
+TEST_F(TriageDaemonTest, ShutdownDrainsEverythingAdmitted) {
+  ResRuntime runtime;
+  TriageDaemonOptions options;
+  options.triage = TriageFor(1, 1);
+  options.wave_size = 4;  // 6 submissions: one full wave + a partial
+  std::map<uint64_t, TriageReport> reports;
+  options.on_report = [&](const TriageReport& r) { reports[r.index] = r; };
+  TriageDaemon daemon(&runtime, options);
+  for (const Coredump& d : dumps_) {
+    ASSERT_TRUE(daemon.Submit(module_, d).ok());
+  }
+  daemon.Shutdown();  // never pumped explicitly: shutdown itself drains
+  EXPECT_EQ(daemon.pending(), 0u);
+  ASSERT_EQ(reports.size(), dumps_.size());
+  for (const auto& [seq, report] : reports) {
+    EXPECT_EQ(report.outcome, TriageOutcome::kOk) << seq;
+  }
+  // Post-shutdown submissions are refused, distinctly from backpressure.
+  Result<uint64_t> late = daemon.Submit(module_, dumps_[0]);
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(daemon.accepting());
+}
+
+TEST_F(TriageDaemonTest, StandingThreadMatchesExplicitPumping) {
+  // The standing ingest thread is just another Pump caller: wave cuts are
+  // pure functions of submission order, so its timing cannot change the
+  // stream. Byte-compare against the explicit-pump run.
+  const std::vector<Sub> stream = SingleModuleStream();
+  TriageDaemonOptions explicit_options;
+  explicit_options.triage = TriageFor(1, 1);
+  explicit_options.wave_size = 2;
+  std::map<uint64_t, TriageReport> want =
+      RunDaemonStream(stream, explicit_options, 1);
+
+  ResRuntime runtime;
+  TriageDaemonOptions options = explicit_options;
+  options.start_thread = true;
+  std::map<uint64_t, TriageReport> got;
+  std::mutex mu;
+  options.on_report = [&](const TriageReport& r) {
+    std::lock_guard<std::mutex> lock(mu);
+    got[r.index] = r;
+  };
+  TriageDaemon daemon(&runtime, options);
+  for (const Sub& s : stream) {
+    ASSERT_TRUE(daemon.Submit(*s.module, *s.dump).ok());
+  }
+  daemon.Shutdown();  // joins the thread after it drains
+  ASSERT_EQ(got.size(), want.size());
+  for (const auto& [seq, report] : want) {
+    ExpectSameVerdict(got[seq], report, "seq=" + std::to_string(seq));
+  }
+}
+
+// --- The daemon's own fault sites. ----------------------------------------
+
+TEST_F(TriageDaemonTest, DaemonFaultSitesAreRegistered) {
+  const std::vector<std::string_view> sites = RegisteredFaultSites();
+  auto has = [&](std::string_view name) {
+    return std::find(sites.begin(), sites.end(), name) != sites.end();
+  };
+  EXPECT_TRUE(has("daemon.ingest"));
+  EXPECT_TRUE(has("daemon.promote_wave"));
+}
+
+TEST_F(TriageDaemonTest, DaemonFaultSitesQuarantineExactlyThePoisonedDump) {
+  struct SiteCase {
+    std::string_view site;
+    StatusCode code;
+  };
+  const SiteCase cases[] = {
+      {"daemon.ingest", StatusCode::kAborted},
+      {"daemon.promote_wave", StatusCode::kInternal},
+  };
+  std::vector<Sub> stream = {{&module_, &dumps_[0]},
+                             {&module_, &dumps_[1]},
+                             {&module_, &dumps_[2]}};
+  // Reference: the same daemon stream submitted without the poisoned dump.
+  std::vector<Sub> survivors = {{&module_, &dumps_[0]}, {&module_, &dumps_[2]}};
+  for (const SiteCase& c : cases) {
+    for (size_t wave_size : {2u, 3u}) {
+      const std::string label =
+          std::string(c.site) + "/wave=" + std::to_string(wave_size);
+      TriageDaemonOptions base;
+      base.triage = TriageFor(1, 1);
+      base.wave_size = wave_size;
+      std::map<uint64_t, TriageReport> ref =
+          RunDaemonStream(survivors, base, 1);
+      ASSERT_EQ(ref.size(), 2u) << label;
+
+      FaultPlan plan;
+      plan.Arm(c.site, 1, /*task=*/1);  // poison global submission seq 1
+      TriageDaemonOptions poisoned = base;
+      poisoned.fault_plan = &plan;
+      TriageDaemonStats dstats;
+      std::map<uint64_t, TriageReport> got =
+          RunDaemonStream(stream, poisoned, 1, &dstats);
+      ASSERT_EQ(got.size(), 3u) << label;
+      EXPECT_GE(plan.fired(), 1u) << label << ": site never reached";
+      EXPECT_EQ(got[1].outcome, TriageOutcome::kQuarantined) << label;
+      EXPECT_EQ(got[1].status.code(), c.code) << label;
+      EXPECT_EQ(got[1].res_bucket,
+                "quarantine:" + std::string(StatusCodeName(c.code)))
+          << label;
+      EXPECT_EQ(dstats.quarantined, 1u) << label;
+      // Isolation: survivors byte-identical to the stream without it.
+      ExpectSameVerdict(got[0], ref[0], label + "/seq=0");
+      ExpectSameVerdict(got[2], ref[1], label + "/seq=2");
+    }
+  }
+}
+
+TEST_F(TriageDaemonTest, UnarmedDaemonChecksAreInert) {
+  // With no plan armed anywhere, FaultScope::Check at the daemon sites is
+  // the same two-loads-and-a-compare fast path as every other site (see
+  // faultpoint.h) — nothing fires, nothing quarantines. An armed plan whose
+  // arms never match (wrong site / wrong task) must be equally inert.
+  FaultPlan unmatched;
+  unmatched.Arm("daemon.ingest", 1, /*task=*/99);
+  unmatched.Arm("no.such.site", 1);
+  std::vector<Sub> stream = {{&module_, &dumps_[0]}, {&module_, &dumps_[1]}};
+  for (FaultPlan* plan : {static_cast<FaultPlan*>(nullptr), &unmatched}) {
+    TriageDaemonOptions options;
+    options.triage = TriageFor(1, 1);
+    options.wave_size = 2;
+    options.fault_plan = plan;
+    TriageDaemonStats dstats;
+    std::map<uint64_t, TriageReport> got =
+        RunDaemonStream(stream, options, 1, &dstats);
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(dstats.quarantined, 0u);
+    for (const auto& [seq, report] : got) {
+      EXPECT_EQ(report.outcome, TriageOutcome::kOk) << seq;
+    }
+  }
+  EXPECT_EQ(unmatched.fired(), 0u);
+}
+
+// --- Wire-facing ingest. --------------------------------------------------
+
+TEST_F(TriageDaemonTest, SerializedIngestQuarantinesCorruptBlobInItsSlot) {
+  std::vector<std::vector<uint8_t>> blobs;
+  for (size_t i = 0; i < 3; ++i) {
+    blobs.push_back(SerializeCoredump(dumps_[i]));
+  }
+  blobs[1].resize(blobs[1].size() / 2);  // truncated upload
+  ResRuntime runtime;
+  TriageDaemonOptions options;
+  options.triage = TriageFor(1, 1);
+  options.wave_size = 3;
+  std::map<uint64_t, TriageReport> reports;
+  options.on_report = [&](const TriageReport& r) { reports[r.index] = r; };
+  TriageDaemon daemon(&runtime, options);
+  for (const auto& blob : blobs) {
+    ASSERT_TRUE(daemon.SubmitSerialized(module_, blob).ok());
+  }
+  daemon.Drain();
+  daemon.Shutdown();
+  ASSERT_EQ(reports.size(), 3u);
+  EXPECT_EQ(reports[1].outcome, TriageOutcome::kQuarantined);
+  EXPECT_EQ(reports[1].status.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(reports[0].outcome, TriageOutcome::kOk);
+  EXPECT_EQ(reports[2].outcome, TriageOutcome::kOk);
+}
+
+}  // namespace
+}  // namespace res
