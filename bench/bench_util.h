@@ -71,6 +71,7 @@ struct BenchRecord {
   uint64_t clauses_evicted = 0;         // low-hit cores displaced by learning
   // --- Batch-triage (ResRuntime) fields; zero for single-run records. ---
   uint64_t promoted_clause_hits = 0;    // hypotheses refuted by promoted cores
+  uint64_t promoted_cache_hits = 0;     // cache hits via promoted check keys
   uint64_t clause_promotions = 0;       // cores promoted module-global
   uint64_t cache_promotions = 0;        // check keys promoted module-global
   uint64_t expr_reuse_hits = 0;         // shared-pool variable re-interns
@@ -104,6 +105,7 @@ struct BenchRecord {
         stats.solver.strategy_wins[static_cast<size_t>(StrategyKind::kSearch)];
     clauses_evicted += stats.solver.clauses_evicted;
     promoted_clause_hits += stats.solver.promoted_clause_hits;
+    promoted_cache_hits += stats.solver.promoted_cache_hits;
   }
 
   // Batch-level counters from a TriageService run (combine with Accumulate
@@ -163,6 +165,7 @@ class BenchJsonWriter {
         "\"budget_exhaustions\": %llu, \"strategy_wins_interval\": %llu, "
         "\"strategy_wins_enumeration\": %llu, \"strategy_wins_search\": %llu, "
         "\"clauses_evicted\": %llu, \"promoted_clause_hits\": %llu, "
+        "\"promoted_cache_hits\": %llu, "
         "\"clause_promotions\": %llu, \"cache_promotions\": %llu, "
         "\"expr_reuse_hits\": %llu, \"dumps_per_sec\": %.3f, "
         "\"quarantined\": %llu, \"deadline_exceeded\": %llu, "
@@ -182,6 +185,7 @@ class BenchJsonWriter {
         static_cast<unsigned long long>(r.strategy_wins_search),
         static_cast<unsigned long long>(r.clauses_evicted),
         static_cast<unsigned long long>(r.promoted_clause_hits),
+        static_cast<unsigned long long>(r.promoted_cache_hits),
         static_cast<unsigned long long>(r.clause_promotions),
         static_cast<unsigned long long>(r.cache_promotions),
         static_cast<unsigned long long>(r.expr_reuse_hits), r.dumps_per_sec,

@@ -241,6 +241,10 @@ SolverOptions MakeSolverOptions(const ResOptions& options) {
 
 }  // namespace
 
+uint64_t ResSolverFingerprint(const ResOptions& options) {
+  return SolverFingerprint(options.solver_seed, MakeSolverOptions(options));
+}
+
 ResEngine::ResEngine(const Module& module, const Coredump& dump, ResOptions options)
     : module_(module),
       dump_(dump),

@@ -90,6 +90,17 @@ def check(bench_records, baseline):
             if metric not in expected:
                 continue
             base = expected[metric]
+            if not base:
+                # A floor of 0 can never fire (any value >= 0 passes), so a
+                # zero baseline silently gates nothing. That is always a
+                # baselining mistake: either the record genuinely has no
+                # reuse (then drop the floor from it) or the baseline was
+                # captured from a broken run (then re-capture it).
+                failures.append(
+                    f"{name}: floor metric {metric} baselined at 0 gates "
+                    f"nothing — remove it from this record or baseline a "
+                    f"real value")
+                continue
             got = record.get(metric)
             if got is None:
                 failures.append(f"{name}: metric {metric} missing from record")
@@ -121,11 +132,19 @@ def update_baselines(bench_records, baseline):
         refreshed = {
             metric: record[metric] for metric in metrics if metric in record
         }
-        refreshed.update({
-            metric: record[metric]
-            for metric in floors
-            if metric in record and metric in expected
-        })
+        for metric in floors:
+            if metric not in record or metric not in expected:
+                continue
+            if not record[metric]:
+                # Refusing to write a floor of 0: it would gate nothing (see
+                # check()). A reuse counter that measured 0 means the bench
+                # lost that reuse entirely — fix the bench or drop the floor
+                # from this record, don't bake the dead gate in.
+                raise SystemExit(
+                    f"cannot update: {name}: floor metric {metric} measured "
+                    f"0 — a zero floor gates nothing; fix the bench or drop "
+                    f"the floor from this record")
+            refreshed[metric] = record[metric]
         baseline["records"][name] = refreshed
     return baseline
 

@@ -8,6 +8,10 @@
 //   resdbg replay <program.resvm> <dump.core>
 //       Re-synthesizes and deterministically replays the failure,
 //       verifying the reproduced coredump against the original.
+//   resdbg facts <log.facts> [program.resvm]
+//       Inspects a durable fact log (header, section counts, solver
+//       fingerprints); with the program given, also checks that the log's
+//       module fingerprint matches it.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -16,6 +20,7 @@
 #include <vector>
 
 #include "src/replay/replay.h"
+#include "src/res/facts_serialize.h"
 #include "src/res/res_api.h"
 
 using namespace res;  // NOLINT: tool brevity
@@ -196,6 +201,35 @@ int CmdReplay(const std::string& program, const std::string& core) {
   return replay.value().trap_matches && replay.value().state_matches ? 0 : 1;
 }
 
+int CmdFacts(const std::string& log_path, const char* program) {
+  auto raw = ReadFile(log_path);
+  if (!raw.ok()) {
+    std::fprintf(stderr, "error: %s\n", raw.status().ToString().c_str());
+    return 2;
+  }
+  std::vector<uint8_t> bytes(raw.value().begin(), raw.value().end());
+  Result<FactsLog> log = ParseFactsLog(bytes);
+  if (!log.ok()) {
+    std::fprintf(stderr, "error: %s\n", log.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("%s", FactsLogSummary(log.value()).c_str());
+  if (program != nullptr) {
+    auto module = LoadModule(program);
+    if (!module.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   module.status().ToString().c_str());
+      return 2;
+    }
+    const uint64_t want = ModuleFingerprint(module.value());
+    const bool match = want == log.value().module_fingerprint;
+    std::printf("module %s: fingerprint %s\n", program,
+                match ? "MATCHES" : "DOES NOT MATCH");
+    return match ? 0 : 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -205,10 +239,14 @@ int main(int argc, char** argv) {
                  "  resdbg run <program.resvm> [--seed N] [--input V]...\n"
                  "  resdbg analyze <program.resvm> <dump.core> [--max-units N]"
                  " [--no-breadcrumbs] [--full-path]\n"
-                 "  resdbg replay <program.resvm> <dump.core>\n");
+                 "  resdbg replay <program.resvm> <dump.core>\n"
+                 "  resdbg facts <log.facts> [program.resvm]\n");
     return 2;
   }
   std::string cmd = argv[1];
+  if (cmd == "facts") {
+    return CmdFacts(argv[2], argc >= 4 ? argv[3] : nullptr);
+  }
   if (cmd == "run") {
     return CmdRun(argv[2], argc - 3, argv + 3);
   }
