@@ -1,0 +1,120 @@
+// Schedule-space scenario sweep (docs/SCENARIOS.md): runs the fixed
+// policy x seed grid over the concurrency workloads, reports the fixture
+// yield per policy, and cross-compares RES root causes across schedules.
+//
+// JSONL records (regression-gated as floors in bench/baselines.json — the
+// grid is fixed and every policy is a deterministic function of
+// (spec, seed), so losing crashes/fixtures/equal-cause groups means the
+// schedule-space engine regressed, not that the machine got slower):
+//   sweep/policy=<family>  per-policy crash + fixture yield
+//   sweep/grid             whole-grid totals + cross-schedule diff verdicts
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.h"
+#include "src/scenario/scenario.h"
+
+using namespace res;  // NOLINT: bench brevity
+
+int main() {
+  PrintHeader("SWEEP — schedule-space scenario engine (policy x seed grid)");
+  BenchJsonWriter json;
+
+  ScenarioGrid grid = DefaultSweepGrid();
+  WallTimer sweep_timer;
+  auto sweep = RunSweep(grid);
+  if (!sweep.ok()) {
+    std::fprintf(stderr, "sweep failed: %s\n",
+                 sweep.status().ToString().c_str());
+    return 1;
+  }
+  const double sweep_ms = sweep_timer.ElapsedMs();
+  const SweepResult& result = sweep.value();
+
+  // Per-policy yield.
+  struct PolicyYield {
+    uint64_t fixtures = 0;
+    uint64_t unique_bugs = 0;
+    uint64_t log_bytes = 0;
+  };
+  std::map<std::string, PolicyYield> per_policy;  // keyed by full spec
+  for (const std::string& policy : grid.policies) {
+    auto parsed = ParseSchedulerSpec(policy);
+    per_policy[parsed.value().ToString()];  // ensure zero-yield rows print
+  }
+  std::map<std::string, std::map<std::string, int>> bugs_per_policy;
+  for (const FixtureRecord& f : result.fixtures) {
+    PolicyYield& y = per_policy[f.policy];
+    ++y.fixtures;
+    y.log_bytes += f.schedule_log_bytes;
+    ++bugs_per_policy[f.policy][f.workload + "|" + f.trap_pc + "|" + f.bucket];
+  }
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"policy", "fixtures", "unique bugs", "avg sched log B"});
+  for (auto& [policy, y] : per_policy) {
+    y.unique_bugs = bugs_per_policy[policy].size();
+    rows.push_back({policy, std::to_string(y.fixtures),
+                    std::to_string(y.unique_bugs),
+                    std::to_string(y.fixtures ? y.log_bytes / y.fixtures : 0)});
+    BenchRecord r;
+    // Baseline key: the policy family; the full canonical spec rides in
+    // scheduler_policy so the record stays self-describing.
+    r.name = "sweep/policy=" + policy.substr(0, policy.find(':'));
+    r.wall_ms = sweep_ms;
+    r.scheduler_policy = policy;
+    r.scheduler_seed = grid.first_seed;
+    r.sweep_fixtures = y.fixtures;
+    r.sweep_unique_bugs = y.unique_bugs;
+    json.Append(r);
+  }
+  PrintTable(rows);
+  std::printf(
+      "grid: %llu runs, %llu crashes, %llu clean, %zu fixtures "
+      "(%llu byte-identical deduped, %llu over variant cap), "
+      "%zu unique bugs, %.1f ms\n",
+      static_cast<unsigned long long>(result.stats.runs),
+      static_cast<unsigned long long>(result.stats.crashes),
+      static_cast<unsigned long long>(result.stats.clean_runs),
+      result.fixtures.size(),
+      static_cast<unsigned long long>(result.stats.dedup_dropped),
+      static_cast<unsigned long long>(result.stats.variant_capped),
+      result.UniqueBugCount(), sweep_ms);
+
+  // Cross-schedule differential: same bug, different schedule, same RES
+  // root cause (byte-compared canonical signatures).
+  WallTimer diff_timer;
+  auto diff = CrossScheduleDiff(result);
+  if (!diff.ok()) {
+    std::fprintf(stderr, "diff failed: %s\n", diff.status().ToString().c_str());
+    return 1;
+  }
+  uint64_t equal = 0;
+  rows.clear();
+  rows.push_back({"workload", "trap pc", "policies", "root cause", "equal"});
+  for (const CrossScheduleGroup& g : diff.value()) {
+    equal += g.causes_equal ? 1 : 0;
+    rows.push_back({g.workload, g.trap_pc,
+                    std::to_string(g.policies.size()),
+                    g.root_causes.front(), g.causes_equal ? "yes" : "NO"});
+  }
+  PrintHeader("cross-schedule root-cause differential");
+  PrintTable(rows);
+  std::printf("%zu groups caught under >=2 policies, %llu byte-equal "
+              "(%.1f ms)\n",
+              diff.value().size(), static_cast<unsigned long long>(equal),
+              diff_timer.ElapsedMs());
+
+  BenchRecord total;
+  total.name = "sweep/grid";
+  total.wall_ms = sweep_ms + diff_timer.ElapsedMs();
+  total.scheduler_seed = grid.first_seed;
+  total.sweep_runs = result.stats.runs;
+  total.sweep_crashes = result.stats.crashes;
+  total.sweep_fixtures = result.fixtures.size();
+  total.sweep_unique_bugs = result.UniqueBugCount();
+  total.diff_groups = diff.value().size();
+  total.diff_causes_equal = equal;
+  json.Append(total);
+  return 0;
+}

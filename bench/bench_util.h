@@ -84,6 +84,19 @@ struct BenchRecord {
   // --- Daemon (wave-scheduled) fields; zero for batch/single records. ---
   uint64_t waves = 0;                   // RunBatch calls the daemon issued
   uint64_t wave_promotions = 0;         // facts promoted at wave boundaries
+  // --- Schedule-space scenario fields (bench_sweep_scenarios); empty/zero
+  // for non-sweep records. scheduler_policy/scheduler_seed identify the
+  // schedule a record was produced under (canonical spec string + first
+  // seed of the swept range). The sweep counters are deterministic: the
+  // grid is fixed, every policy is a pure function of (spec, seed).
+  std::string scheduler_policy;
+  uint64_t scheduler_seed = 0;
+  uint64_t sweep_runs = 0;              // grid points executed
+  uint64_t sweep_crashes = 0;           // runs that ended in a failure trap
+  uint64_t sweep_fixtures = 0;          // deduped fixtures minted
+  uint64_t sweep_unique_bugs = 0;       // distinct (trap PC, bucket) ids
+  uint64_t diff_groups = 0;             // cross-schedule groups diffed
+  uint64_t diff_causes_equal = 0;       // groups with byte-equal root cause
 
   // Adds an engine run's counters into this record (benches that aggregate
   // several runs per record call this once per run; single-run records get
@@ -170,7 +183,11 @@ class BenchJsonWriter {
         "\"expr_reuse_hits\": %llu, \"dumps_per_sec\": %.3f, "
         "\"quarantined\": %llu, \"deadline_exceeded\": %llu, "
         "\"degraded_retries\": %llu, \"waves\": %llu, "
-        "\"wave_promotions\": %llu}\n",
+        "\"wave_promotions\": %llu, \"scheduler_policy\": \"%s\", "
+        "\"scheduler_seed\": %llu, \"sweep_runs\": %llu, "
+        "\"sweep_crashes\": %llu, \"sweep_fixtures\": %llu, "
+        "\"sweep_unique_bugs\": %llu, \"diff_groups\": %llu, "
+        "\"diff_causes_equal\": %llu}\n",
         r.name.c_str(), r.wall_ms,
         static_cast<unsigned long long>(r.hypotheses_explored),
         static_cast<unsigned long long>(r.solver_checks),
@@ -193,7 +210,15 @@ class BenchJsonWriter {
         static_cast<unsigned long long>(r.deadline_exceeded),
         static_cast<unsigned long long>(r.degraded_retries),
         static_cast<unsigned long long>(r.waves),
-        static_cast<unsigned long long>(r.wave_promotions));
+        static_cast<unsigned long long>(r.wave_promotions),
+        r.scheduler_policy.c_str(),
+        static_cast<unsigned long long>(r.scheduler_seed),
+        static_cast<unsigned long long>(r.sweep_runs),
+        static_cast<unsigned long long>(r.sweep_crashes),
+        static_cast<unsigned long long>(r.sweep_fixtures),
+        static_cast<unsigned long long>(r.sweep_unique_bugs),
+        static_cast<unsigned long long>(r.diff_groups),
+        static_cast<unsigned long long>(r.diff_causes_equal));
     std::fclose(f);
   }
 

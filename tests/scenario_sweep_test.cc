@@ -1,0 +1,201 @@
+// Schedule-space sweep stress suite: runs the fixed DefaultSweepGrid()
+// (the grid bench/baselines.json floor-gates), checks the fixture-yield
+// acceptance floors, dedup/admission invariants, manifest round-trips, and
+// the cross-schedule root-cause determinism contract (docs/SCENARIOS.md).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+
+#include "src/coredump/serialize.h"
+#include "src/scenario/scenario.h"
+#include "src/workloads/workloads.h"
+
+namespace res {
+namespace {
+
+// One sweep of the fixed grid, shared by every test in this file (the grid
+// takes a few hundred VM runs; results are deterministic, so computing it
+// once is safe).
+const SweepResult& FixedGridSweep() {
+  static const SweepResult* result = [] {
+    auto sweep = RunSweep(DefaultSweepGrid());
+    EXPECT_TRUE(sweep.ok()) << sweep.status().ToString();
+    return new SweepResult(std::move(sweep.value()));
+  }();
+  return *result;
+}
+
+TEST(ScenarioSweepTest, FixedGridMeetsFixtureFloors) {
+  const SweepResult& r = FixedGridSweep();
+  // The acceptance floors from the scenario-engine milestone; the same
+  // numbers are floor-gated in bench/baselines.json via bench_sweep_scenarios.
+  EXPECT_GE(r.fixtures.size(), 50u);
+  EXPECT_GE(r.UniqueBugCount(), 4u);
+  size_t mt_workloads = 0;
+  for (const WorkloadSpec& w : AllWorkloads()) {
+    mt_workloads += w.multithreaded ? 1 : 0;
+  }
+  EXPECT_EQ(r.stats.runs, DefaultSweepGrid().policies.size() *
+                              DefaultSweepGrid().seeds_per_cell * mt_workloads);
+  EXPECT_EQ(r.stats.runs,
+            r.stats.crashes + r.stats.clean_runs);
+  EXPECT_EQ(r.stats.crashes,
+            r.fixtures.size() + r.stats.inadmissible + r.stats.dedup_dropped +
+                r.stats.variant_capped);
+  EXPECT_EQ(r.fixtures.size(), r.dump_blobs.size());
+}
+
+TEST(ScenarioSweepTest, SweepIsDeterministic) {
+  const SweepResult& a = FixedGridSweep();
+  auto again = RunSweep(DefaultSweepGrid());
+  ASSERT_TRUE(again.ok());
+  const SweepResult& b = again.value();
+  ASSERT_EQ(a.fixtures.size(), b.fixtures.size());
+  for (size_t i = 0; i < a.fixtures.size(); ++i) {
+    EXPECT_EQ(a.fixtures[i].workload, b.fixtures[i].workload);
+    EXPECT_EQ(a.fixtures[i].policy, b.fixtures[i].policy);
+    EXPECT_EQ(a.fixtures[i].seed, b.fixtures[i].seed);
+    EXPECT_EQ(a.fixtures[i].dump_fingerprint, b.fixtures[i].dump_fingerprint);
+    EXPECT_EQ(a.dump_blobs[i], b.dump_blobs[i]);
+  }
+  EXPECT_EQ(a.stats.crashes, b.stats.crashes);
+}
+
+TEST(ScenarioSweepTest, DedupInvariants) {
+  const SweepResult& r = FixedGridSweep();
+  const size_t cap = DefaultSweepGrid().max_variants_per_bucket;
+  std::set<std::string> exact;
+  std::map<std::string, size_t> variants;
+  for (const FixtureRecord& f : r.fixtures) {
+    // Canonical policy strings only (what the manifest and diff key on).
+    auto spec = ParseSchedulerSpec(f.policy);
+    ASSERT_TRUE(spec.ok()) << f.policy;
+    EXPECT_EQ(spec.value().ToString(), f.policy);
+    const std::string cell = f.policy + "|" + f.workload + "|" + f.trap_pc +
+                             "|" + f.bucket;
+    EXPECT_TRUE(
+        exact.insert(cell + "|" + std::to_string(f.dump_fingerprint)).second)
+        << "byte-identical fixture survived dedup: " << cell;
+    EXPECT_LE(++variants[cell], cap) << cell;
+  }
+}
+
+TEST(ScenarioSweepTest, FixturesAreAdmissibleAndValid) {
+  const SweepResult& r = FixedGridSweep();
+  std::map<std::string, Module> modules;
+  for (size_t i = 0; i < r.fixtures.size(); ++i) {
+    const FixtureRecord& f = r.fixtures[i];
+    auto it = modules.find(f.workload);
+    if (it == modules.end()) {
+      it = modules.emplace(f.workload, WorkloadByName(f.workload).build())
+               .first;
+    }
+    auto dump = DeserializeCoredump(r.dump_blobs[i]);
+    ASSERT_TRUE(dump.ok()) << f.workload;
+    EXPECT_TRUE(dump.value().Validate(it->second).ok()) << f.workload;
+    // require_live_peers: no minted multithreaded fixture may contain an
+    // exited thread (RES cannot attribute suffix units to a gone stack).
+    for (const ThreadDump& t : dump.value().threads) {
+      EXPECT_NE(t.state, ThreadState::kExited)
+          << f.workload << " seed " << f.seed;
+    }
+    EXPECT_TRUE(IsFailureTrap(f.trap));
+  }
+}
+
+TEST(ScenarioSweepTest, WriteFixturesRoundTrips) {
+  SweepResult copy = FixedGridSweep();  // paths are written into the records
+  const std::string dir = ::testing::TempDir() + "scenario_sweep_test";
+  std::filesystem::create_directories(dir);
+  ASSERT_TRUE(WriteSweepFixtures(&copy, dir).ok());
+
+  std::ifstream manifest(dir + "/manifest.jsonl");
+  ASSERT_TRUE(manifest.good());
+  size_t lines = 0;
+  for (std::string line; std::getline(manifest, line);) {
+    ++lines;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+  EXPECT_EQ(lines, copy.fixtures.size());
+
+  for (size_t i = 0; i < copy.fixtures.size(); ++i) {
+    ASSERT_FALSE(copy.fixtures[i].path.empty());
+    std::ifstream in(copy.fixtures[i].path, std::ios::binary);
+    ASSERT_TRUE(in.good()) << copy.fixtures[i].path;
+    std::vector<uint8_t> bytes{std::istreambuf_iterator<char>(in),
+                               std::istreambuf_iterator<char>()};
+    EXPECT_EQ(bytes, copy.dump_blobs[i]) << copy.fixtures[i].path;
+  }
+}
+
+TEST(ScenarioSweepTest, CrossScheduleRootCausesAgree) {
+  auto diff = CrossScheduleDiff(FixedGridSweep());
+  ASSERT_TRUE(diff.ok()) << diff.status().ToString();
+  // The determinism contract: a root cause is a property of the bug, not of
+  // the interleaving that exposed it. At least 3 bugs must be caught under
+  // >= 2 policies, and every group must byte-agree.
+  size_t multi_policy = 0;
+  for (const CrossScheduleGroup& g : diff.value()) {
+    ASSERT_GE(g.policies.size(), 2u);
+    EXPECT_EQ(g.policies.size(), g.root_causes.size());
+    std::set<std::string> distinct(g.policies.begin(), g.policies.end());
+    EXPECT_EQ(distinct.size(), g.policies.size());  // one rep per policy
+    ++multi_policy;
+    EXPECT_TRUE(g.causes_equal)
+        << g.workload << " @ " << g.trap_pc << ": '" << g.root_causes.front()
+        << "' vs '" << g.root_causes.back() << "'";
+    EXPECT_FALSE(g.root_causes.front().empty());
+  }
+  EXPECT_GE(multi_policy, 3u);
+}
+
+TEST(ScenarioSweepTest, DiffIsDeterministic) {
+  auto a = CrossScheduleDiff(FixedGridSweep());
+  auto b = CrossScheduleDiff(FixedGridSweep());
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a.value().size(), b.value().size());
+  for (size_t i = 0; i < a.value().size(); ++i) {
+    EXPECT_EQ(a.value()[i].workload, b.value()[i].workload);
+    EXPECT_EQ(a.value()[i].root_causes, b.value()[i].root_causes);
+    EXPECT_EQ(a.value()[i].causes_equal, b.value()[i].causes_equal);
+  }
+}
+
+TEST(ScenarioSweepTest, MaxGroupsTruncates) {
+  CrossScheduleDiffOptions options;
+  options.max_groups = 1;
+  auto diff = CrossScheduleDiff(FixedGridSweep(), options);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(diff.value().size(), 1u);
+}
+
+TEST(ScenarioSweepTest, MalformedGridsAreStatusNotCrash) {
+  {
+    ScenarioGrid grid = DefaultSweepGrid();
+    grid.workloads = {"no_such_workload"};
+    auto sweep = RunSweep(grid);
+    ASSERT_FALSE(sweep.ok());
+    EXPECT_EQ(sweep.status().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    ScenarioGrid grid = DefaultSweepGrid();
+    grid.policies = {"pct:depth=0"};
+    auto sweep = RunSweep(grid);
+    ASSERT_FALSE(sweep.ok());
+    EXPECT_EQ(sweep.status().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    ScenarioGrid grid = DefaultSweepGrid();
+    grid.policies.clear();
+    auto sweep = RunSweep(grid);
+    ASSERT_FALSE(sweep.ok());
+    EXPECT_EQ(sweep.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+}  // namespace
+}  // namespace res

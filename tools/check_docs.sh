@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
-# Docs link/path checker: fails if README.md or docs/ARCHITECTURE.md
-# reference repository paths that do not exist.
+# Docs link/path checker: fails if README.md, docs/ARCHITECTURE.md, or
+# docs/SCENARIOS.md reference repository paths that do not exist, or if
+# the SCENARIOS.md scheduler-policy catalog drifts out of sync with the
+# registry in src/vm/scheduler_spec.cc.
 #
 # Checked references:
 #   - markdown links pointing into the repo:  [text](path)
 #   - inline code spans that look like paths: `src/res/reverse_engine.h`
+#   - policy names: every RegisteredSchedulerPolicies() row must appear as
+#     a catalog table row in docs/SCENARIOS.md, and vice versa
 #
 # Usage: tools/check_docs.sh   (from the repository root)
 set -u
@@ -53,8 +57,39 @@ check_doc() {
   done < <(grep -oE '`[A-Za-z0-9_./-]+`' "$doc" | tr -d '`' | grep '/')
 }
 
+check_policy_sync() {
+  local registry="src/vm/scheduler_spec.cc" catalog="docs/SCENARIOS.md"
+  if [ ! -f "$registry" ] || [ ! -f "$catalog" ]; then
+    echo "ERROR: policy sync inputs missing ($registry, $catalog)"
+    fail=1
+    return
+  fi
+  # Registry rows look like:  {"rr", "quantum", ...  — the name is the
+  # first string literal. Bounded to the RegisteredSchedulerPolicies()
+  # initializer by matching only row-opening braces.
+  local registered catalogued
+  registered="$(grep -oE '^\s*\{"[a-z_]+"' "$registry" \
+      | grep -oE '"[a-z_]+"' | tr -d '"' | sort)"
+  # Catalog rows are markdown table lines whose first cell is `name`.
+  catalogued="$(grep -oE '^\| `[a-z_]+` \|' "$catalog" \
+      | grep -oE '`[a-z_]+`' | tr -d '\`' | sort)"
+  if [ -z "$registered" ]; then
+    echo "ERROR: no policy rows found in $registry (pattern drift?)"
+    fail=1
+    return
+  fi
+  if [ "$registered" != "$catalogued" ]; then
+    echo "ERROR: scheduler policy catalog out of sync"
+    echo "  registry  ($registry): $(echo $registered)"
+    echo "  catalog   ($catalog): $(echo $catalogued)"
+    fail=1
+  fi
+}
+
 check_doc README.md
 check_doc docs/ARCHITECTURE.md
+check_doc docs/SCENARIOS.md
+check_policy_sync
 
 if [ "$fail" -ne 0 ]; then
   echo "docs check FAILED"

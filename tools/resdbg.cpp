@@ -1,7 +1,17 @@
 // resdbg — command-line front end for the RES library.
 //
-//   resdbg run <program.resvm> [--seed N] [--input V]...
+//   resdbg run <program.resvm> [--sched SPEC] [--seed N] [--input V]...
 //       Runs the program; on failure writes <program>.core next to it.
+//       SPEC is a scheduler spec ("pct:seed=7,depth=3", "rr:quantum=16" —
+//       see docs/SCENARIOS.md); default "random:permille=300". --seed
+//       overrides the spec's seed.
+//   resdbg sweep <outdir> [--workloads a,b] [--policies "p1;p2"]
+//                [--seeds N] [--first-seed N] [--max-steps N] [--no-diff]
+//       Schedule-space scenario sweep: runs the named corpus workloads
+//       (default: every multithreaded one) under each scheduler policy x
+//       seed, mints deduplicated coredump fixtures + manifest.jsonl into
+//       <outdir> (must exist), and byte-compares RES root causes across
+//       the schedules that caught the same bug.
 //   resdbg analyze <program.resvm> <dump.core> [--max-units N] [--no-breadcrumbs]
 //       Reverse execution synthesis: prints the suffix, root causes, bucket
 //       signature, exploitability-relevant taint and the hardware verdict.
@@ -22,6 +32,9 @@
 #include "src/replay/replay.h"
 #include "src/res/facts_serialize.h"
 #include "src/res/res_api.h"
+#include "src/scenario/scenario.h"
+#include "src/support/string_util.h"
+#include "src/vm/scheduler_spec.h"
 
 using namespace res;  // NOLINT: tool brevity
 
@@ -66,18 +79,35 @@ int CmdRun(const std::string& program, int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", module.status().ToString().c_str());
     return 2;
   }
+  SchedulerSpec sched_spec;
+  sched_spec.policy = "random";
+  sched_spec.permille = 300;
+  bool seed_overridden = false;
   uint64_t seed = 1;
   QueueInputProvider inputs(/*fallback=*/0);
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       seed = std::strtoull(argv[++i], nullptr, 10);
+      seed_overridden = true;
+    } else if (std::strcmp(argv[i], "--sched") == 0 && i + 1 < argc) {
+      auto parsed = ParseSchedulerSpec(argv[++i]);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "error: %s\n", parsed.status().ToString().c_str());
+        return 2;
+      }
+      sched_spec = parsed.value();
     } else if (std::strcmp(argv[i], "--input") == 0 && i + 1 < argc) {
       inputs.Push(0, std::strtoll(argv[++i], nullptr, 10));
     }
   }
   Vm vm(&module.value());
-  RandomScheduler scheduler(seed, 300);
-  vm.set_scheduler(&scheduler);
+  auto scheduler = seed_overridden ? MakeScheduler(sched_spec, seed)
+                                   : MakeScheduler(sched_spec);
+  if (!scheduler.ok()) {
+    std::fprintf(stderr, "error: %s\n", scheduler.status().ToString().c_str());
+    return 2;
+  }
+  vm.set_scheduler(scheduler.value().get());
   vm.set_input_provider(&inputs);
   if (Status s = vm.Reset(); !s.ok()) {
     std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
@@ -201,6 +231,85 @@ int CmdReplay(const std::string& program, const std::string& core) {
   return replay.value().trap_matches && replay.value().state_matches ? 0 : 1;
 }
 
+int CmdSweep(const std::string& out_dir, int argc, char** argv) {
+  ScenarioGrid grid = DefaultSweepGrid();
+  bool run_diff = true;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--workloads") == 0 && i + 1 < argc) {
+      grid.workloads.clear();
+      for (std::string_view name : StrSplit(argv[++i], ',', true)) {
+        grid.workloads.emplace_back(name);
+      }
+    } else if (std::strcmp(argv[i], "--policies") == 0 && i + 1 < argc) {
+      grid.policies.clear();
+      for (std::string_view spec : StrSplit(argv[++i], ';', true)) {
+        grid.policies.emplace_back(spec);
+      }
+    } else if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
+      grid.seeds_per_cell = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--first-seed") == 0 && i + 1 < argc) {
+      grid.first_seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--max-steps") == 0 && i + 1 < argc) {
+      grid.max_steps_per_run = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--no-diff") == 0) {
+      run_diff = false;
+    } else {
+      std::fprintf(stderr, "unknown sweep option '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+
+  auto sweep = RunSweep(grid);
+  if (!sweep.ok()) {
+    std::fprintf(stderr, "error: %s\n", sweep.status().ToString().c_str());
+    return 2;
+  }
+  SweepResult& result = sweep.value();
+  if (Status s = WriteSweepFixtures(&result, out_dir); !s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 2;
+  }
+  std::printf(
+      "sweep: %llu runs -> %llu crashes (%llu clean, %llu inadmissible), "
+      "%zu fixtures after dedup (%llu byte-identical dropped, %llu over "
+      "variant cap), %zu unique bugs\n",
+      static_cast<unsigned long long>(result.stats.runs),
+      static_cast<unsigned long long>(result.stats.crashes),
+      static_cast<unsigned long long>(result.stats.clean_runs),
+      static_cast<unsigned long long>(result.stats.inadmissible),
+      result.fixtures.size(),
+      static_cast<unsigned long long>(result.stats.dedup_dropped),
+      static_cast<unsigned long long>(result.stats.variant_capped),
+      result.UniqueBugCount());
+  std::printf("fixtures + manifest.jsonl written to %s\n", out_dir.c_str());
+  if (!run_diff) {
+    return 0;
+  }
+
+  auto diff = CrossScheduleDiff(result);
+  if (!diff.ok()) {
+    std::fprintf(stderr, "error: %s\n", diff.status().ToString().c_str());
+    return 2;
+  }
+  int unequal = 0;
+  for (const CrossScheduleGroup& g : diff.value()) {
+    std::printf("diff %s %s [%zu policies]: %s — %s\n", g.workload.c_str(),
+                g.trap_pc.c_str(), g.policies.size(),
+                g.root_causes.front().c_str(),
+                g.causes_equal ? "byte-equal across schedules" : "DIVERGED");
+    if (!g.causes_equal) {
+      ++unequal;
+      for (size_t i = 0; i < g.policies.size(); ++i) {
+        std::printf("    %-48s -> %s\n", g.policies[i].c_str(),
+                    g.root_causes[i].c_str());
+      }
+    }
+  }
+  std::printf("cross-schedule differential: %zu groups, %d diverged\n",
+              diff.value().size(), unequal);
+  return unequal == 0 ? 0 : 1;
+}
+
 int CmdFacts(const std::string& log_path, const char* program) {
   auto raw = ReadFile(log_path);
   if (!raw.ok()) {
@@ -236,16 +345,23 @@ int main(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
                  "usage:\n"
-                 "  resdbg run <program.resvm> [--seed N] [--input V]...\n"
+                 "  resdbg run <program.resvm> [--sched SPEC] [--seed N]"
+                 " [--input V]...\n"
                  "  resdbg analyze <program.resvm> <dump.core> [--max-units N]"
                  " [--no-breadcrumbs] [--full-path]\n"
                  "  resdbg replay <program.resvm> <dump.core>\n"
-                 "  resdbg facts <log.facts> [program.resvm]\n");
+                 "  resdbg facts <log.facts> [program.resvm]\n"
+                 "  resdbg sweep <outdir> [--workloads a,b]"
+                 " [--policies \"p1;p2\"] [--seeds N] [--first-seed N]"
+                 " [--max-steps N] [--no-diff]\n");
     return 2;
   }
   std::string cmd = argv[1];
   if (cmd == "facts") {
     return CmdFacts(argv[2], argc >= 4 ? argv[3] : nullptr);
+  }
+  if (cmd == "sweep") {
+    return CmdSweep(argv[2], argc - 3, argv + 3);
   }
   if (cmd == "run") {
     return CmdRun(argv[2], argc - 3, argv + 3);
