@@ -38,6 +38,34 @@ double TimeRun(const Module& module, Recorder* recorder, size_t* log_bytes) {
   return times[times.size() / 2];
 }
 
+// Times one engine (classic or predecoded) over the same workload, median
+// of 5; returns wall ms and fills the deterministic step counters from the
+// last run (identical across reps and engines — the dispatch-equivalence
+// contract, docs/ARCHITECTURE.md §12).
+double TimeEngine(const Module& module, bool predecode, uint64_t* steps,
+                  uint64_t* predecode_steps) {
+  std::vector<double> times;
+  for (int rep = 0; rep < 5; ++rep) {
+    VmOptions options;
+    options.predecode = predecode;
+    Vm vm(&module, options);
+    RoundRobinScheduler scheduler;
+    vm.set_scheduler(&scheduler);
+    QueueInputProvider inputs(/*fallback=*/1);  // divisor 1: no trap
+    vm.set_input_provider(&inputs);
+    if (!vm.Reset().ok()) {
+      return -1;
+    }
+    WallTimer timer;
+    RunResult run = vm.Run();
+    times.push_back(timer.ElapsedMs());
+    *steps = run.steps;
+    *predecode_steps = vm.predecode_steps();
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
 }  // namespace
 
 int main() {
@@ -88,5 +116,54 @@ int main() {
   std::printf("\nexpected shape: full-logging overhead large and log size "
               "proportional to execution; RES's row is 'native' — it records "
               "nothing (paper quotes 400%% / 60%% for the two regimes)\n");
+
+  // --- Execution substrate: classic switch dispatch vs predecoded
+  // direct-threaded dispatch (docs/ARCHITECTURE.md §12). Same workload, no
+  // recorder; the step counters are deterministic and byte-identical across
+  // engines, so they are baselined as floors; throughput is wall-dependent
+  // and reported only.
+  PrintHeader("T5b: interpreter dispatch (classic vs predecoded)");
+  uint64_t classic_steps = 0, classic_pd = 0;
+  double classic_ms = TimeEngine(module, /*predecode=*/false, &classic_steps,
+                                 &classic_pd);
+  uint64_t pre_steps = 0, pre_pd = 0;
+  double pre_ms = TimeEngine(module, /*predecode=*/true, &pre_steps, &pre_pd);
+  auto per_sec = [](uint64_t steps, double ms) {
+    return ms > 0 ? 1000.0 * static_cast<double>(steps) / ms : 0.0;
+  };
+  std::vector<std::vector<std::string>> erows;
+  erows.push_back({"engine", "median ms", "steps", "Msteps/s", "speedup"});
+  erows.push_back({"classic switch", StrFormat("%.1f", classic_ms),
+                   StrFormat("%llu", (unsigned long long)classic_steps),
+                   StrFormat("%.2f", per_sec(classic_steps, classic_ms) / 1e6),
+                   "1.00x"});
+  erows.push_back({"predecoded direct-threaded", StrFormat("%.1f", pre_ms),
+                   StrFormat("%llu", (unsigned long long)pre_steps),
+                   StrFormat("%.2f", per_sec(pre_steps, pre_ms) / 1e6),
+                   StrFormat("%.2fx", pre_ms > 0 ? classic_ms / pre_ms : 0.0)});
+  PrintTable(erows);
+  if (classic_steps != pre_steps || pre_pd != pre_steps || classic_pd != 0) {
+    std::printf("DISPATCH-EQUIVALENCE VIOLATION: classic %llu steps (pd %llu) "
+                "vs predecoded %llu steps (pd %llu)\n",
+                (unsigned long long)classic_steps,
+                (unsigned long long)classic_pd, (unsigned long long)pre_steps,
+                (unsigned long long)pre_pd);
+    return 1;
+  }
+
+  r = BenchRecord{};
+  r.name = "table5_recording_overhead/engine=classic";
+  r.wall_ms = classic_ms;
+  r.vm_steps = classic_steps;
+  r.vm_predecode_steps = classic_pd;
+  r.vm_steps_per_sec = per_sec(classic_steps, classic_ms);
+  json.Append(r);
+  r = BenchRecord{};
+  r.name = "table5_recording_overhead/engine=predecode";
+  r.wall_ms = pre_ms;
+  r.vm_steps = pre_steps;
+  r.vm_predecode_steps = pre_pd;
+  r.vm_steps_per_sec = per_sec(pre_steps, pre_ms);
+  json.Append(r);
   return 0;
 }

@@ -97,6 +97,15 @@ struct BenchRecord {
   uint64_t sweep_unique_bugs = 0;       // distinct (trap PC, bucket) ids
   uint64_t diff_groups = 0;             // cross-schedule groups diffed
   uint64_t diff_causes_equal = 0;       // groups with byte-equal root cause
+  // --- VM execution-substrate fields (bench_table5_recording_overhead);
+  // zero for non-VM records. vm_steps/vm_predecode_steps are deterministic
+  // step counters (Vm::steps / Vm::predecode_steps — the latter is nonzero
+  // only on the predecoded engine, equal to vm_steps there by the
+  // dispatch-equivalence contract); vm_steps_per_sec is wall-dependent
+  // throughput, reported but never baselined.
+  uint64_t vm_steps = 0;                // instructions retired by the run
+  uint64_t vm_predecode_steps = 0;      // steps via the predecoded engine
+  double vm_steps_per_sec = 0;          // vm_steps / wall seconds
 
   // Adds an engine run's counters into this record (benches that aggregate
   // several runs per record call this once per run; single-run records get
@@ -187,7 +196,8 @@ class BenchJsonWriter {
         "\"scheduler_seed\": %llu, \"sweep_runs\": %llu, "
         "\"sweep_crashes\": %llu, \"sweep_fixtures\": %llu, "
         "\"sweep_unique_bugs\": %llu, \"diff_groups\": %llu, "
-        "\"diff_causes_equal\": %llu}\n",
+        "\"diff_causes_equal\": %llu, \"vm_steps\": %llu, "
+        "\"vm_predecode_steps\": %llu, \"vm_steps_per_sec\": %.3f}\n",
         r.name.c_str(), r.wall_ms,
         static_cast<unsigned long long>(r.hypotheses_explored),
         static_cast<unsigned long long>(r.solver_checks),
@@ -218,7 +228,10 @@ class BenchJsonWriter {
         static_cast<unsigned long long>(r.sweep_fixtures),
         static_cast<unsigned long long>(r.sweep_unique_bugs),
         static_cast<unsigned long long>(r.diff_groups),
-        static_cast<unsigned long long>(r.diff_causes_equal));
+        static_cast<unsigned long long>(r.diff_causes_equal),
+        static_cast<unsigned long long>(r.vm_steps),
+        static_cast<unsigned long long>(r.vm_predecode_steps),
+        r.vm_steps_per_sec);
     std::fclose(f);
   }
 

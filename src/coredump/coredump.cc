@@ -27,7 +27,7 @@ Status Coredump::Validate(const Module& module,
                           const FaultScope& faults) const {
   RES_RETURN_IF_ERROR(faults.Check(kFaultValidate));
   if (static_cast<uint8_t>(trap.kind) >
-      static_cast<uint8_t>(TrapKind::kStepLimit)) {
+      static_cast<uint8_t>(TrapKind::kInvalidOpcode)) {
     return DataLoss("trap kind out of range");
   }
   if (trap.kind == TrapKind::kNone) {

@@ -207,11 +207,15 @@ bool CompareCoredumps(const Module& module, const Coredump& expected,
 }
 
 Result<ReplayOutcome> ReplaySuffix(const Module& module, const Coredump& dump,
-                                   const SynthesizedSuffix& suffix, ExprPool* pool) {
+                                   const SynthesizedSuffix& suffix, ExprPool* pool,
+                                   const PredecodedModule* predecoded) {
   RES_ASSIGN_OR_RETURN(ReplayState state,
                        BuildReplayState(module, dump, suffix, pool));
 
   Vm vm(&module);
+  if (predecoded != nullptr) {
+    vm.set_predecoded(predecoded);
+  }
   SliceScheduler scheduler(state.schedule);
   ReplayInputProvider inputs;
   for (const auto& [tid, value] : state.inputs) {

@@ -48,9 +48,14 @@ struct ReplayOutcome {
 };
 
 // End-to-end: build state, run, capture, compare. `pool` must be the engine
-// pool that produced the suffix.
+// pool that produced the suffix. `predecoded`, when non-null, must be the
+// lowering of `module` (e.g. ResRuntime::ModuleFacts::predecoded) and runs
+// the replay on the predecoded engine — byte-identical outcome by the
+// dispatch-equivalence contract (docs/ARCHITECTURE.md §12), shared so a
+// daemon replaying many suffixes of one module lowers it once.
 Result<ReplayOutcome> ReplaySuffix(const Module& module, const Coredump& dump,
-                                   const SynthesizedSuffix& suffix, ExprPool* pool);
+                                   const SynthesizedSuffix& suffix, ExprPool* pool,
+                                   const PredecodedModule* predecoded = nullptr);
 
 // Structural comparison of two coredumps. Thread run-states are compared
 // leniently (a thread at an uncompleted kLock and one already parked on it

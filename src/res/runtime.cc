@@ -8,6 +8,17 @@
 
 namespace res {
 
+ModuleFacts::ModuleFacts(const Module& m, const ResRuntimeOptions& options)
+    : module(&m),
+      cfg(ModuleCfg::Build(m)),
+      predecoded(PredecodedModule::Build(m)),
+      fingerprint(ModuleFingerprint(m)),
+      // live capacity == slot slab: the full-slab check in Publish fires
+      // before any eviction could, so promoted cores are never displaced
+      // out from under a running engine's watermark.
+      promoted_clauses(options.promoted_clause_capacity,
+                       options.promoted_clause_capacity) {}
+
 ResRuntime::ResRuntime(ResRuntimeOptions options)
     : options_(options), check_cache_(options.check_cache_max_entries) {
   if (options_.worker_threads > 0) {
@@ -154,8 +165,11 @@ Result<std::vector<uint8_t>> ResRuntime::ExportFacts(const Module& module) {
   // this module while its promoted state is being walked.
   std::lock_guard<std::mutex> facts_lock(facts_mu_);
   FactsLog log;
-  log.module_fingerprint = ModuleFingerprint(module);
   auto it = facts_.find(&module);
+  // Resident facts carry the fingerprint precomputed at construction; only
+  // a module with no entry pays the PrintModule re-hash here.
+  log.module_fingerprint = it != facts_.end() ? it->second.facts->fingerprint
+                                              : ModuleFingerprint(module);
   if (it == facts_.end()) {
     return SerializeFactsLog(log);  // nothing promoted yet: valid empty log
   }
@@ -268,7 +282,16 @@ Result<ResRuntime::FactsImport> ResRuntime::ImportFacts(
   // Everything that can fail happens before the first mutation, so a
   // rejected import is all-or-nothing.
   RES_ASSIGN_OR_RETURN(FactsLog log, ParseFactsLog(bytes));
-  if (log.module_fingerprint != ModuleFingerprint(module)) {
+  std::lock_guard<std::mutex> facts_lock(facts_mu_);
+  // Peek — do NOT create the entry or bump its bookkeeping yet: a rejected
+  // import must leave eviction victim selection untouched, exactly like a
+  // faulted Promote. An existing entry answers the fingerprint check from
+  // its cache; only an unknown module pays the PrintModule re-hash.
+  auto it = facts_.find(&module);
+  const uint64_t module_fingerprint = it != facts_.end()
+                                          ? it->second.facts->fingerprint
+                                          : ModuleFingerprint(module);
+  if (log.module_fingerprint != module_fingerprint) {
     return FailedPrecondition("fact log does not match module fingerprint");
   }
   for (const FactsLog::Key& k : log.keys) {
@@ -276,8 +299,6 @@ Result<ResRuntime::FactsImport> ResRuntime::ImportFacts(
       return FailedPrecondition("fact log solver fingerprint mismatch");
     }
   }
-  std::lock_guard<std::mutex> facts_lock(facts_mu_);
-  auto it = facts_.find(&module);
   if (it == facts_.end()) {
     FactsEntry entry;
     entry.facts = std::make_shared<ModuleFacts>(module, options_);

@@ -62,6 +62,7 @@
 #include "src/support/thread_pool.h"
 #include "src/symbolic/expr.h"
 #include "src/symbolic/solver.h"
+#include "src/vm/predecode.h"
 
 namespace res {
 
@@ -85,17 +86,19 @@ struct ResRuntimeOptions {
 // over that module. The promoted ClauseStore is published to exclusively by
 // ResRuntime::Promote (single logical publisher, serialized internally).
 struct ModuleFacts {
-  ModuleFacts(const Module& m, const ResRuntimeOptions& options)
-      : module(&m),
-        cfg(ModuleCfg::Build(m)),
-        // live capacity == slot slab: the full-slab check in Publish fires
-        // before any eviction could, so promoted cores are never displaced
-        // out from under a running engine's watermark.
-        promoted_clauses(options.promoted_clause_capacity,
-                         options.promoted_clause_capacity) {}
+  ModuleFacts(const Module& m, const ResRuntimeOptions& options);
 
   const Module* module;
   ModuleCfg cfg;
+  // The predecoded execution stream (src/vm/predecode.h), built once
+  // alongside the CFG and shared by every VM run over this module (replay,
+  // sweeps, daemon waves). Like the CFG it references only the Module, so
+  // ReclaimSubstrate leaves it intact; whole-entry eviction drops it.
+  PredecodedModule predecoded;
+  // PrintModule-based fingerprint (facts_serialize.h ModuleFingerprint),
+  // computed once here instead of re-printing the module on every
+  // export/import.
+  uint64_t fingerprint = 0;
   ClauseStore promoted_clauses;
   // Commit-order journal of this module's promoted cold-check keys. The
   // shared CheckCache keeps only an irreversible hash of a promoted key, so

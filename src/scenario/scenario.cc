@@ -6,9 +6,11 @@
 
 #include "src/coredump/coredump.h"
 #include "src/coredump/serialize.h"
+#include "src/ir/module_serialize.h"
 #include "src/support/hash.h"
 #include "src/support/string_util.h"
 #include "src/triage/triage.h"
+#include "src/vm/predecode.h"
 #include "src/vm/vm.h"
 #include "src/workloads/workloads.h"
 
@@ -122,6 +124,12 @@ Result<SweepResult> RunSweep(const ScenarioGrid& grid) {
   std::map<std::string, size_t> variant_count; // per (wl, policy, bug id)
   for (const WorkloadSpec* wl : workloads) {
     Module module = wl->build();
+    result.module_blobs.emplace_back(wl->name, SerializeModule(module));
+    // One lowering per workload, shared by every grid point in the cell.
+    PredecodedModule predecoded;
+    if (grid.predecode) {
+      predecoded = PredecodedModule::Build(module);
+    }
     for (const SchedulerSpec& spec : specs) {
       const std::string policy = spec.ToString();
       for (uint64_t i = 0; i < grid.seeds_per_cell; ++i) {
@@ -131,6 +139,9 @@ Result<SweepResult> RunSweep(const ScenarioGrid& grid) {
         VmOptions vm_options;
         vm_options.max_steps = grid.max_steps_per_run;
         Vm vm(&module, vm_options);
+        if (grid.predecode) {
+          vm.set_predecoded(&predecoded);
+        }
         vm.set_scheduler(scheduler.get());
         QueueInputProvider inputs(/*fallback=*/0);
         inputs.PushAll(0, wl->channel0_inputs);
@@ -207,6 +218,17 @@ Status WriteSweepFixtures(SweepResult* result, const std::string& out_dir) {
   if (!manifest) {
     return Internal("sweep: cannot write " + out_dir + "/manifest.jsonl");
   }
+  std::map<std::string, std::string> module_paths;
+  for (const auto& [workload, blob] : result->module_blobs) {
+    const std::string path = out_dir + "/" + workload + ".resmod";
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Internal("sweep: cannot write " + path);
+    }
+    out.write(reinterpret_cast<const char*>(blob.data()),
+              static_cast<std::streamsize>(blob.size()));
+    module_paths[workload] = path;
+  }
   for (size_t i = 0; i < result->fixtures.size(); ++i) {
     FixtureRecord& f = result->fixtures[i];
     f.path = out_dir + "/" + f.workload + "__" +
@@ -219,18 +241,20 @@ Status WriteSweepFixtures(SweepResult* result, const std::string& out_dir) {
     const std::vector<uint8_t>& blob = result->dump_blobs[i];
     out.write(reinterpret_cast<const char*>(blob.data()),
               static_cast<std::streamsize>(blob.size()));
+    f.module_path = module_paths[f.workload];
     manifest << StrFormat(
         "{\"workload\": \"%s\", \"policy\": \"%s\", \"seed\": %llu, "
         "\"trap\": \"%s\", \"trap_pc\": \"%s\", \"bucket\": \"%s\", "
         "\"fingerprint\": \"%016llx\", \"dump_bytes\": %zu, "
-        "\"schedule_log_bytes\": %zu, \"steps\": %llu, \"path\": \"%s\"}\n",
+        "\"schedule_log_bytes\": %zu, \"steps\": %llu, \"path\": \"%s\", "
+        "\"module\": \"%s\"}\n",
         JsonEscape(f.workload).c_str(), JsonEscape(f.policy).c_str(),
         static_cast<unsigned long long>(f.seed),
         std::string(TrapKindName(f.trap)).c_str(),
         JsonEscape(f.trap_pc).c_str(), JsonEscape(f.bucket).c_str(),
         static_cast<unsigned long long>(f.dump_fingerprint), f.dump_bytes,
         f.schedule_log_bytes, static_cast<unsigned long long>(f.steps),
-        JsonEscape(f.path).c_str());
+        JsonEscape(f.path).c_str(), JsonEscape(f.module_path).c_str());
   }
   return OkStatus();
 }

@@ -61,6 +61,13 @@ struct ScenarioGrid {
   // crashes are counted, not minted.
   bool require_live_peers = true;
   bool respect_workload_admission = true;
+  // Run every grid point on the predecoded VM engine (one PredecodedModule
+  // per workload, shared across the whole cell — the sweep is exactly the
+  // million-step driver the substrate exists for). Byte-equivalence with
+  // the classic engine is the dispatch-equivalence contract
+  // (docs/ARCHITECTURE.md §12), pinned by tests/predecode_test.cc; flipping
+  // this off must not change any fixture byte.
+  bool predecode = true;
 };
 
 // The fixed grid the sweep bench, the stress test, and `resdbg sweep`
@@ -80,6 +87,7 @@ struct FixtureRecord {
   size_t schedule_log_bytes = 0; // InputScheduleRecorder footprint
   uint64_t steps = 0;            // instructions executed before the trap
   std::string path;              // set by WriteSweepFixtures; else empty
+  std::string module_path;       // workload's RESMOD1 blob; same lifecycle
 };
 
 struct SweepStats {
@@ -97,6 +105,10 @@ struct SweepResult {
   // keeping them in memory lets tests and the differential harness run
   // without touching disk).
   std::vector<std::vector<uint8_t>> dump_blobs;
+  // RESMOD1 binary module blob per swept workload name (every selected
+  // workload, fixtures or not) — a fixture without its module is not
+  // replayable, so the sweep mints both.
+  std::vector<std::pair<std::string, std::vector<uint8_t>>> module_blobs;
   SweepStats stats;
 
   // Distinct (workload, trap PC, bucket) bug identities in the fixtures.
@@ -109,7 +121,8 @@ struct SweepResult {
 Result<SweepResult> RunSweep(const ScenarioGrid& grid);
 
 // Writes each fixture to `<out_dir>/<workload>__<policy>__seed<N>.core`
-// (spec punctuation sanitized), records the paths in the FixtureRecords,
+// (spec punctuation sanitized) and each swept workload's binary module to
+// `<out_dir>/<workload>.resmod`, records the paths in the FixtureRecords,
 // and emits `<out_dir>/manifest.jsonl` — one JSON object per fixture with
 // every FixtureRecord field. The directory must already exist.
 Status WriteSweepFixtures(SweepResult* result, const std::string& out_dir);

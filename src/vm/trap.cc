@@ -30,6 +30,8 @@ std::string_view TrapKindName(TrapKind kind) {
       return "thread_limit";
     case TrapKind::kStepLimit:
       return "step_limit";
+    case TrapKind::kInvalidOpcode:
+      return "invalid_opcode";
   }
   return "unknown";
 }

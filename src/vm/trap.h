@@ -26,6 +26,7 @@ enum class TrapKind : uint8_t {
   kHeapExhausted,   // allocator out of segment space
   kThreadLimit,     // kSpawn beyond kMaxThreads
   kStepLimit,       // execution budget exceeded (not a program failure)
+  kInvalidOpcode,   // opcode byte outside the implemented instruction set
 };
 
 std::string_view TrapKindName(TrapKind kind);

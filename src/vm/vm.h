@@ -20,6 +20,7 @@
 #include "src/vm/breadcrumbs.h"
 #include "src/vm/heap.h"
 #include "src/vm/input.h"
+#include "src/vm/predecode.h"
 #include "src/vm/recorder.h"
 #include "src/vm/scheduler.h"
 #include "src/vm/thread.h"
@@ -35,6 +36,12 @@ struct VmOptions {
   bool record_block_trace = false;
   // Journals every consumed input (test ground truth, same caveat).
   bool record_consumed_inputs = false;
+  // Executes over the predecoded instruction stream (direct-threaded
+  // dispatch) instead of the classic tree-walking fetch. Observable behavior
+  // is byte-identical — the classic engine is kept as the differential
+  // oracle (docs/ARCHITECTURE.md §12). The PredecodedModule is built lazily
+  // at Reset unless one is shared via set_predecoded.
+  bool predecode = false;
 };
 
 struct BlockTraceEntry {
@@ -65,6 +72,15 @@ class Vm {
   void set_input_provider(InputProvider* p) { inputs_ = p; }
   void set_recorder(Recorder* r) { recorder_ = r; }
 
+  // Shares an already-built lowering (e.g. the one cached in
+  // ResRuntime::ModuleFacts) and switches the VM onto the predecoded engine.
+  // The lowering must have been built from this VM's module and must outlive
+  // the VM. Non-owning.
+  void set_predecoded(const PredecodedModule* pm) {
+    predecoded_ = pm;
+    options_.predecode = pm != nullptr;
+  }
+
   // (Re)initializes globals and the main thread. Must be called before Run
   // unless RestoreForReplay was used.
   Status Reset();
@@ -90,6 +106,9 @@ class Vm {
   const ErrorLog& error_log() const { return error_log_; }
   const LbrRing& lbr(uint32_t tid) const { return lbr_[tid]; }
   uint64_t steps() const { return steps_; }
+  // Steps executed by the predecoded engine (equals steps() when
+  // options.predecode is set; 0 under the classic engine).
+  uint64_t predecode_steps() const { return predecode_steps_; }
   const std::vector<BlockTraceEntry>& block_trace() const { return block_trace_; }
   const std::vector<ConsumedInput>& consumed_inputs() const { return consumed_inputs_; }
 
@@ -97,6 +116,19 @@ class Vm {
   // Executes one instruction of thread `tid`; returns false if the program
   // should stop (trap or main-thread exit).
   bool Step(uint32_t tid);
+
+  // The predecoded twin of Step: identical observable semantics, fetches
+  // from the flat DecodedOp stream with direct-threaded dispatch.
+  bool StepPredecoded(uint32_t tid);
+
+  // The predecoded driver loop: same scheduler decision points and counters
+  // as the classic loop, but reuses runnable_scratch_ (no per-step
+  // allocation) and dispatches via StepPredecoded.
+  RunResult RunBoundedPredecoded(uint64_t budget);
+
+  // Builds the owned lowering if the predecoded engine is selected and no
+  // shared PredecodedModule was provided.
+  void EnsurePredecoded();
 
   void RaiseTrap(TrapKind kind, uint32_t tid, const Pc& pc, uint64_t address,
                  std::string message);
@@ -124,7 +156,12 @@ class Vm {
   bool stopped_ = false;
   bool main_exited_ = false;
   uint64_t steps_ = 0;
+  uint64_t predecode_steps_ = 0;
   uint32_t current_tid_ = 0;
+
+  const PredecodedModule* predecoded_ = nullptr;  // non-owning when shared
+  std::unique_ptr<PredecodedModule> owned_predecoded_;
+  std::vector<uint32_t> runnable_scratch_;  // hot-loop reuse, no per-step alloc
 
   RoundRobinScheduler default_scheduler_;
   Scheduler* scheduler_;

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Docs link/path checker: fails if README.md, docs/ARCHITECTURE.md, or
-# docs/SCENARIOS.md reference repository paths that do not exist, or if
+# docs/SCENARIOS.md reference repository paths that do not exist, if
 # the SCENARIOS.md scheduler-policy catalog drifts out of sync with the
-# registry in src/vm/scheduler_spec.cc.
+# registry in src/vm/scheduler_spec.cc, or if the RESMOD1 wire-format
+# version documented in ARCHITECTURE.md §12 drifts from the codec's
+# kVersion constant in src/ir/module_serialize.cc.
 #
 # Checked references:
 #   - markdown links pointing into the repo:  [text](path)
@@ -86,10 +88,43 @@ check_policy_sync() {
   fi
 }
 
+check_module_format_sync() {
+  local codec="src/ir/module_serialize.cc" arch="docs/ARCHITECTURE.md"
+  if [ ! -f "$codec" ] || [ ! -f "$arch" ]; then
+    echo "ERROR: module format sync inputs missing ($codec, $arch)"
+    fail=1
+    return
+  fi
+  # The codec's version constant must match the version ARCHITECTURE.md
+  # §12 documents as "RESMOD1 wire format (version N)" — bumping one
+  # without the other is exactly the drift this catches.
+  local code_version doc_version
+  code_version="$(grep -oE 'kVersion = [0-9]+' "$codec" \
+      | grep -oE '[0-9]+' | head -1)"
+  doc_version="$(grep -oE 'RESMOD1 wire format \(version [0-9]+\)' "$arch" \
+      | grep -oE '[0-9]+' | head -1)"
+  if [ -z "$code_version" ]; then
+    echo "ERROR: no kVersion constant found in $codec (pattern drift?)"
+    fail=1
+    return
+  fi
+  if [ -z "$doc_version" ]; then
+    echo "ERROR: $arch does not document the RESMOD1 wire format version"
+    fail=1
+    return
+  fi
+  if [ "$code_version" != "$doc_version" ]; then
+    echo "ERROR: RESMOD1 version drift: $codec says $code_version," \
+         "$arch says $doc_version"
+    fail=1
+  fi
+}
+
 check_doc README.md
 check_doc docs/ARCHITECTURE.md
 check_doc docs/SCENARIOS.md
 check_policy_sync
+check_module_format_sync
 
 if [ "$fail" -ne 0 ]; then
   echo "docs check FAILED"

@@ -22,6 +22,13 @@
 //       Inspects a durable fact log (header, section counts, solver
 //       fingerprints); with the program given, also checks that the log's
 //       module fingerprint matches it.
+//   resdbg modc <in> <out>
+//       Converts a module between the text IR format and the RESMOD1
+//       binary wire format (direction inferred from the input's bytes:
+//       binary in -> text out, text in -> binary out).
+//
+// Every command that takes a program accepts either format — binary
+// modules are auto-detected by the RESMOD1 magic.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -29,6 +36,8 @@
 #include <string>
 #include <vector>
 
+#include "src/ir/module_serialize.h"
+#include "src/ir/printer.h"
 #include "src/replay/replay.h"
 #include "src/res/facts_serialize.h"
 #include "src/res/res_api.h"
@@ -61,8 +70,14 @@ Status WriteFile(const std::string& path, const std::vector<uint8_t>& bytes) {
 }
 
 Result<Module> LoadModule(const std::string& path) {
-  RES_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
-  RES_ASSIGN_OR_RETURN(Module module, ParseModule(text));
+  RES_ASSIGN_OR_RETURN(std::string raw, ReadFile(path));
+  std::vector<uint8_t> bytes(raw.begin(), raw.end());
+  if (LooksLikeBinaryModule(bytes)) {
+    RES_ASSIGN_OR_RETURN(Module module, DeserializeModule(bytes));
+    RES_RETURN_IF_ERROR(VerifyModule(module));
+    return module;
+  }
+  RES_ASSIGN_OR_RETURN(Module module, ParseModule(raw));
   RES_RETURN_IF_ERROR(VerifyModule(module));
   return module;
 }
@@ -83,6 +98,7 @@ int CmdRun(const std::string& program, int argc, char** argv) {
   sched_spec.policy = "random";
   sched_spec.permille = 300;
   bool seed_overridden = false;
+  bool predecode = false;
   uint64_t seed = 1;
   QueueInputProvider inputs(/*fallback=*/0);
   for (int i = 0; i < argc; ++i) {
@@ -98,9 +114,13 @@ int CmdRun(const std::string& program, int argc, char** argv) {
       sched_spec = parsed.value();
     } else if (std::strcmp(argv[i], "--input") == 0 && i + 1 < argc) {
       inputs.Push(0, std::strtoll(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--predecode") == 0) {
+      predecode = true;
     }
   }
-  Vm vm(&module.value());
+  VmOptions vm_options;
+  vm_options.predecode = predecode;
+  Vm vm(&module.value(), vm_options);
   auto scheduler = seed_overridden ? MakeScheduler(sched_spec, seed)
                                    : MakeScheduler(sched_spec);
   if (!scheduler.ok()) {
@@ -310,6 +330,41 @@ int CmdSweep(const std::string& out_dir, int argc, char** argv) {
   return unequal == 0 ? 0 : 1;
 }
 
+int CmdModc(const std::string& in_path, const std::string& out_path) {
+  auto raw = ReadFile(in_path);
+  if (!raw.ok()) {
+    std::fprintf(stderr, "error: %s\n", raw.status().ToString().c_str());
+    return 2;
+  }
+  std::vector<uint8_t> in_bytes(raw.value().begin(), raw.value().end());
+  const bool binary_in = LooksLikeBinaryModule(in_bytes);
+  auto module = binary_in ? DeserializeModule(in_bytes) : ParseModule(raw.value());
+  if (!module.ok()) {
+    std::fprintf(stderr, "error: %s\n", module.status().ToString().c_str());
+    return 2;
+  }
+  if (Status s = VerifyModule(module.value()); !s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 2;
+  }
+  std::vector<uint8_t> out_bytes;
+  if (binary_in) {
+    std::string text = PrintModule(module.value());
+    out_bytes.assign(text.begin(), text.end());
+  } else {
+    out_bytes = SerializeModule(module.value());
+  }
+  if (Status s = WriteFile(out_path, out_bytes); !s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 2;
+  }
+  std::printf("converted %s (%s, %zu bytes) -> %s (%s, %zu bytes)\n",
+              in_path.c_str(), binary_in ? "binary" : "text", in_bytes.size(),
+              out_path.c_str(), binary_in ? "text" : "binary",
+              out_bytes.size());
+  return 0;
+}
+
 int CmdFacts(const std::string& log_path, const char* program) {
   auto raw = ReadFile(log_path);
   if (!raw.ok()) {
@@ -346,14 +401,17 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage:\n"
                  "  resdbg run <program.resvm> [--sched SPEC] [--seed N]"
-                 " [--input V]...\n"
+                 " [--input V]... [--predecode]\n"
                  "  resdbg analyze <program.resvm> <dump.core> [--max-units N]"
                  " [--no-breadcrumbs] [--full-path]\n"
                  "  resdbg replay <program.resvm> <dump.core>\n"
                  "  resdbg facts <log.facts> [program.resvm]\n"
                  "  resdbg sweep <outdir> [--workloads a,b]"
                  " [--policies \"p1;p2\"] [--seeds N] [--first-seed N]"
-                 " [--max-steps N] [--no-diff]\n");
+                 " [--max-steps N] [--no-diff]\n"
+                 "  resdbg modc <in> <out>\n"
+                 "programs may be text IR (.resvm) or RESMOD1 binary"
+                 " (.resmod); the format is auto-detected.\n");
     return 2;
   }
   std::string cmd = argv[1];
@@ -371,6 +429,9 @@ int main(int argc, char** argv) {
   }
   if (cmd == "replay" && argc >= 4) {
     return CmdReplay(argv[2], argv[3]);
+  }
+  if (cmd == "modc" && argc >= 4) {
+    return CmdModc(argv[2], argv[3]);
   }
   std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
   return 2;
